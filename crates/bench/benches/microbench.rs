@@ -1,0 +1,152 @@
+//! Criterion microbenchmarks for the performance-critical kernels.
+//!
+//! These measure the costs a real deployment would care about: per-frame
+//! visibility computation, grouping search, beam design, codec throughput,
+//! channel evaluation, and the event engine.
+//!
+//! Run: `cargo bench -p volcast-bench`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use volcast_core::{GroupPlanner, GroupingInputs, SystemConfig};
+use volcast_geom::Vec3;
+use volcast_mmwave::{Channel, Codebook, McsTable, MultiLobeDesigner};
+use volcast_net::{EventQueue, SimTime};
+use volcast_pointcloud::codec::{decode, encode, CodecConfig};
+use volcast_pointcloud::{CellGrid, SyntheticBody};
+use volcast_viewport::{
+    iou, DeviceClass, UserStudy, VisibilityComputer, VisibilityOptions,
+};
+
+fn bench_codec(c: &mut Criterion) {
+    let cloud = SyntheticBody::default().frame(0, 50_000);
+    let cfg = CodecConfig::default();
+    c.bench_function("codec/encode_50k_points", |b| {
+        b.iter(|| encode(black_box(&cloud), &cfg))
+    });
+    let (enc, _) = encode(&cloud, &cfg);
+    c.bench_function("codec/decode_50k_points", |b| {
+        b.iter(|| decode(black_box(&enc)).unwrap())
+    });
+}
+
+fn bench_geometry(c: &mut Criterion) {
+    let cloud = SyntheticBody::default().frame(0, 50_000);
+    let grid = CellGrid::new(0.5);
+    c.bench_function("cells/partition_50k_points", |b| {
+        b.iter(|| grid.partition(black_box(&cloud)))
+    });
+
+    let partition = grid.partition(&cloud);
+    let study = UserStudy::generate(1, 30);
+    let vc = VisibilityComputer::new(VisibilityOptions {
+        intrinsics: DeviceClass::Headset.intrinsics(),
+        ..VisibilityOptions::vivo()
+    });
+    let pose = study.traces[16].pose(10);
+    c.bench_function("visibility/full_map_one_user", |b| {
+        b.iter(|| vc.compute(black_box(&pose), &grid, &partition))
+    });
+
+    let m0 = vc.compute(&study.traces[16].pose(10), &grid, &partition);
+    let m1 = vc.compute(&study.traces[17].pose(10), &grid, &partition);
+    c.bench_function("similarity/iou_pair", |b| {
+        b.iter(|| iou(black_box(&m0), black_box(&m1)))
+    });
+}
+
+fn bench_mmwave(c: &mut Criterion) {
+    let channel = Channel::default_setup();
+    let codebook = Codebook::default_for(&channel.array);
+    let designer = MultiLobeDesigner::new(&channel, &codebook);
+    let user = Vec3::new(1.0, 1.5, -1.0);
+    c.bench_function("channel/rss_one_beam", |b| {
+        let beam = &codebook.sectors[10];
+        b.iter(|| channel.rss_dbm(black_box(beam), user, &[]))
+    });
+    let pair = [Vec3::new(-2.0, 1.5, 0.0), Vec3::new(2.0, 1.5, 0.0)];
+    c.bench_function("beam/design_two_user_group", |b| {
+        b.iter(|| designer.design(black_box(&pair), &[]))
+    });
+}
+
+fn bench_grouping(c: &mut Criterion) {
+    // Realistic grouping instance: 6 users over a real frame partition.
+    let cloud = SyntheticBody::default().frame(0, 15_000);
+    let grid = CellGrid::new(0.5);
+    let partition = grid.partition(&cloud);
+    let sizes: Vec<f64> = partition.iter().map(|c| c.point_count as f64 * 3.0).collect();
+    let study = UserStudy::generate(1, 30);
+    let vc = VisibilityComputer::new(VisibilityOptions {
+        intrinsics: DeviceClass::Phone.intrinsics(),
+        ..VisibilityOptions::vivo()
+    });
+    let maps: Vec<_> = (0..6)
+        .map(|u| vc.compute(&study.traces[u].pose(10), &grid, &partition))
+        .collect();
+    let rates = vec![2000.0; 6];
+    let mcs = McsTable::dmg();
+    let channel = Channel::default_setup();
+    let codebook = Codebook::default_for(&channel.array);
+    let designer = MultiLobeDesigner::new(&channel, &codebook);
+    let positions: Vec<Vec3> = (0..6)
+        .map(|u| study.traces[u].pose(10).position)
+        .collect();
+    let group_rate = |members: &[usize]| -> f64 {
+        let pts: Vec<_> = members.iter().map(|&u| positions[u]).collect();
+        let beam = designer.design(&pts, &[]);
+        mcs.multicast_rate_mbps(&beam.member_rss_dbm)
+    };
+    let planner = GroupPlanner::new(SystemConfig::default());
+    c.bench_function("grouping/plan_6_users", |b| {
+        b.iter(|| {
+            planner.plan(black_box(&GroupingInputs {
+                maps: &maps,
+                partition: &partition,
+                cell_sizes: &sizes,
+                unicast_rate_mbps: &rates,
+                multicast_rate_mbps: &group_rate,
+            }))
+        })
+    });
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("events/schedule_pop_10k", |b| {
+        b.iter_batched(
+            EventQueue::<u64>::new,
+            |mut q| {
+                for i in 0..10_000u64 {
+                    // Pseudo-random interleaved times.
+                    let t = (i.wrapping_mul(2_654_435_761)) % 1_000_000;
+                    q.schedule(SimTime(t + 1_000_000), i);
+                }
+                let mut acc = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    acc = acc.wrapping_add(e);
+                }
+                acc
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_synthetic(c: &mut Criterion) {
+    let body = SyntheticBody::default();
+    c.bench_function("synthetic/frame_100k_points", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            body.frame(black_box(i), 100_000)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_codec, bench_geometry, bench_mmwave, bench_grouping,
+              bench_event_queue, bench_synthetic
+}
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+use volcast_core::session::quick_session_with_device;
+use volcast_core::PlayerKind;
+use volcast_pointcloud::QualityLevel;
+use volcast_viewport::DeviceClass;
+fn main() {
+    for n in [3usize, 4, 5] {
+        for player in [PlayerKind::Vivo, PlayerKind::Volcast] {
+            let mut s = quick_session_with_device(player, n, 60, 42, DeviceClass::Phone);
+            s.params.fixed_quality = Some(QualityLevel::High);
+            s.params.analysis_points = 8_000;
+            let out = s.run();
+            println!("{n} {:?}: fps {:.1} stalls {:.3} frame_ms {:.1} mcast {:.0}%",
+                player, out.qoe.mean_fps(), out.qoe.mean_stall_ratio(),
+                out.mean_frame_time_s*1e3, out.multicast_byte_fraction*100.0);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Extension C: viewport-prediction accuracy by method and horizon.
+//!
+//! Compares linear regression, the online MLP and the joint multi-user
+//! predictor (proximity + occlusion corrections) on the synthetic traces,
+//! at horizons 1, 3, 10 and 30 frames (33 ms .. 1 s at 30 Hz) — the same
+//! axes the CoNEXT'19 study the paper cites uses.
+//!
+//! Run: `cargo run --release -p volcast-bench --bin ext_prediction`
+
+use volcast_bench::Context;
+use volcast_geom::SixDof;
+use volcast_viewport::predict::evaluate_predictor;
+use volcast_viewport::{DeviceClass, JointPredictor, LinearPredictor, MlpPredictor};
+
+fn main() {
+    let frames = 300usize;
+    let ctx = Context::standard(42, frames);
+    let hm = ctx.study.users_of(DeviceClass::Headset);
+    let users: Vec<usize> = hm.into_iter().take(6).collect();
+
+    println!("Ext C: 6DoF viewport prediction error (translation m / rotation rad)\n");
+    println!(
+        "{:<22} {:>14} {:>14} {:>14} {:>14}",
+        "method", "h=1 (33ms)", "h=3 (100ms)", "h=10 (333ms)", "h=30 (1s)"
+    );
+    println!("{}", "-".repeat(84));
+
+    // Single-user predictors, averaged over users.
+    type PredictorFactory = Box<dyn Fn() -> Box<dyn volcast_viewport::Predictor>>;
+    let methods: Vec<(&str, PredictorFactory)> = vec![
+        (
+            "linear regression",
+            Box::new(|| Box::new(LinearPredictor::new(15)) as Box<dyn volcast_viewport::Predictor>),
+        ),
+        (
+            "MLP (online)",
+            Box::new(|| Box::new(MlpPredictor::new(3, 7)) as Box<dyn volcast_viewport::Predictor>),
+        ),
+    ];
+    for (name, make) in &methods {
+        print!("{name:<22}");
+        for h in [1usize, 3, 10, 30] {
+            let mut t_sum = 0.0;
+            let mut r_sum = 0.0;
+            for &u in &users {
+                let series: Vec<SixDof> = ctx.study.traces[u]
+                    .poses
+                    .iter()
+                    .map(|p| p.to_sixdof())
+                    .collect();
+                let mut p = make();
+                let (t, r) = evaluate_predictor(p.as_mut(), &series, h);
+                t_sum += t;
+                r_sum += r;
+            }
+            print!(
+                " {:>6.3}/{:<6.3}",
+                t_sum / users.len() as f64,
+                r_sum / users.len() as f64
+            );
+        }
+        println!();
+    }
+
+    // Joint predictor: evaluated frame-synchronously over all users.
+    print!("{:<22}", "joint multi-user");
+    for h in [1usize, 3, 10, 30] {
+        let mut jp = JointPredictor::new(users.len(), 15, Default::default());
+        let mut t_sum = 0.0;
+        let mut r_sum = 0.0;
+        let mut count = 0usize;
+        for f in 0..frames {
+            if let Some(pred) = jp.predict_frame(h) {
+                if f + h - 1 < frames {
+                    for (i, &u) in users.iter().enumerate() {
+                        let truth = ctx.study.traces[u].pose(f - 1 + h);
+                        t_sum += (pred[i].position - truth.position).norm();
+                        r_sum += pred[i].orientation.angle_to(truth.orientation);
+                        count += 1;
+                    }
+                }
+            }
+            let poses: Vec<_> = users.iter().map(|&u| ctx.study.traces[u].pose(f)).collect();
+            jp.observe_frame(&poses);
+        }
+        print!(" {:>6.3}/{:<6.3}", t_sum / count as f64, r_sum / count as f64);
+    }
+    println!();
+
+    println!("\nexpected shape: errors grow with horizon; LR is strong at short");
+    println!("horizons (cm-scale); the joint predictor matches LR when users are");
+    println!("apart and improves on it in crowded scenes (see joint tests).");
+}

@@ -1,0 +1,48 @@
+//! Extension A: full-system user scaling.
+//!
+//! The paper's Table 1 asks "how many users can we serve at 30 FPS?"
+//! for vanilla and ViVo. This experiment answers the follow-on question
+//! the research agenda poses: how far does the *full* volcast system
+//! (visibility culling + similarity multicast + custom beams + cross-layer
+//! adaptation) stretch the same network? End-to-end sessions, high
+//! quality, 2..=10 users.
+//!
+//! Run: `cargo run --release -p volcast-bench --bin ext_scaling`
+
+use volcast_core::session::quick_session_with_device;
+use volcast_core::PlayerKind;
+use volcast_viewport::DeviceClass;
+use volcast_pointcloud::QualityLevel;
+
+fn main() {
+    println!("Ext A: end-to-end user scaling at fixed High quality (550K pts)\n");
+    println!(
+        "{:<6} {:<18} {:>9} {:>12} {:>12} {:>12}",
+        "users", "player", "mean FPS", "stall ratio", "frame ms", "mcast bytes"
+    );
+    println!("{}", "-".repeat(74));
+    for n in [2usize, 3, 4, 5, 6, 8, 10] {
+        for player in [PlayerKind::Vanilla, PlayerKind::Vivo, PlayerKind::Volcast] {
+            // Classroom scenario: phone viewers clustered in a frontal
+            // arc — the paper's motivating multi-user case, where viewport
+            // overlap (and thus multicast opportunity) is highest.
+            let mut s =
+                quick_session_with_device(player, n, 90, 42, DeviceClass::Phone);
+            s.params.fixed_quality = Some(QualityLevel::High);
+            s.params.analysis_points = 10_000;
+            let out = s.run();
+            println!(
+                "{:<6} {:<18} {:>9.1} {:>12.3} {:>12.2} {:>11.0}%",
+                n,
+                player.label(),
+                out.qoe.mean_fps(),
+                out.qoe.mean_stall_ratio(),
+                out.mean_frame_time_s * 1e3,
+                out.multicast_byte_fraction * 100.0
+            );
+        }
+        println!();
+    }
+    println!("expected shape: volcast sustains 30 FPS for more users than ViVo,");
+    println!("which beats vanilla; multicast fraction grows with co-viewing users.");
+}

@@ -1,0 +1,81 @@
+//! Fig. 2b: CDF of viewport similarity (IoU) across users, for different
+//! device types, partition granularities and group sizes:
+//! HM(2)-Seg(100cm), HM(2)-Seg(50cm), PH(2)-Seg(50cm), HM(3)-Seg(50cm).
+//!
+//! Run: `cargo run --release -p volcast-bench --bin fig2b`
+
+use volcast_bench::{cdf_at, combinations, print_cdf, Context};
+use volcast_pointcloud::{CellGrid, SyntheticBody};
+use volcast_viewport::{group_iou, DeviceClass, VisibilityComputer, VisibilityOptions};
+
+fn iou_samples(
+    ctx: &Context,
+    users: &[usize],
+    group_size: usize,
+    cell_size: f64,
+    frames: &[usize],
+) -> Vec<f64> {
+    let body = SyntheticBody::default();
+    let grid = CellGrid::new(cell_size);
+    let mut out = Vec::new();
+    for &f in frames {
+        let cloud = body.frame(f as u64, 20_000);
+        let partition = grid.partition(&cloud);
+        let maps: Vec<_> = users
+            .iter()
+            .map(|&u| {
+                let trace = &ctx.study.traces[u];
+                let vc = VisibilityComputer::new(VisibilityOptions {
+                    occlusion: false,
+                    distance: false,
+                    intrinsics: trace.device.intrinsics(),
+                    ..VisibilityOptions::default()
+                });
+                vc.compute(&trace.pose(f), &grid, &partition)
+            })
+            .collect();
+        for combo in combinations(users.len(), group_size) {
+            let group: Vec<_> = combo.iter().map(|&i| &maps[i]).collect();
+            out.push(group_iou(&group));
+        }
+    }
+    out
+}
+
+fn main() {
+    let frames_total = 300usize;
+    let ctx = Context::standard(42, frames_total);
+    let ph: Vec<usize> = ctx.study.users_of(DeviceClass::Phone);
+    let hm: Vec<usize> = ctx.study.users_of(DeviceClass::Headset);
+    let sample_frames: Vec<usize> = (0..frames_total).step_by(15).collect();
+
+    println!("Fig. 2b: CDF of viewport similarity (IoU) across all users\n");
+    let settings: Vec<(&str, Vec<f64>)> = vec![
+        (
+            "HM(2)-Seg(100cm)",
+            iou_samples(&ctx, &hm, 2, 1.0, &sample_frames),
+        ),
+        (
+            "HM(2)-Seg(50cm)",
+            iou_samples(&ctx, &hm, 2, 0.5, &sample_frames),
+        ),
+        (
+            "PH(2)-Seg(50cm)",
+            iou_samples(&ctx, &ph, 2, 0.5, &sample_frames),
+        ),
+        (
+            "HM(3)-Seg(50cm)",
+            iou_samples(&ctx, &hm, 3, 0.5, &sample_frames),
+        ),
+    ];
+    for (label, samples) in &settings {
+        print_cdf(label, samples);
+    }
+
+    println!("\nFraction of groups with IoU <= 0.5 (lower = more similar):");
+    for (label, samples) in &settings {
+        println!("  {label:<20} {:.2}", cdf_at(samples, 0.5));
+    }
+    println!("\npaper shape: PH(2) most similar, then HM(2)-100cm, then");
+    println!("HM(2)-50cm; HM(3) least similar.");
+}

@@ -1,0 +1,69 @@
+//! Fig. 3d: CDF of the common RSS for 2-user multicast with the default
+//! codebook beams vs the customized multi-lobe beams.
+//!
+//! The paper's observation: combining the two users' individual beam
+//! weights (scaled by the opposite user's RSS, total power constrained)
+//! raises the *common* (minimum) RSS substantially — the "Max. Common RSS
+//! improvement" circle in the figure — while pairs that already share a
+//! strong default sector keep the default beam.
+//!
+//! Run: `cargo run --release -p volcast-bench --bin fig3d`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use volcast_bench::{mean, print_cdf, quantile, Context};
+use volcast_mmwave::MultiLobeDesigner;
+
+fn main() {
+    let frames = 300usize;
+    let ctx = Context::standard(42, frames);
+    let designer = MultiLobeDesigner::new(&ctx.channel, &ctx.codebook);
+    let mut rng = StdRng::seed_from_u64(1004);
+
+    let trials = 300usize;
+    let mut default_rss = Vec::with_capacity(trials);
+    let mut custom_rss = Vec::with_capacity(trials);
+    let mut improvements = Vec::with_capacity(trials);
+    let mut customized = 0usize;
+    for _ in 0..trials {
+        let f = rng.gen_range(0..frames);
+        let a = rng.gen_range(0..ctx.study.len());
+        let b = loop {
+            let b = rng.gen_range(0..ctx.study.len());
+            if b != a {
+                break b;
+            }
+        };
+        let positions = [
+            ctx.study.traces[a].pose(f).position,
+            ctx.study.traces[b].pose(f).position,
+        ];
+        let (_, rss) = designer.best_common_sector(&positions, &[]);
+        let d_min = rss.into_iter().fold(f64::INFINITY, f64::min);
+        let beam = designer.design(&positions, &[]);
+        let c_min = beam.common_rss_dbm();
+        if beam.customized {
+            customized += 1;
+        }
+        default_rss.push(d_min);
+        custom_rss.push(c_min);
+        improvements.push(c_min - d_min);
+    }
+
+    println!("Fig. 3d: common RSS for 2-user multicast (dBm)\n");
+    print_cdf("default beam", &default_rss);
+    print_cdf("customized beams", &custom_rss);
+    println!();
+    println!(
+        "max common-RSS improvement: mean {:.1} dB, p90 {:.1} dB, max {:.1} dB",
+        mean(&improvements),
+        quantile(&improvements, 0.9),
+        improvements.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    );
+    println!(
+        "custom beam chosen for {:.0}% of pairs (default kept when both users already strong)",
+        customized as f64 / trials as f64 * 100.0
+    );
+    println!("\npaper shape: customized curve shifted right of the default curve,");
+    println!("with the largest gains in the weak-common-RSS regime.");
+}

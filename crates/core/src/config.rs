@@ -1,0 +1,63 @@
+//! System-wide configuration.
+
+use serde::{Deserialize, Serialize};
+use volcast_geom::CameraIntrinsics;
+
+/// Configuration shared by the streaming pipeline components.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Target display frame rate (the paper caps at 30 FPS).
+    pub target_fps: f64,
+    /// Cell edge length for the spatial partition (meters).
+    pub cell_size: f64,
+    /// Viewport-prediction horizon in frames.
+    pub prediction_horizon: usize,
+    /// History window for the per-user linear predictors.
+    pub predictor_window: usize,
+    /// Minimum pairwise IoU for two groups to be considered for merging.
+    pub min_merge_iou: f64,
+    /// Camera intrinsics used for visibility (per-device overrides happen
+    /// in the session when traces carry a device class).
+    pub intrinsics: CameraIntrinsics,
+    /// Client playback buffer capacity in frames. Kept small on purpose:
+    /// content is viewport-dependent, so frames prefetched more than a few
+    /// prediction horizons ahead would render the wrong cells
+    /// (motion-to-photon constraint of viewport-adaptive streaming).
+    pub buffer_capacity_frames: usize,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            target_fps: 30.0,
+            cell_size: 0.5,
+            prediction_horizon: 10,
+            predictor_window: 15,
+            min_merge_iou: 0.25,
+            intrinsics: CameraIntrinsics::default(),
+            buffer_capacity_frames: 3,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// The frame interval in seconds (`1/F` in the paper's constraint).
+    pub fn frame_interval_s(&self) -> f64 {
+        1.0 / self.target_fps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SystemConfig::default();
+        assert_eq!(c.target_fps, 30.0);
+        assert!((c.frame_interval_s() - 1.0 / 30.0).abs() < 1e-12);
+        assert!(c.cell_size > 0.0);
+        assert!(c.prediction_horizon > 0);
+        assert!((0.0..=1.0).contains(&c.min_merge_iou));
+    }
+}

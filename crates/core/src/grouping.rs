@@ -1,0 +1,401 @@
+//! Multicast grouping with viewport similarity (§4.2).
+//!
+//! The paper estimates the transmission time of a frame to a user group `k`
+//! as
+//!
+//! ```text
+//! T_m(k) = S_m(k)/r_m + Σ_{i in k} (S_i - S_m(k)) / r_i
+//! ```
+//!
+//! where `S_m(k)` is the size of the group's overlapped cells, `r_m` the
+//! multicast rate (minimum member MCS under the group's beam), and
+//! `S_i`/`r_i` each member's total requested bytes and unicast rate. Groups
+//! are chosen among users with high viewport similarity subject to
+//! `T_m(k) ≤ 1/F`.
+//!
+//! [`GroupPlanner`] implements a greedy agglomerative search: start with
+//! singletons, repeatedly merge the two groups whose union has the highest
+//! IoU, keep the merge when it reduces the estimated total frame time and
+//! stays feasible.
+
+use crate::config::SystemConfig;
+use serde::{Deserialize, Serialize};
+use volcast_pointcloud::CellInfo;
+use volcast_viewport::{group_iou, overlap_bytes, VisibilityMap};
+
+/// A multicast group in a plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Group {
+    /// Member user ids, sorted.
+    pub members: Vec<usize>,
+    /// Overlapped-cell payload `S_m` in bytes (0 for singletons, whose
+    /// whole payload rides unicast).
+    pub multicast_bytes: f64,
+    /// Multicast PHY rate `r_m` (Mbps) under the group's beam.
+    pub multicast_rate_mbps: f64,
+    /// Group viewport similarity (IoU of member maps).
+    pub iou: f64,
+}
+
+impl Group {
+    /// Per-member residual unicast bytes: `S_i - S_m` (never negative).
+    pub fn residual_bytes(&self, member_bytes: &[f64]) -> Vec<f64> {
+        self.members
+            .iter()
+            .map(|&u| (member_bytes[u] - self.multicast_bytes).max(0.0))
+            .collect()
+    }
+}
+
+/// Everything the planner needs for one frame.
+pub struct GroupingInputs<'a> {
+    /// Per-user visibility maps, indexed by user id.
+    pub maps: &'a [VisibilityMap],
+    /// The frame's cell partition.
+    pub partition: &'a [CellInfo],
+    /// Per-cell compressed sizes (bytes), same order as `partition`.
+    pub cell_sizes: &'a [f64],
+    /// Per-user unicast PHY rate `r_i` in Mbps.
+    pub unicast_rate_mbps: &'a [f64],
+    /// Multicast PHY rate for an arbitrary member set (min-MCS under the
+    /// group's designed beam). Called only for groups of 2+.
+    pub multicast_rate_mbps: &'a dyn Fn(&[usize]) -> f64,
+}
+
+/// The planner's output for one frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupPlan {
+    /// Final groups (singletons included).
+    pub groups: Vec<Group>,
+    /// Estimated total frame transmission time `Σ T_m(k)` in seconds.
+    pub estimated_time_s: f64,
+    /// Whether the plan meets `estimated_time_s ≤ 1/F`.
+    pub feasible: bool,
+}
+
+/// Greedy similarity-driven group search.
+///
+/// ```
+/// use volcast_core::{GroupPlanner, GroupingInputs, SystemConfig};
+/// use volcast_pointcloud::{CellId, CellInfo};
+/// use volcast_viewport::VisibilityMap;
+///
+/// // Two users with 3 of 4 cells in common.
+/// let mut m1 = VisibilityMap::new();
+/// let mut m2 = VisibilityMap::new();
+/// for x in 0..4 { m1.cells.insert(CellId::new(x, 0, 0), 1.0); }
+/// for x in 1..5 { m2.cells.insert(CellId::new(x, 0, 0), 1.0); }
+/// let partition: Vec<CellInfo> = (0..5)
+///     .map(|x| CellInfo { id: CellId::new(x, 0, 0), point_count: 10, point_indices: vec![] })
+///     .collect();
+/// let sizes = vec![50_000.0; 5];
+/// let maps = [m1, m2];
+///
+/// let plan = GroupPlanner::new(SystemConfig::default()).plan(&GroupingInputs {
+///     maps: &maps,
+///     partition: &partition,
+///     cell_sizes: &sizes,
+///     unicast_rate_mbps: &[2000.0, 2000.0],
+///     multicast_rate_mbps: &|_| 1500.0,
+/// });
+/// assert_eq!(plan.groups.len(), 1); // merged: multicast the shared cells
+/// assert!(plan.feasible);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GroupPlanner {
+    /// System configuration (frame rate, merge threshold).
+    pub config: SystemConfig,
+}
+
+impl GroupPlanner {
+    /// Creates a planner.
+    pub fn new(config: SystemConfig) -> Self {
+        GroupPlanner { config }
+    }
+
+    /// The paper's `T_m(k)` for one group: multicast time for the
+    /// overlapped payload plus the members' residual unicast times.
+    /// Singleton groups degenerate to plain unicast `S_i / r_i`. Returns
+    /// infinity when a needed rate is zero (outage).
+    pub fn group_time_s(group: &Group, member_bytes: &[f64], unicast_rate: &[f64]) -> f64 {
+        let mut t = 0.0;
+        if group.members.len() >= 2 && group.multicast_bytes > 0.0 {
+            if group.multicast_rate_mbps <= 0.0 {
+                return f64::INFINITY;
+            }
+            t += group.multicast_bytes * 8.0 / (group.multicast_rate_mbps * 1e6);
+        }
+        for (&u, residual) in group.members.iter().zip(group.residual_bytes(member_bytes)) {
+            if residual <= 0.0 {
+                continue;
+            }
+            let r = unicast_rate[u];
+            if r <= 0.0 {
+                return f64::INFINITY;
+            }
+            t += residual * 8.0 / (r * 1e6);
+        }
+        t
+    }
+
+    /// Total estimated time of a set of groups.
+    fn plan_time_s(groups: &[Group], member_bytes: &[f64], unicast_rate: &[f64]) -> f64 {
+        groups
+            .iter()
+            .map(|g| Self::group_time_s(g, member_bytes, unicast_rate))
+            .sum()
+    }
+
+    /// Builds the group plan for one frame.
+    pub fn plan(&self, inputs: &GroupingInputs<'_>) -> GroupPlan {
+        let n = inputs.maps.len();
+        assert_eq!(n, inputs.unicast_rate_mbps.len(), "rates must cover all users");
+
+        // Per-user total requested bytes S_i.
+        let member_bytes: Vec<f64> = inputs
+            .maps
+            .iter()
+            .map(|m| m.required_bytes(inputs.partition, inputs.cell_sizes))
+            .collect();
+
+        // Start from singletons.
+        let mut groups: Vec<Group> = (0..n)
+            .map(|u| Group {
+                members: vec![u],
+                multicast_bytes: 0.0,
+                multicast_rate_mbps: 0.0,
+                iou: 1.0,
+            })
+            .collect();
+
+        // Greedy merging.
+        loop {
+            let current_time =
+                Self::plan_time_s(&groups, &member_bytes, inputs.unicast_rate_mbps);
+            let mut best: Option<(usize, usize, Group, f64)> = None;
+
+            for i in 0..groups.len() {
+                for j in (i + 1)..groups.len() {
+                    let mut members: Vec<usize> =
+                        groups[i].members.iter().chain(&groups[j].members).copied().collect();
+                    members.sort_unstable();
+                    let maps: Vec<&VisibilityMap> =
+                        members.iter().map(|&u| &inputs.maps[u]).collect();
+                    let iou = group_iou(&maps);
+                    if iou < self.config.min_merge_iou {
+                        continue;
+                    }
+                    let s_m = overlap_bytes(&maps, inputs.partition, inputs.cell_sizes);
+                    if s_m <= 0.0 {
+                        continue;
+                    }
+                    let r_m = (inputs.multicast_rate_mbps)(&members);
+                    if r_m <= 0.0 {
+                        continue;
+                    }
+                    let candidate = Group {
+                        members,
+                        multicast_bytes: s_m,
+                        multicast_rate_mbps: r_m,
+                        iou,
+                    };
+                    // Build the hypothetical plan.
+                    let mut trial: Vec<Group> = groups
+                        .iter()
+                        .enumerate()
+                        .filter(|&(k, _)| k != i && k != j)
+                        .map(|(_, g)| g.clone())
+                        .collect();
+                    trial.push(candidate.clone());
+                    let t = Self::plan_time_s(&trial, &member_bytes, inputs.unicast_rate_mbps);
+                    if t < current_time {
+                        match &best {
+                            Some((_, _, _, bt)) if *bt <= t => {}
+                            _ => best = Some((i, j, candidate, t)),
+                        }
+                    }
+                }
+            }
+
+            match best {
+                Some((i, j, merged, _)) => {
+                    // Remove j first (higher index) to keep i valid.
+                    groups.remove(j);
+                    groups.remove(i);
+                    groups.push(merged);
+                }
+                None => break,
+            }
+        }
+
+        groups.sort_by_key(|g| g.members.clone());
+        let estimated_time_s =
+            Self::plan_time_s(&groups, &member_bytes, inputs.unicast_rate_mbps);
+        let feasible = estimated_time_s <= self.config.frame_interval_s();
+        GroupPlan { groups, estimated_time_s, feasible }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcast_pointcloud::CellId;
+
+    fn map_of(ids: &[i32]) -> VisibilityMap {
+        let mut m = VisibilityMap::new();
+        for &x in ids {
+            m.cells.insert(CellId::new(x, 0, 0), 1.0);
+        }
+        m
+    }
+
+    fn partition_of(n: i32) -> (Vec<CellInfo>, Vec<f64>) {
+        let cells: Vec<CellInfo> = (0..n)
+            .map(|x| CellInfo { id: CellId::new(x, 0, 0), point_count: 100, point_indices: vec![] })
+            .collect();
+        let sizes = vec![100_000.0; n as usize]; // 100 KB per cell
+        (cells, sizes)
+    }
+
+    /// Planner fixture: identical unicast rates, multicast rate a fixed
+    /// fraction of unicast.
+    fn plan_with(
+        maps: &[VisibilityMap],
+        unicast: f64,
+        multicast: f64,
+        min_iou: f64,
+    ) -> GroupPlan {
+        let (partition, sizes) = partition_of(12);
+        let rates = vec![unicast; maps.len()];
+        let mc = move |_: &[usize]| multicast;
+        let planner = GroupPlanner::new(SystemConfig {
+            min_merge_iou: min_iou,
+            ..SystemConfig::default()
+        });
+        planner.plan(&GroupingInputs {
+            maps,
+            partition: &partition,
+            cell_sizes: &sizes,
+            unicast_rate_mbps: &rates,
+            multicast_rate_mbps: &mc,
+        })
+    }
+
+    #[test]
+    fn identical_viewports_form_one_group() {
+        let maps = vec![map_of(&[0, 1, 2, 3]); 3];
+        let plan = plan_with(&maps, 1000.0, 800.0, 0.25);
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.groups[0].members, vec![0, 1, 2]);
+        assert!((plan.groups[0].iou - 1.0).abs() < 1e-12);
+        // All bytes ride multicast; no residuals.
+        assert!(plan.groups[0].multicast_bytes > 0.0);
+    }
+
+    #[test]
+    fn disjoint_viewports_stay_unicast() {
+        let maps = vec![map_of(&[0, 1]), map_of(&[5, 6]), map_of(&[9, 10])];
+        let plan = plan_with(&maps, 1000.0, 800.0, 0.25);
+        assert_eq!(plan.groups.len(), 3);
+        for g in &plan.groups {
+            assert_eq!(g.members.len(), 1);
+            assert_eq!(g.multicast_bytes, 0.0);
+        }
+    }
+
+    #[test]
+    fn merging_reduces_estimated_time() {
+        let maps = vec![map_of(&[0, 1, 2, 3]), map_of(&[0, 1, 2, 4])];
+        // Compare against the all-unicast time by setting the threshold so
+        // high no merge happens.
+        let unicast_plan = plan_with(&maps, 1000.0, 900.0, 1.1);
+        let merged_plan = plan_with(&maps, 1000.0, 900.0, 0.25);
+        assert_eq!(unicast_plan.groups.len(), 2);
+        assert_eq!(merged_plan.groups.len(), 1);
+        assert!(merged_plan.estimated_time_s < unicast_plan.estimated_time_s);
+    }
+
+    #[test]
+    fn low_multicast_rate_blocks_merge() {
+        // Multicast so slow that sharing loses: planner must keep unicast.
+        let maps = vec![map_of(&[0, 1, 2, 3]), map_of(&[0, 1, 2, 4])];
+        let plan = plan_with(&maps, 1000.0, 100.0, 0.25);
+        assert_eq!(plan.groups.len(), 2, "slow multicast must not be used");
+    }
+
+    #[test]
+    fn similarity_threshold_gates_merges() {
+        // IoU = 1/7 between the maps; threshold 0.25 blocks the merge even
+        // though rates would favor it.
+        let maps = vec![map_of(&[0, 1, 2, 3]), map_of(&[3, 5, 6, 7])];
+        let plan = plan_with(&maps, 1000.0, 999.0, 0.25);
+        assert_eq!(plan.groups.len(), 2);
+    }
+
+    #[test]
+    fn time_model_matches_formula() {
+        let maps = vec![map_of(&[0, 1, 2, 3]), map_of(&[0, 1, 2, 4])];
+        let plan = plan_with(&maps, 1000.0, 800.0, 0.25);
+        assert_eq!(plan.groups.len(), 1);
+        let g = &plan.groups[0];
+        // S_m = 3 cells x 100 KB; S_i = 4 cells each; residual 100 KB each.
+        let s_m = 300_000.0;
+        let expect = s_m * 8.0 / (800.0 * 1e6) + 2.0 * (100_000.0 * 8.0 / (1000.0 * 1e6));
+        assert!((g.multicast_bytes - s_m).abs() < 1e-6);
+        assert!(
+            (plan.estimated_time_s - expect).abs() < 1e-9,
+            "{} vs {}",
+            plan.estimated_time_s,
+            expect
+        );
+    }
+
+    #[test]
+    fn feasibility_against_frame_interval() {
+        let maps = vec![map_of(&[0, 1, 2, 3]); 2];
+        // Generous rates: feasible.
+        assert!(plan_with(&maps, 2000.0, 1600.0, 0.25).feasible);
+        // Starved rates: 400 KB multicast at 1 Mbps = 3.2 s >> 33 ms.
+        assert!(!plan_with(&maps, 1.0, 1.0, 0.25).feasible);
+    }
+
+    #[test]
+    fn outage_user_makes_plan_infeasible() {
+        let maps = vec![map_of(&[0, 1]), map_of(&[5, 6])];
+        let (partition, sizes) = partition_of(12);
+        let rates = vec![1000.0, 0.0]; // user 1 in outage
+        let mc = |_: &[usize]| 800.0;
+        let planner = GroupPlanner::new(SystemConfig::default());
+        let plan = planner.plan(&GroupingInputs {
+            maps: &maps,
+            partition: &partition,
+            cell_sizes: &sizes,
+            unicast_rate_mbps: &rates,
+            multicast_rate_mbps: &mc,
+        });
+        assert!(plan.estimated_time_s.is_infinite());
+        assert!(!plan.feasible);
+    }
+
+    #[test]
+    fn three_way_merge_forms_when_beneficial() {
+        let maps = vec![
+            map_of(&[0, 1, 2, 3, 4]),
+            map_of(&[0, 1, 2, 3, 5]),
+            map_of(&[0, 1, 2, 3, 6]),
+        ];
+        let plan = plan_with(&maps, 1000.0, 900.0, 0.25);
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.groups[0].members, vec![0, 1, 2]);
+        // Group IoU: |{0,1,2,3}| / |{0..6}| = 4/7.
+        assert!((plan.groups[0].iou - 4.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_user_set() {
+        let plan = plan_with(&[], 1000.0, 800.0, 0.25);
+        assert!(plan.groups.is_empty());
+        assert_eq!(plan.estimated_time_s, 0.0);
+        assert!(plan.feasible);
+    }
+}

@@ -1,0 +1,48 @@
+//! volcast-core: the paper's contribution — a multi-user volumetric video
+//! streaming system over mmWave WLANs with cross-layer design.
+//!
+//! The crate composes the substrates (`volcast-pointcloud`,
+//! `volcast-viewport`, `volcast-mmwave`, `volcast-net`) into the four
+//! research-agenda components of the paper plus the end-to-end system:
+//!
+//! - [`grouping`]: multicast grouping with viewport similarity — the
+//!   `T_m(k) = S_m/r_m + Σ(S_i - S_m)/r_i ≤ 1/F` transmission-time model
+//!   and a similarity-driven group search (§4.2),
+//! - [`bandwidth`]: cross-layer bandwidth prediction combining PHY-layer
+//!   indicators (RSS trend, forecast blockage) with application-layer
+//!   indicators (throughput history, buffer levels) (§4.3),
+//! - [`rate_adapt`]: the multi-user video rate adaptation that picks
+//!   quality levels and reactions (prefetch / regroup / beam switch)
+//!   (§4.3),
+//! - [`mitigation`]: proactive blockage mitigation driven by multi-user
+//!   viewport prediction (§4.1),
+//! - [`session`]: the end-to-end streaming session driving all of the
+//!   above frame by frame, with client buffers and stall accounting,
+//! - [`player`]: the three player baselines of Table 1 — vanilla (full
+//!   frames), multi-user ViVo (visibility-aware unicast) — and volcast
+//!   itself (visibility-aware multicast with custom beams),
+//! - [`qoe`]: quality-of-experience metrics,
+//! - [`multi_ap`]: multi-AP coordination (§5, open challenge realized).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod config;
+pub mod grouping;
+pub mod mitigation;
+pub mod multi_ap;
+pub mod player;
+pub mod qoe;
+pub mod rate_adapt;
+pub mod session;
+
+pub use bandwidth::{BandwidthPredictor, CrossLayerInputs};
+pub use config::SystemConfig;
+pub use grouping::{Group, GroupPlan, GroupPlanner, GroupingInputs};
+pub use mitigation::{BlockageMitigator, MitigationAction, MitigationMode};
+pub use multi_ap::{ApAssignment, MultiApCoordinator};
+pub use player::{max_sustainable_fps, PlayerKind};
+pub use qoe::{QoeReport, UserQoe};
+pub use rate_adapt::{AbrPolicy, RateAction, RateAdapter};
+pub use session::{RadioKind, SessionOutcome, SessionParams, StreamingSession};

@@ -1,0 +1,310 @@
+//! Multi-AP coordination (§5 open challenge, realized).
+//!
+//! With multiple mmWave APs in the room, directionality allows concurrent
+//! transmissions: each AP serves a different multicast group with spatial
+//! reuse. The coordinator assigns users to APs balancing (a) link quality
+//! (each user goes to an AP that can reach them well) and (b) viewport
+//! similarity (keeping similar viewers on the same AP preserves multicast
+//! gain), then checks inter-AP interference for the chosen beams.
+// Fixed-size index loops (angle dims, octree children, AP slots) read
+// clearer than iterator chains in this module.
+#![allow(clippy::needless_range_loop)]
+
+use serde::{Deserialize, Serialize};
+use volcast_geom::Vec3;
+use volcast_mmwave::{Channel, Codebook, MultiLobeDesigner};
+use volcast_viewport::{iou, VisibilityMap};
+
+/// Assignment of users to APs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApAssignment {
+    /// `assignment[user] = ap index`.
+    pub user_ap: Vec<usize>,
+    /// Estimated common RSS (dBm) per AP for its assigned users (designed
+    /// group beam); `None` for idle APs.
+    pub ap_common_rss_dbm: Vec<Option<f64>>,
+    /// Worst-case inter-AP interference margin in dB: desired common RSS
+    /// minus the strongest cross-AP leakage at any victim user. Positive
+    /// and large = clean spatial reuse.
+    pub min_interference_margin_db: f64,
+}
+
+/// Multi-AP coordinator.
+pub struct MultiApCoordinator<'a> {
+    /// One channel per AP (each owns its array geometry; rooms must match).
+    pub channels: Vec<&'a Channel>,
+    /// One codebook per AP.
+    pub codebooks: Vec<&'a Codebook>,
+    /// Weight of viewport similarity vs link quality in the assignment
+    /// score (0 = pure RSS, 1 = pure similarity).
+    pub similarity_weight: f64,
+}
+
+impl<'a> MultiApCoordinator<'a> {
+    /// Creates a coordinator over APs.
+    pub fn new(channels: Vec<&'a Channel>, codebooks: Vec<&'a Codebook>) -> Self {
+        assert_eq!(channels.len(), codebooks.len());
+        assert!(!channels.is_empty());
+        MultiApCoordinator { channels, codebooks, similarity_weight: 0.4 }
+    }
+
+    /// Assigns users to APs.
+    ///
+    /// Greedy: seed each AP with its best-served unassigned user, then
+    /// attach every remaining user to the AP maximizing
+    /// `(1-w)·rss_norm + w·mean-IoU-with-AP's-users`.
+    pub fn assign(&self, positions: &[Vec3], maps: &[VisibilityMap]) -> ApAssignment {
+        let n_users = positions.len();
+        let n_aps = self.channels.len();
+        assert_eq!(n_users, maps.len());
+        let mut user_ap = vec![usize::MAX; n_users];
+        if n_users == 0 {
+            return self.finalize(positions, user_ap);
+        }
+
+        // Per (ap, user) best-sector RSS.
+        let rss: Vec<Vec<f64>> = (0..n_aps)
+            .map(|a| {
+                let designer = MultiLobeDesigner::new(self.channels[a], self.codebooks[a]);
+                (0..n_users)
+                    .map(|u| {
+                        let (_, r) = designer.best_common_sector(&[positions[u]], &[]);
+                        r[0]
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Normalize RSS into [0,1] for scoring.
+        let (lo, hi) = rss
+            .iter()
+            .flatten()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &r| {
+                (lo.min(r), hi.max(r))
+            });
+        let span = (hi - lo).max(1e-9);
+        let rss_norm = |a: usize, u: usize| (rss[a][u] - lo) / span;
+
+        // Seed: the first AP takes its strongest user; each further AP is
+        // seeded with the unassigned user most *dissimilar* (in viewport)
+        // to the existing seeds, weighted against link quality. Seeding
+        // with dissimilar users lets the similarity term keep matching
+        // viewers together instead of splitting them arbitrarily.
+        let w = self.similarity_weight;
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); n_aps];
+        let mut seeds: Vec<usize> = Vec::new();
+        for a in 0..n_aps {
+            let candidate = (0..n_users)
+                .filter(|&u| user_ap[u] == usize::MAX)
+                .max_by(|&x, &y| {
+                    let score = |u: usize| {
+                        let dissim = if seeds.is_empty() {
+                            0.5
+                        } else {
+                            1.0 - seeds.iter().map(|&s| iou(&maps[u], &maps[s])).sum::<f64>()
+                                / seeds.len() as f64
+                        };
+                        (1.0 - w) * rss_norm(a, u) + w * dissim
+                    };
+                    score(x).partial_cmp(&score(y)).unwrap()
+                });
+            if let Some(u) = candidate {
+                user_ap[u] = a;
+                members[a].push(u);
+                seeds.push(u);
+            }
+        }
+        // Attach the rest.
+        for u in 0..n_users {
+            if user_ap[u] != usize::MAX {
+                continue;
+            }
+            let best_ap = (0..n_aps)
+                .max_by(|&x, &y| {
+                    let score = |a: usize| {
+                        let sim = if members[a].is_empty() {
+                            0.5
+                        } else {
+                            members[a]
+                                .iter()
+                                .map(|&m| iou(&maps[u], &maps[m]))
+                                .sum::<f64>()
+                                / members[a].len() as f64
+                        };
+                        (1.0 - w) * rss_norm(a, u) + w * sim
+                    };
+                    score(x).partial_cmp(&score(y)).unwrap()
+                })
+                .unwrap();
+            user_ap[u] = best_ap;
+            members[best_ap].push(u);
+        }
+        self.finalize(positions, user_ap)
+    }
+
+    fn finalize(&self, positions: &[Vec3], user_ap: Vec<usize>) -> ApAssignment {
+        let n_aps = self.channels.len();
+        let mut ap_common_rss_dbm = vec![None; n_aps];
+        let mut beams = Vec::with_capacity(n_aps);
+        for a in 0..n_aps {
+            let users: Vec<Vec3> = user_ap
+                .iter()
+                .enumerate()
+                .filter(|&(_, &ap)| ap == a)
+                .map(|(u, _)| positions[u])
+                .collect();
+            if users.is_empty() {
+                beams.push(None);
+                continue;
+            }
+            let designer = MultiLobeDesigner::new(self.channels[a], self.codebooks[a]);
+            let beam = designer.design(&users, &[]);
+            ap_common_rss_dbm[a] = Some(beam.common_rss_dbm());
+            beams.push(Some((beam, users)));
+        }
+
+        // Interference margin: for every victim user, desired signal minus
+        // the strongest leakage from other APs' beams.
+        let mut min_margin = f64::INFINITY;
+        for a in 0..n_aps {
+            let Some((beam_a, users_a)) = &beams[a] else { continue };
+            for (idx, &victim) in users_a.iter().enumerate() {
+                let desired = beam_a.member_rss_dbm[idx];
+                for b in 0..n_aps {
+                    if a == b {
+                        continue;
+                    }
+                    if let Some((beam_b, _)) = &beams[b] {
+                        let leak = self.channels[b].rss_dbm(&beam_b.weights, victim, &[]);
+                        min_margin = min_margin.min(desired - leak);
+                    }
+                }
+            }
+        }
+        if !min_margin.is_finite() {
+            min_margin = f64::INFINITY;
+        }
+        ApAssignment {
+            user_ap,
+            ap_common_rss_dbm,
+            min_interference_margin_db: min_margin,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcast_geom::Vec3;
+    use volcast_mmwave::{PlanarArray, Room};
+    use volcast_pointcloud::CellId;
+
+    fn two_ap_setup() -> (Channel, Channel) {
+        let room = Room::default();
+        // APs on opposite walls.
+        let ap1 = PlanarArray::airfide(
+            Vec3::new(0.0, 2.6, room.depth / 2.0 - 0.1),
+            Vec3::new(0.0, 1.3, 0.0) - Vec3::new(0.0, 2.6, room.depth / 2.0 - 0.1),
+        );
+        let ap2 = PlanarArray::airfide(
+            Vec3::new(0.0, 2.6, -room.depth / 2.0 + 0.1),
+            Vec3::new(0.0, 1.3, 0.0) - Vec3::new(0.0, 2.6, -room.depth / 2.0 + 0.1),
+        );
+        (Channel::new(room, ap1), Channel::new(room, ap2))
+    }
+
+    fn map_of(ids: &[i32]) -> VisibilityMap {
+        let mut m = VisibilityMap::new();
+        for &x in ids {
+            m.cells.insert(CellId::new(x, 0, 0), 1.0);
+        }
+        m
+    }
+
+    #[test]
+    fn users_go_to_nearer_ap() {
+        let (c1, c2) = two_ap_setup();
+        let cb1 = Codebook::default_for(&c1.array);
+        let cb2 = Codebook::default_for(&c2.array);
+        let mut coord = MultiApCoordinator::new(vec![&c1, &c2], vec![&cb1, &cb2]);
+        coord.similarity_weight = 0.0; // pure link quality
+        // Two users near the +z wall (AP1), two near -z (AP2).
+        let positions = vec![
+            Vec3::new(-1.0, 1.5, 2.5),
+            Vec3::new(1.0, 1.5, 2.5),
+            Vec3::new(-1.0, 1.5, -2.5),
+            Vec3::new(1.0, 1.5, -2.5),
+        ];
+        let maps = vec![map_of(&[0]); 4];
+        let a = coord.assign(&positions, &maps);
+        assert_eq!(a.user_ap[0], a.user_ap[1]);
+        assert_eq!(a.user_ap[2], a.user_ap[3]);
+        assert_ne!(a.user_ap[0], a.user_ap[2]);
+    }
+
+    #[test]
+    fn similarity_pulls_matching_viewports_together() {
+        let (c1, c2) = two_ap_setup();
+        let cb1 = Codebook::default_for(&c1.array);
+        let cb2 = Codebook::default_for(&c2.array);
+        let mut coord = MultiApCoordinator::new(vec![&c1, &c2], vec![&cb1, &cb2]);
+        coord.similarity_weight = 0.95;
+        // All users equidistant-ish from both APs (midline), pairs by map.
+        let positions = vec![
+            Vec3::new(-2.0, 1.5, 0.0),
+            Vec3::new(2.0, 1.5, 0.0),
+            Vec3::new(-2.0, 1.5, 0.2),
+            Vec3::new(2.0, 1.5, 0.2),
+        ];
+        let maps = vec![
+            map_of(&[0, 1]),
+            map_of(&[5, 6]),
+            map_of(&[0, 1]),
+            map_of(&[5, 6]),
+        ];
+        let a = coord.assign(&positions, &maps);
+        // Users 0 and 2 (identical maps) must share an AP, likewise 1 & 3.
+        assert_eq!(a.user_ap[0], a.user_ap[2]);
+        assert_eq!(a.user_ap[1], a.user_ap[3]);
+    }
+
+    #[test]
+    fn opposite_wall_aps_have_positive_margin() {
+        let (c1, c2) = two_ap_setup();
+        let cb1 = Codebook::default_for(&c1.array);
+        let cb2 = Codebook::default_for(&c2.array);
+        let coord = MultiApCoordinator::new(vec![&c1, &c2], vec![&cb1, &cb2]);
+        let positions = vec![Vec3::new(0.0, 1.5, 2.0), Vec3::new(0.0, 1.5, -2.0)];
+        let maps = vec![map_of(&[0]), map_of(&[9])];
+        let a = coord.assign(&positions, &maps);
+        assert!(
+            a.min_interference_margin_db > 0.0,
+            "margin {} dB",
+            a.min_interference_margin_db
+        );
+        assert!(a.ap_common_rss_dbm.iter().all(|r| r.is_some()));
+    }
+
+    #[test]
+    fn empty_user_list() {
+        let (c1, c2) = two_ap_setup();
+        let cb1 = Codebook::default_for(&c1.array);
+        let cb2 = Codebook::default_for(&c2.array);
+        let coord = MultiApCoordinator::new(vec![&c1, &c2], vec![&cb1, &cb2]);
+        let a = coord.assign(&[], &[]);
+        assert!(a.user_ap.is_empty());
+        assert_eq!(a.min_interference_margin_db, f64::INFINITY);
+    }
+
+    #[test]
+    fn single_ap_has_no_interference() {
+        let (c1, _) = two_ap_setup();
+        let cb1 = Codebook::default_for(&c1.array);
+        let coord = MultiApCoordinator::new(vec![&c1], vec![&cb1]);
+        let positions = vec![Vec3::new(0.0, 1.5, 0.0), Vec3::new(1.0, 1.5, 0.0)];
+        let maps = vec![map_of(&[0]), map_of(&[0])];
+        let a = coord.assign(&positions, &maps);
+        assert!(a.user_ap.iter().all(|&ap| ap == 0));
+        assert_eq!(a.min_interference_margin_db, f64::INFINITY);
+    }
+}

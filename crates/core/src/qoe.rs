@@ -1,0 +1,222 @@
+//! Quality-of-experience accounting.
+
+use serde::{Deserialize, Serialize};
+use volcast_pointcloud::QualityLevel;
+
+/// Accumulated QoE for one user over a session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserQoe {
+    /// Frames rendered on time.
+    pub frames_on_time: usize,
+    /// Frames that arrived late (stalled playback).
+    pub frames_stalled: usize,
+    /// Total stall time in seconds.
+    pub stall_time_s: f64,
+    /// Per-frame quality levels delivered.
+    pub qualities: Vec<QualityLevel>,
+    /// Number of quality switches.
+    pub quality_switches: usize,
+}
+
+impl Default for UserQoe {
+    fn default() -> Self {
+        UserQoe {
+            frames_on_time: 0,
+            frames_stalled: 0,
+            stall_time_s: 0.0,
+            qualities: Vec::new(),
+            quality_switches: 0,
+        }
+    }
+}
+
+impl UserQoe {
+    /// Records one frame's outcome.
+    pub fn record_frame(&mut self, on_time: bool, stall_s: f64, quality: QualityLevel) {
+        if on_time {
+            self.frames_on_time += 1;
+        } else {
+            self.frames_stalled += 1;
+            self.stall_time_s += stall_s;
+        }
+        if let Some(&last) = self.qualities.last() {
+            if last != quality {
+                self.quality_switches += 1;
+            }
+        }
+        self.qualities.push(quality);
+    }
+
+    /// Total frames recorded.
+    pub fn frames(&self) -> usize {
+        self.frames_on_time + self.frames_stalled
+    }
+
+    /// Fraction of frames that stalled.
+    pub fn stall_ratio(&self) -> f64 {
+        if self.frames() == 0 {
+            0.0
+        } else {
+            self.frames_stalled as f64 / self.frames() as f64
+        }
+    }
+
+    /// Mean quality as a 0..=2 score (Low=0, Medium=1, High=2).
+    pub fn mean_quality_score(&self) -> f64 {
+        if self.qualities.is_empty() {
+            return 0.0;
+        }
+        let sum: usize = self
+            .qualities
+            .iter()
+            .map(|q| match q {
+                QualityLevel::Low => 0usize,
+                QualityLevel::Medium => 1,
+                QualityLevel::High => 2,
+            })
+            .sum();
+        sum as f64 / self.qualities.len() as f64
+    }
+
+    /// Effective frame rate over a session of `duration_s` seconds.
+    pub fn effective_fps(&self, duration_s: f64) -> f64 {
+        if duration_s <= 0.0 {
+            0.0
+        } else {
+            self.frames_on_time as f64 / duration_s
+        }
+    }
+}
+
+/// Session-level QoE: all users.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct QoeReport {
+    /// Per-user records.
+    pub users: Vec<UserQoe>,
+    /// Session length in seconds.
+    pub duration_s: f64,
+}
+
+impl QoeReport {
+    /// Creates a report for `n` users.
+    pub fn new(n: usize) -> Self {
+        QoeReport { users: vec![UserQoe::default(); n], duration_s: 0.0 }
+    }
+
+    /// Mean stall ratio across users.
+    pub fn mean_stall_ratio(&self) -> f64 {
+        if self.users.is_empty() {
+            return 0.0;
+        }
+        self.users.iter().map(|u| u.stall_ratio()).sum::<f64>() / self.users.len() as f64
+    }
+
+    /// Mean quality score across users.
+    pub fn mean_quality_score(&self) -> f64 {
+        if self.users.is_empty() {
+            return 0.0;
+        }
+        self.users.iter().map(|u| u.mean_quality_score()).sum::<f64>() / self.users.len() as f64
+    }
+
+    /// Mean effective FPS across users.
+    pub fn mean_fps(&self) -> f64 {
+        if self.users.is_empty() {
+            return 0.0;
+        }
+        self.users
+            .iter()
+            .map(|u| u.effective_fps(self.duration_s))
+            .sum::<f64>()
+            / self.users.len() as f64
+    }
+
+    /// Jain's fairness index over per-user effective FPS.
+    pub fn fps_fairness(&self) -> f64 {
+        let rates: Vec<f64> =
+            self.users.iter().map(|u| u.effective_fps(self.duration_s)).collect();
+        let n = rates.len() as f64;
+        if n == 0.0 {
+            return 1.0;
+        }
+        let sum: f64 = rates.iter().sum();
+        let sq_sum: f64 = rates.iter().map(|r| r * r).sum();
+        if sq_sum == 0.0 {
+            1.0
+        } else {
+            sum * sum / (n * sq_sum)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_recording() {
+        let mut u = UserQoe::default();
+        u.record_frame(true, 0.0, QualityLevel::High);
+        u.record_frame(false, 0.05, QualityLevel::High);
+        u.record_frame(true, 0.0, QualityLevel::Low);
+        assert_eq!(u.frames(), 3);
+        assert_eq!(u.frames_on_time, 2);
+        assert!((u.stall_ratio() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((u.stall_time_s - 0.05).abs() < 1e-12);
+        assert_eq!(u.quality_switches, 1);
+    }
+
+    #[test]
+    fn quality_score() {
+        let mut u = UserQoe::default();
+        u.record_frame(true, 0.0, QualityLevel::Low);
+        u.record_frame(true, 0.0, QualityLevel::High);
+        assert!((u.mean_quality_score() - 1.0).abs() < 1e-12);
+        assert_eq!(UserQoe::default().mean_quality_score(), 0.0);
+    }
+
+    #[test]
+    fn effective_fps() {
+        let mut u = UserQoe::default();
+        for _ in 0..60 {
+            u.record_frame(true, 0.0, QualityLevel::Medium);
+        }
+        assert!((u.effective_fps(2.0) - 30.0).abs() < 1e-12);
+        assert_eq!(u.effective_fps(0.0), 0.0);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut r = QoeReport::new(2);
+        r.duration_s = 1.0;
+        r.users[0].record_frame(true, 0.0, QualityLevel::High);
+        r.users[1].record_frame(false, 0.1, QualityLevel::Low);
+        assert!((r.mean_stall_ratio() - 0.5).abs() < 1e-12);
+        assert!((r.mean_quality_score() - 1.0).abs() < 1e-12);
+        assert!((r.mean_fps() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_index() {
+        let mut r = QoeReport::new(2);
+        r.duration_s = 1.0;
+        // Equal rates -> fairness 1.
+        for u in &mut r.users {
+            for _ in 0..30 {
+                u.record_frame(true, 0.0, QualityLevel::Medium);
+            }
+        }
+        assert!((r.fps_fairness() - 1.0).abs() < 1e-9);
+        // Skewed rates -> fairness < 1.
+        let mut s = QoeReport::new(2);
+        s.duration_s = 1.0;
+        for _ in 0..30 {
+            s.users[0].record_frame(true, 0.0, QualityLevel::Medium);
+        }
+        s.users[1].record_frame(true, 0.0, QualityLevel::Medium);
+        assert!(s.fps_fairness() < 0.7);
+        // Degenerate cases.
+        assert_eq!(QoeReport::new(0).fps_fairness(), 1.0);
+        assert_eq!(QoeReport::new(2).fps_fairness(), 1.0);
+    }
+}

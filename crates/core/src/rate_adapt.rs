@@ -1,0 +1,258 @@
+//! Multi-user video rate adaptation (§4.3).
+//!
+//! Three policies are implemented; the cross-layer one is the paper's:
+//!
+//! - [`AbrPolicy::BufferOnly`]: BBA-style — quality from buffer occupancy
+//!   alone (the classic client-side baseline),
+//! - [`AbrPolicy::ThroughputOnly`]: quality from the throughput EWMA,
+//! - [`AbrPolicy::CrossLayer`]: quality from the cross-layer bandwidth
+//!   prediction, plus *reactions* — prefetch for users with predicted
+//!   bandwidth dips, regrouping when viewports drifted, proactive beam
+//!   switching ahead of forecast blockages.
+
+use crate::bandwidth::{BandwidthPredictor, CrossLayerInputs};
+use serde::{Deserialize, Serialize};
+use volcast_pointcloud::{QualityLadder, QualityLevel};
+
+/// Which adaptation policy a session runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AbrPolicy {
+    /// Buffer-occupancy thresholds only.
+    BufferOnly,
+    /// Throughput-EWMA only.
+    ThroughputOnly,
+    /// The paper's cross-layer scheme.
+    CrossLayer,
+}
+
+/// A reaction the adapter may request alongside the quality decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RateAction {
+    /// Prefetch future frames for this user while bandwidth lasts.
+    Prefetch {
+        /// User to prefetch for.
+        user: usize,
+        /// How many extra frames to push.
+        frames: usize,
+    },
+    /// Re-run multicast grouping (viewport overlap changed).
+    Regroup,
+    /// Proactively steer this user's beam before a forecast blockage.
+    BeamSwitch {
+        /// Affected user.
+        user: usize,
+    },
+}
+
+/// Per-frame adaptation decision for one user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateDecision {
+    /// Chosen quality level.
+    pub quality: QualityLevel,
+    /// Requested reactions.
+    pub actions: Vec<RateAction>,
+}
+
+/// The rate adapter: one instance per session, holding per-user predictors.
+#[derive(Debug, Clone)]
+pub struct RateAdapter {
+    /// Active policy.
+    pub policy: AbrPolicy,
+    /// The quality ladder to pick from.
+    pub ladder: QualityLadder,
+    /// Per-user cross-layer predictors.
+    pub predictors: Vec<BandwidthPredictor>,
+    /// Safety margin: use only this fraction of predicted bandwidth.
+    pub safety: f64,
+    /// Buffer level (frames) below which BufferOnly drops to Low.
+    pub buffer_low: f64,
+    /// Buffer level above which BufferOnly dares High.
+    pub buffer_high: f64,
+    /// Blockage-driven prefetch depth (frames).
+    pub prefetch_frames: usize,
+}
+
+impl RateAdapter {
+    /// Creates an adapter for `users` users.
+    pub fn new(policy: AbrPolicy, users: usize) -> Self {
+        RateAdapter {
+            policy,
+            ladder: QualityLadder::default(),
+            predictors: (0..users).map(|_| BandwidthPredictor::new()).collect(),
+            safety: 0.85,
+            buffer_low: 3.0,
+            buffer_high: 7.0,
+            prefetch_frames: 4,
+        }
+    }
+
+    /// Feeds one user's measurements after a frame.
+    pub fn observe(&mut self, user: usize, throughput_mbps: f64, rss_dbm: f64) {
+        self.predictors[user].observe(throughput_mbps, rss_dbm);
+    }
+
+    /// Decides quality + actions for one user.
+    ///
+    /// `share` is the fraction of network time this user's content can use
+    /// (e.g. `1/n` under fair unicast, more under multicast savings) —
+    /// quality is chosen so the user's *full-frame* bitrate at that quality
+    /// fits the predicted bandwidth times `share`... scaled by
+    /// `needed_fraction`, the fraction of the full frame the user actually
+    /// fetches after visibility culling.
+    pub fn decide(
+        &self,
+        user: usize,
+        inputs: &CrossLayerInputs,
+        share: f64,
+        needed_fraction: f64,
+    ) -> RateDecision {
+        let predictor = &self.predictors[user];
+        let mut actions = Vec::new();
+
+        let quality = match self.policy {
+            AbrPolicy::BufferOnly => {
+                if inputs.buffer_frames < self.buffer_low {
+                    QualityLevel::Low
+                } else if inputs.buffer_frames >= self.buffer_high {
+                    QualityLevel::High
+                } else {
+                    QualityLevel::Medium
+                }
+            }
+            AbrPolicy::ThroughputOnly => {
+                let budget = predictor.predict_app_only_mbps(inputs) * self.safety * share
+                    / needed_fraction.max(0.05);
+                self.ladder.best_within(budget).unwrap_or(QualityLevel::Low)
+            }
+            AbrPolicy::CrossLayer => {
+                let budget = predictor.predict_mbps(inputs) * self.safety * share
+                    / needed_fraction.max(0.05);
+                let q = self.ladder.best_within(budget).unwrap_or(QualityLevel::Low);
+                if inputs.blockage_forecast {
+                    // Paper's reactions: prefetch ahead of the dip and
+                    // steer to a reflected path proactively.
+                    actions.push(RateAction::Prefetch {
+                        user,
+                        frames: self.prefetch_frames,
+                    });
+                    actions.push(RateAction::BeamSwitch { user });
+                }
+                // A big gap between predicted and current PHY rate means
+                // the geometry changed: regroup.
+                if inputs.current_phy_rate_mbps > 0.0
+                    && (inputs.predicted_phy_rate_mbps / inputs.current_phy_rate_mbps
+                        - 1.0)
+                        .abs()
+                        > 0.3
+                {
+                    actions.push(RateAction::Regroup);
+                }
+                q
+            }
+        };
+        RateDecision { quality, actions }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs(buffer: f64, current: f64, predicted: f64, blockage: bool) -> CrossLayerInputs {
+        CrossLayerInputs {
+            measured_throughput_mbps: 0.0,
+            buffer_frames: buffer,
+            blockage_forecast: blockage,
+            predicted_phy_rate_mbps: predicted,
+            current_phy_rate_mbps: current,
+        }
+    }
+
+    fn warmed(policy: AbrPolicy, mbps: f64) -> RateAdapter {
+        let mut a = RateAdapter::new(policy, 2);
+        for _ in 0..20 {
+            a.observe(0, mbps, -55.0);
+            a.observe(1, mbps, -55.0);
+        }
+        a
+    }
+
+    #[test]
+    fn buffer_only_thresholds() {
+        let a = warmed(AbrPolicy::BufferOnly, 1000.0);
+        let i = |b| inputs(b, 2000.0, 2000.0, false);
+        assert_eq!(a.decide(0, &i(1.0), 1.0, 1.0).quality, QualityLevel::Low);
+        assert_eq!(a.decide(0, &i(5.0), 1.0, 1.0).quality, QualityLevel::Medium);
+        assert_eq!(a.decide(0, &i(9.0), 1.0, 1.0).quality, QualityLevel::High);
+    }
+
+    #[test]
+    fn throughput_only_scales_with_bandwidth() {
+        // 1000 Mbps x 0.85 = 850 budget -> High (364) easily at share 1.
+        let a = warmed(AbrPolicy::ThroughputOnly, 1000.0);
+        assert_eq!(
+            a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 1.0, 1.0).quality,
+            QualityLevel::High
+        );
+        // share 1/4 -> 212 budget -> even Low (235) fails -> clamps Low.
+        assert_eq!(
+            a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 0.25, 1.0).quality,
+            QualityLevel::Low
+        );
+        // Visibility culling (needed_fraction 0.7) stretches the budget to
+        // ~304 Mbps -> Medium (294) fits, High (364) does not.
+        assert_eq!(
+            a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 0.25, 0.7).quality,
+            QualityLevel::Medium
+        );
+        // Aggressive culling (0.5) fits even High: budget 425 > 364.
+        assert_eq!(
+            a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 0.25, 0.5).quality,
+            QualityLevel::High
+        );
+    }
+
+    #[test]
+    fn cross_layer_downgrades_on_predicted_dip() {
+        let a = warmed(AbrPolicy::CrossLayer, 1000.0);
+        let stable = a.decide(0, &inputs(5.0, 2502.5, 2502.5, false), 1.0, 1.0);
+        assert_eq!(stable.quality, QualityLevel::High);
+        // PHY forecast halves -> budget 425 -> still High? 425 > 364 yes.
+        // Forecast collapse to 1/5 -> budget 170 -> Low.
+        let dip = a.decide(0, &inputs(5.0, 2502.5, 500.5, false), 1.0, 1.0);
+        assert_eq!(dip.quality, QualityLevel::Low);
+        // Throughput-only would have stayed High.
+        let naive = warmed(AbrPolicy::ThroughputOnly, 1000.0)
+            .decide(0, &inputs(5.0, 2502.5, 500.5, false), 1.0, 1.0);
+        assert_eq!(naive.quality, QualityLevel::High);
+    }
+
+    #[test]
+    fn blockage_forecast_triggers_reactions() {
+        let a = warmed(AbrPolicy::CrossLayer, 1000.0);
+        let d = a.decide(1, &inputs(5.0, 2502.5, 2502.5, true), 1.0, 1.0);
+        assert!(d
+            .actions
+            .iter()
+            .any(|x| matches!(x, RateAction::Prefetch { user: 1, .. })));
+        assert!(d.actions.contains(&RateAction::BeamSwitch { user: 1 }));
+    }
+
+    #[test]
+    fn geometry_shift_triggers_regroup() {
+        let a = warmed(AbrPolicy::CrossLayer, 1000.0);
+        let d = a.decide(0, &inputs(5.0, 1000.0, 2000.0, false), 1.0, 1.0);
+        assert!(d.actions.contains(&RateAction::Regroup));
+        let stable = a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 1.0, 1.0);
+        assert!(!stable.actions.contains(&RateAction::Regroup));
+    }
+
+    #[test]
+    fn non_cross_layer_policies_emit_no_actions() {
+        for policy in [AbrPolicy::BufferOnly, AbrPolicy::ThroughputOnly] {
+            let a = warmed(policy, 1000.0);
+            let d = a.decide(0, &inputs(1.0, 100.0, 50.0, true), 1.0, 1.0);
+            assert!(d.actions.is_empty());
+        }
+    }
+}

@@ -1,0 +1,999 @@
+//! End-to-end multi-user streaming sessions.
+//!
+//! [`StreamingSession`] drives the full per-frame pipeline of the paper's
+//! system over the simulated substrates:
+//!
+//! 1. observe user poses (from traces) into the joint multi-user predictor
+//!    and the per-user link trackers,
+//! 2. predict poses one horizon ahead; forecast body blockages from the
+//!    predicted multi-user geometry and steer beams accordingly (proactive
+//!    mode pre-steers to the best surviving path; reactive mode serves one
+//!    stale frame and pays a full sweep),
+//! 3. build per-user visibility maps over the frame's cell partition,
+//! 4. adapt quality per user (buffer-only / throughput-only / cross-layer),
+//! 5. group users by viewport similarity (`T_m(k)` model) and design the
+//!    group beams (default sectors or customized multi-lobe),
+//! 6. schedule multicast + residual unicast bursts and execute them on the
+//!    802.11ad MAC model,
+//! 7. account client buffers, decode time, stalls, and QoE.
+//!
+//! The same pipeline runs the two baselines: **vanilla** (full frames,
+//! unicast) and **multi-user ViVo** (visibility-culled, unicast), so every
+//! comparison in the bench harness shares one code path.
+
+use crate::bandwidth::CrossLayerInputs;
+use crate::config::SystemConfig;
+use crate::grouping::{Group, GroupPlanner, GroupingInputs};
+use crate::mitigation::{BlockageMitigator, MitigationMode};
+use crate::player::PlayerKind;
+use crate::qoe::QoeReport;
+use crate::rate_adapt::{AbrPolicy, RateAdapter};
+use serde::{Deserialize, Serialize};
+use volcast_mmwave::{Blocker, Channel, Codebook, McsTable, MultiLobeDesigner};
+use volcast_net::{
+    AcMac, AdMac, BacklogPolicy, MacModel, SimTime, Simulator, TransmissionPlan, TxItem,
+    Wifi5Channel,
+};
+use volcast_pointcloud::{CellGrid, DecodeModel, QualityLevel, VideoSequence};
+use volcast_viewport::{
+    BlockageForecaster, DeviceClass, JointPredictor, Trace, TraceGenerator,
+    VisibilityComputer, VisibilityOptions,
+};
+
+/// Which radio the session runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RadioKind {
+    /// 802.11ad at 60 GHz: directional beams, body blockage, multicast at
+    /// the group's common MCS under a designed beam (the paper's system).
+    MmWave,
+    /// 802.11ac at 5 GHz: quasi-omni, mild body shadowing, group-addressed
+    /// frames at a slow legacy basic rate (the Table 1 baseline network).
+    Wifi5,
+}
+
+/// `MacModel` dispatch over the session's radio.
+enum MacDispatch<'a> {
+    Ad(&'a AdMac),
+    Ac(&'a AcMac),
+}
+
+impl MacModel for MacDispatch<'_> {
+    fn goodput_mbps(&self, phy_mbps: f64, n_active: usize) -> f64 {
+        match self {
+            MacDispatch::Ad(m) => m.goodput_mbps(phy_mbps, n_active),
+            MacDispatch::Ac(m) => m.goodput_mbps(phy_mbps, n_active),
+        }
+    }
+}
+
+/// Session parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionParams {
+    /// Shared system configuration.
+    pub config: SystemConfig,
+    /// Which player the users run.
+    pub player: PlayerKind,
+    /// Rate-adaptation policy.
+    pub abr: AbrPolicy,
+    /// Blockage-mitigation mode.
+    pub mitigation: MitigationMode,
+    /// Fixed quality (bypasses ABR) or `None` for adaptive.
+    pub fixed_quality: Option<QualityLevel>,
+    /// Number of frames to run.
+    pub frames: usize,
+    /// Point density used for visibility/cell analysis. Cell byte sizes
+    /// are rescaled to the chosen quality's full density, so this only
+    /// trades analysis resolution for speed.
+    pub analysis_points: usize,
+    /// Use customized multi-lobe beams for multicast (ablation knob).
+    pub custom_beams: bool,
+    /// Plan on predicted poses (`true`, the paper's design) or oracle
+    /// current poses (`false`, upper bound).
+    pub use_prediction: bool,
+    /// Whether other users' bodies block mmWave links.
+    pub body_blockage: bool,
+    /// The radio technology (mmWave 802.11ad or baseline 802.11ac).
+    pub radio: RadioKind,
+}
+
+impl Default for SessionParams {
+    fn default() -> Self {
+        SessionParams {
+            config: SystemConfig::default(),
+            player: PlayerKind::Volcast,
+            abr: AbrPolicy::CrossLayer,
+            mitigation: MitigationMode::Proactive,
+            fixed_quality: None,
+            frames: 90,
+            analysis_points: 15_000,
+            custom_beams: true,
+            use_prediction: true,
+            body_blockage: true,
+            radio: RadioKind::MmWave,
+        }
+    }
+}
+
+/// Aggregated outcome of a session run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionOutcome {
+    /// Per-user and aggregate QoE.
+    pub qoe: QoeReport,
+    /// Mean per-frame transmission time (seconds).
+    pub mean_frame_time_s: f64,
+    /// Fraction of delivered bytes that rode multicast.
+    pub multicast_byte_fraction: f64,
+    /// Mean multicast group size (1.0 = pure unicast).
+    pub mean_group_size: f64,
+    /// Fraction of multicast transmissions using customized beams.
+    pub customized_beam_fraction: f64,
+    /// Count of frames during which some user's link was body-blocked.
+    pub blocked_user_frames: usize,
+    /// Mean viewport-prediction translation error (meters), when
+    /// prediction was active.
+    pub mean_prediction_error_m: f64,
+    /// Network-only pipelined view: fraction of (user, frame) payloads that
+    /// completed within their frame slot when the per-frame plans run
+    /// back-to-back through the event-driven simulator with live (drop)
+    /// semantics. Ignores client buffers/decode — it isolates how much the
+    /// *schedule itself* fits the medium.
+    pub pipelined_on_time_ratio: f64,
+}
+
+/// The end-to-end session.
+pub struct StreamingSession {
+    /// Parameters.
+    pub params: SessionParams,
+    /// Per-user 6DoF traces (all the same length >= `params.frames`).
+    pub traces: Vec<Trace>,
+    /// The video content.
+    pub video: VideoSequence,
+    /// The mmWave channel (room + AP array).
+    pub channel: Channel,
+    /// The default sector codebook.
+    pub codebook: Codebook,
+    /// 802.11ad MAC model.
+    pub mac: AdMac,
+    /// 802.11ac MAC model (used when `params.radio` is `Wifi5`).
+    pub ac_mac: AcMac,
+    /// 5 GHz channel (used when `params.radio` is `Wifi5`).
+    pub wifi5: Wifi5Channel,
+    /// DMG MCS table.
+    pub mcs: McsTable,
+    /// VHT MCS table for the 802.11ac baseline.
+    pub vht: McsTable,
+    /// Client decode model.
+    pub decode: DecodeModel,
+    /// Ambient (non-viewer) people walking through the room: pure blockers.
+    /// Their motion comes from traces; walker motion is near-linear, so the
+    /// proactive mitigator is modeled as forecasting their crossings
+    /// accurately (prefetch + pre-steered beam land at the onset).
+    pub walkers: Vec<Trace>,
+}
+
+impl StreamingSession {
+    /// Builds a session with default substrates.
+    pub fn new(params: SessionParams, traces: Vec<Trace>) -> Self {
+        let channel = Channel::default_setup();
+        let codebook = Codebook::default_for(&channel.array);
+        StreamingSession {
+            params,
+            traces,
+            video: VideoSequence::default(),
+            channel,
+            codebook,
+            mac: AdMac::default(),
+            ac_mac: AcMac::default(),
+            wifi5: Wifi5Channel::default(),
+            mcs: McsTable::dmg(),
+            vht: McsTable::vht80_2ss(),
+            decode: DecodeModel::default(),
+            walkers: Vec::new(),
+        }
+    }
+
+    /// Runs the session, returning aggregate QoE and system statistics.
+    pub fn run(&mut self) -> SessionOutcome {
+        let n = self.traces.len();
+        let mac: MacDispatch<'_> = match self.params.radio {
+            RadioKind::MmWave => MacDispatch::Ad(&self.mac),
+            RadioKind::Wifi5 => MacDispatch::Ac(&self.ac_mac),
+        };
+        let is_wifi5 = self.params.radio == RadioKind::Wifi5;
+        let cfg = self.params.config;
+        let interval = cfg.frame_interval_s();
+        let grid = CellGrid::new(cfg.cell_size);
+        let planner = GroupPlanner::new(cfg);
+        let designer = MultiLobeDesigner::new(&self.channel, &self.codebook);
+        let mitigator = BlockageMitigator::new(self.params.mitigation);
+        let forecaster = BlockageForecaster::new(self.channel.array.position);
+        let mut joint = JointPredictor::new(n, cfg.predictor_window, Default::default());
+        let mut adapter = RateAdapter::new(self.params.abr, n);
+        let mut qoe = QoeReport::new(n);
+        let mut buffers = vec![2.0f64; n]; // frames of startup buffer
+        let mut blocked_prev = vec![false; n];
+
+        let mut total_bytes = 0.0f64;
+        let mut multicast_bytes = 0.0f64;
+        let mut frame_time_sum = 0.0f64;
+        let mut group_size_sum = 0.0f64;
+        let mut group_count = 0usize;
+        let mut multicast_groups = 0usize;
+        let mut customized_groups = 0usize;
+        let mut blocked_user_frames = 0usize;
+        let mut pred_err_sum = 0.0f64;
+        let mut pred_err_count = 0usize;
+        let mut all_plans: Vec<TransmissionPlan> = Vec::with_capacity(self.params.frames);
+
+        for f in 0..self.params.frames {
+            // --- 1. observe current poses ------------------------------
+            let poses: Vec<_> = (0..n).map(|u| self.traces[u].pose(f)).collect();
+            joint.observe_frame(&poses);
+
+            // Bodies of the *other* users and of ambient walkers block
+            // each link. Blocker list layout: users first, then walkers.
+            let walker_pos: Vec<_> =
+                self.walkers.iter().map(|w| w.pose(f).position).collect();
+            let all_blockers: Vec<Blocker> = if self.params.body_blockage {
+                poses
+                    .iter()
+                    .map(|p| Blocker::person(p.position))
+                    .chain(walker_pos.iter().map(|&p| Blocker::person(p)))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let blockers_excl = |u: usize| -> Vec<Blocker> {
+                all_blockers
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != u)
+                    .map(|(_, b)| *b)
+                    .collect()
+            };
+
+            // --- 2. prediction + blockage handling ----------------------
+            let planning_poses = if self.params.use_prediction {
+                match joint.predict_frame(cfg.prediction_horizon) {
+                    Some(pred) => {
+                        let future = f + cfg.prediction_horizon;
+                        if future < self.params.frames {
+                            for (u, p) in pred.iter().enumerate() {
+                                let truth = self.traces[u].pose(future);
+                                pred_err_sum += (p.position - truth.position).norm();
+                                pred_err_count += 1;
+                            }
+                        }
+                        pred
+                    }
+                    None => poses.clone(),
+                }
+            } else {
+                poses.clone()
+            };
+
+            // Which users' LoS is blocked *right now* by another body
+            // (co-viewers or ambient walkers).
+            let blocked_now: Vec<bool> = (0..n)
+                .map(|u| {
+                    self.params.body_blockage
+                        && ((0..n).any(|v| {
+                            v != u
+                                && forecaster
+                                    .is_blocked(poses[u].position, poses[v].position)
+                        }) || walker_pos
+                            .iter()
+                            .any(|&w| forecaster.is_blocked(poses[u].position, w)))
+                })
+                .collect();
+            blocked_user_frames += blocked_now.iter().filter(|&&b| b).count();
+
+            // Mitigation: charge a beam-switch outage on the clear->blocked
+            // transition, sized by the mode (full reactive sweep vs the
+            // small proactive switch). Proactive mode also prefetched ahead
+            // of the onset; model that as a buffer bonus at the transition.
+            let mut beam_outage = vec![0.0f64; n];
+            let mut extra_prefetch = vec![0usize; n];
+            // Reactive systems detect a blockage by failing: the victim's
+            // burst goes out on the stale beam at the old MCS and is lost,
+            // wasting that airtime before the re-search even starts.
+            let mut wasted_tx = vec![false; n];
+            for u in 0..n {
+                if is_wifi5 {
+                    break; // no beams at 5 GHz: nothing to switch or waste
+                }
+                if blocked_now[u] && !blocked_prev[u] {
+                    beam_outage[u] = mitigator.beam_outage_s();
+                    match self.params.mitigation {
+                        MitigationMode::Proactive => {
+                            extra_prefetch[u] = mitigator.prefetch_frames;
+                        }
+                        MitigationMode::Reactive => {
+                            wasted_tx[u] = true;
+                        }
+                    }
+                }
+            }
+
+            // The serving beam's RSS per user. Proactive users are already
+            // on the best surviving path; reactive users spend the first
+            // blocked frame on the stale LoS beam before re-searching.
+            let rss: Vec<f64> = (0..n)
+                .map(|u| {
+                    if is_wifi5 {
+                        // Log-distance 5 GHz link; bodies shadow mildly.
+                        let d = self
+                            .channel
+                            .array
+                            .position
+                            .distance(poses[u].position);
+                        let shadows = if self.params.body_blockage {
+                            all_blockers
+                                .iter()
+                                .enumerate()
+                                .filter(|&(i, b)| {
+                                    i != u
+                                        && forecaster
+                                            .is_blocked(poses[u].position, b.center)
+                                })
+                                .count()
+                        } else {
+                            0
+                        };
+                        return self.wifi5.rss_dbm(d, shadows);
+                    }
+                    let bl = blockers_excl(u);
+                    if blocked_now[u] {
+                        match self.params.mitigation {
+                            MitigationMode::Proactive => {
+                                self.channel.rss_best_beam(poses[u].position, &bl)
+                            }
+                            MitigationMode::Reactive => {
+                                if blocked_prev[u] {
+                                    self.channel.rss_best_beam(poses[u].position, &bl)
+                                } else {
+                                    self.channel.rss_dedicated_beam(poses[u].position, &bl)
+                                }
+                            }
+                        }
+                    } else {
+                        self.channel.rss_dedicated_beam(poses[u].position, &bl)
+                    }
+                })
+                .collect();
+            let blocked_prev_abr = blocked_prev.clone();
+            blocked_prev = blocked_now.clone();
+
+            let mcs_table = if is_wifi5 { &self.vht } else { &self.mcs };
+            let unicast_phy: Vec<f64> =
+                rss.iter().map(|&r| mcs_table.phy_rate_mbps(r)).collect();
+
+            // --- 3. visibility maps ------------------------------------
+            let cloud = self.video.frame_with_density(f as u64, self.params.analysis_points);
+            let partition = grid.partition(&cloud);
+            let maps: Vec<_> = (0..n)
+                .map(|u| {
+                    let options = match self.params.player {
+                        PlayerKind::Vanilla => VisibilityOptions::vanilla(),
+                        _ => VisibilityOptions {
+                            intrinsics: self.traces[u].device.intrinsics(),
+                            ..VisibilityOptions::vivo()
+                        },
+                    };
+                    VisibilityComputer::new(options).compute(
+                        &planning_poses[u],
+                        &grid,
+                        &partition,
+                    )
+                })
+                .collect();
+
+            // --- 4. quality decisions ----------------------------------
+            let total_points: f64 = partition.iter().map(|c| c.point_count as f64).sum();
+            let needed_fraction: Vec<f64> = (0..n)
+                .map(|u| match self.params.player {
+                    PlayerKind::Vanilla => 1.0,
+                    _ => {
+                        if total_points <= 0.0 {
+                            1.0
+                        } else {
+                            partition
+                                .iter()
+                                .filter_map(|c| {
+                                    maps[u].cells.get(&c.id).map(|lod| c.point_count as f64 * lod)
+                                })
+                                .sum::<f64>()
+                                / total_points
+                        }
+                    }
+                })
+                .collect();
+
+            let qualities: Vec<QualityLevel> = match self.params.fixed_quality {
+                Some(q) => vec![q; n],
+                None => (0..n)
+                    .map(|u| {
+                        let inputs = CrossLayerInputs {
+                            measured_throughput_mbps: 0.0,
+                            buffer_frames: buffers[u],
+                            blockage_forecast: match self.params.mitigation {
+                                MitigationMode::Proactive => blocked_now[u],
+                                // Reactive ABRs only see the collapse after
+                                // it has already cost them a frame.
+                                MitigationMode::Reactive => blocked_prev_abr[u],
+                            },
+                            predicted_phy_rate_mbps: adapter.predictors[u]
+                                .link
+                                .predicted_rss_dbm(cfg.prediction_horizon)
+                                .map_or(unicast_phy[u], |r| mcs_table.phy_rate_mbps(r)),
+                            current_phy_rate_mbps: unicast_phy[u],
+                        };
+                        adapter
+                            .decide(u, &inputs, 1.0 / n as f64, needed_fraction[u])
+                            .quality
+                    })
+                    .collect(),
+            };
+
+            // --- 5. per-user byte requirements --------------------------
+            let scale_for = |q: QualityLevel| -> f64 {
+                let quality = self.video.quality(q);
+                quality.points_per_frame as f64 / self.params.analysis_points as f64
+                    * quality.bytes_per_point()
+            };
+            let unit_sizes: Vec<f64> =
+                partition.iter().map(|c| c.point_count as f64).collect();
+            // Grouping plans with cell sizes at the lowest active quality;
+            // each formed group is then re-priced at its own members'
+            // minimum quality (shared cells must be decodable by all
+            // members), and residuals at each member's own quality.
+            let planning_quality =
+                qualities.iter().copied().min().unwrap_or(QualityLevel::Low);
+            // Effective per-user quality actually delivered this frame
+            // (grouped volcast users may be pulled down to group quality).
+            let mut effective_quality = qualities.clone();
+            // Users the scheduler could not serve this frame (outage).
+            let mut unserved = vec![false; n];
+            // Zero-need users are trivially served.
+            let mut needed_bytes = vec![0.0f64; n];
+
+            // --- 6. plan: groups + beams --------------------------------
+            // Admission control: the scheduler never admits a burst whose
+            // airtime alone exceeds a few frame intervals — a frame that
+            // slow can never catch up (the buffer is shallower than the
+            // backlog it creates) and would only starve the service
+            // period. Sub-30-FPS operation (bursts of 1-3 intervals, the
+            // paper's 10-25 FPS rows) is still admitted; deeply faded
+            // MCS0-trickle bursts (>10 intervals) are deferred instead of
+            // poisoning every other user's frame.
+            let admit = |bytes: f64, phy: f64| -> bool {
+                phy > 0.0 && mac.airtime_s(bytes, phy, n) <= 3.0 * interval
+            };
+            let mut plan = TransmissionPlan::new();
+            // Lost reactive bursts: transmitted at the pre-blockage rate
+            // (stale beam, clear-channel MCS) but never received. They are
+            // queued first — the AP doesn't yet know the link is dead.
+            for u in 0..n {
+                if wasted_tx[u] {
+                    let clear_rss = self
+                        .channel
+                        .rss_dedicated_beam(poses[u].position, &[]);
+                    let stale_phy = mcs_table.phy_rate_mbps(clear_rss);
+                    // Conservative: the AP aborts after ~a quarter of the
+                    // frame's worth of unacknowledged MPDUs.
+                    let probe_bytes = stale_phy * 1e6 / 8.0 * (interval * 0.25);
+                    if admit(probe_bytes, stale_phy) {
+                        plan.items.push(TxItem::unicast(u, probe_bytes, stale_phy));
+                    }
+                }
+            }
+            let mut groups_this_frame: Vec<Group> = Vec::new();
+            match self.params.player {
+                PlayerKind::Vanilla => {
+                    for u in 0..n {
+                        let q = self.video.quality(qualities[u]);
+                        needed_bytes[u] = q.full_frame_bytes();
+                        if !admit(needed_bytes[u], unicast_phy[u]) {
+                            unserved[u] = true; // outage/too slow: defer
+                            continue;
+                        }
+                        let mut item = TxItem::unicast(u, needed_bytes[u], unicast_phy[u]);
+                        item.beam_switch_s = beam_outage[u];
+                        plan.items.push(item);
+                    }
+                }
+                PlayerKind::Vivo => {
+                    for u in 0..n {
+                        needed_bytes[u] = maps[u].required_bytes(&partition, &unit_sizes)
+                            * scale_for(qualities[u]);
+                        if !admit(needed_bytes[u], unicast_phy[u]) {
+                            unserved[u] = needed_bytes[u] > 0.0;
+                            continue;
+                        }
+                        let mut item = TxItem::unicast(u, needed_bytes[u], unicast_phy[u]);
+                        item.beam_switch_s = beam_outage[u];
+                        plan.items.push(item);
+                    }
+                }
+                PlayerKind::Volcast => {
+                    let cell_sizes: Vec<f64> = unit_sizes
+                        .iter()
+                        .map(|s| s * scale_for(planning_quality))
+                        .collect();
+                    let positions: Vec<_> =
+                        planning_poses.iter().map(|p| p.position).collect();
+                    // Beam designs are deterministic per member set within
+                    // a frame; memoize them — the greedy grouping search
+                    // probes the same candidate sets repeatedly.
+                    let rate_cache: std::cell::RefCell<
+                        std::collections::HashMap<Vec<usize>, f64>,
+                    > = std::cell::RefCell::new(std::collections::HashMap::new());
+                    let group_rate = |members: &[usize]| -> f64 {
+                        if is_wifi5 {
+                            // Group-addressed frames at the legacy basic
+                            // rate — why ac multicast doesn't pay off.
+                            return self.wifi5.multicast_basic_rate_mbps;
+                        }
+                        if let Some(&r) = rate_cache.borrow().get(members) {
+                            return r;
+                        }
+                        let pts: Vec<_> =
+                            members.iter().map(|&u| positions[u]).collect();
+                        // All bodies block — including other group members
+                        // (joining a group does not move anyone's body).
+                        // Each receiver's own cylinder is excluded by the
+                        // channel's endpoint guard.
+                        let min_rss = if self.params.custom_beams {
+                            designer.design(&pts, &all_blockers).common_rss_dbm()
+                        } else {
+                            let (_, rss) =
+                                designer.best_common_sector(&pts, &all_blockers);
+                            rss.into_iter().fold(f64::INFINITY, f64::min)
+                        };
+                        let r = self.mcs.phy_rate_mbps(min_rss);
+                        rate_cache.borrow_mut().insert(members.to_vec(), r);
+                        r
+                    };
+                    let gp = planner.plan(&GroupingInputs {
+                        maps: &maps,
+                        partition: &partition,
+                        cell_sizes: &cell_sizes,
+                        unicast_rate_mbps: &unicast_phy,
+                        multicast_rate_mbps: &group_rate,
+                    });
+                    // Unit (analysis-density) byte needs per member.
+                    let member_unit: Vec<f64> = maps
+                        .iter()
+                        .map(|m| m.required_bytes(&partition, &unit_sizes))
+                        .collect();
+                    let mut outage_pending = beam_outage.clone();
+                    for g in &gp.groups {
+                        // Shared cells are encoded at the group's minimum
+                        // member quality; singletons keep their own.
+                        let group_q = g
+                            .members
+                            .iter()
+                            .map(|&u| qualities[u])
+                            .min()
+                            .unwrap_or(planning_quality);
+                        let overlap_unit =
+                            g.multicast_bytes / scale_for(planning_quality).max(1e-12);
+                        let shared_bytes = overlap_unit * scale_for(group_q);
+
+                        // The planner priced this group at the global
+                        // minimum quality; re-check the merge at the
+                        // group's actual quality and against admission —
+                        // if the repriced multicast no longer beats plain
+                        // unicast (or cannot fit a slot), dissolve it.
+                        let beneficial = g.members.len() >= 2
+                            && g.multicast_bytes > 0.0
+                            && g.multicast_rate_mbps > 0.0
+                            && {
+                                let merged_t = shared_bytes / g.multicast_rate_mbps
+                                    + g.members
+                                        .iter()
+                                        .map(|&u| {
+                                            let own = member_unit[u]
+                                                * scale_for(qualities[u]);
+                                            let residual =
+                                                (own - shared_bytes).max(0.0);
+                                            if unicast_phy[u] > 0.0 {
+                                                residual / unicast_phy[u]
+                                            } else {
+                                                0.0
+                                            }
+                                        })
+                                        .sum::<f64>();
+                                let unicast_t = g
+                                    .members
+                                    .iter()
+                                    .map(|&u| {
+                                        let own =
+                                            member_unit[u] * scale_for(qualities[u]);
+                                        if unicast_phy[u] > 0.0 {
+                                            own / unicast_phy[u]
+                                        } else {
+                                            f64::INFINITY
+                                        }
+                                    })
+                                    .sum::<f64>();
+                                merged_t <= unicast_t
+                            };
+                        let group_active = beneficial
+                            && admit(shared_bytes, g.multicast_rate_mbps);
+
+                        if group_active {
+                            multicast_groups += 1;
+                            if self.params.custom_beams {
+                                let pts: Vec<_> =
+                                    g.members.iter().map(|&u| positions[u]).collect();
+                                if designer.design(&pts, &all_blockers).customized {
+                                    customized_groups += 1;
+                                }
+                            }
+                            plan.items.push(TxItem::multicast(
+                                g.members.clone(),
+                                shared_bytes,
+                                g.multicast_rate_mbps,
+                            ));
+                            multicast_bytes += shared_bytes;
+                        }
+
+                        for &u in &g.members {
+                            if group_active {
+                                effective_quality[u] = effective_quality[u].min(group_q);
+                            }
+                            let own_bytes = member_unit[u] * scale_for(qualities[u]);
+                            let shared = if group_active { shared_bytes } else { 0.0 };
+                            let residual = (own_bytes - shared).max(0.0);
+                            needed_bytes[u] = own_bytes;
+                            if residual <= 0.0 {
+                                continue; // fully covered by the multicast
+                            }
+                            if !admit(residual, unicast_phy[u]) {
+                                // The user's frame cannot complete this
+                                // slot; don't burn airtime on a partial
+                                // delivery they cannot render.
+                                unserved[u] = true;
+                                continue;
+                            }
+                            let mut item = TxItem::unicast(u, residual, unicast_phy[u]);
+                            item.beam_switch_s = outage_pending[u];
+                            outage_pending[u] = 0.0; // charge once
+                            plan.items.push(item);
+                        }
+                    }
+                    groups_this_frame = gp.groups;
+                }
+            }
+
+            // --- 7. execute + account ----------------------------------
+            let timing = plan.execute(&mac, n, n);
+            all_plans.push(plan.clone());
+            total_bytes += plan.total_bytes();
+            frame_time_sum += if timing.total_s.is_finite() {
+                timing.total_s
+            } else {
+                interval * 4.0 // charge a saturated slot for outage frames
+            };
+            for g in &groups_this_frame {
+                group_size_sum += g.members.len() as f64;
+                group_count += 1;
+            }
+            if !matches!(self.params.player, PlayerKind::Volcast) {
+                group_size_sum += n as f64; // n singleton groups
+                group_count += n;
+            }
+
+            for u in 0..n {
+                let q_u = effective_quality[u];
+                // Proactive mitigation prefetched ahead of the onset using
+                // earlier frames' spare airtime (the paper: "prefetch the
+                // content and schedule the future cells in the current
+                // time slot"). The blockage reserve may exceed the normal
+                // motion-to-photon buffer cap: during a forecast outage
+                // the client accepts staler predicted-viewport cells over
+                // a stall. Half the pushed frames are credited (the other
+                // half render with out-of-date viewports and are wasted).
+                let reserve = extra_prefetch[u] as f64 * 0.5;
+                buffers[u] = (buffers[u] + reserve)
+                    .min(cfg.buffer_capacity_frames as f64 + reserve);
+
+                let delivery = if needed_bytes[u] <= 0.0 {
+                    0.0 // nothing visible: trivially delivered
+                } else if unserved[u] || wasted_tx[u] {
+                    f64::INFINITY
+                } else {
+                    timing.user_completion_s[u].unwrap_or(f64::INFINITY)
+                };
+                let decode_t =
+                    self.decode.frame_decode_time(self.video.quality(q_u).points_per_frame);
+                let t_eff = delivery.max(decode_t);
+
+                let (on_time, stall_s) = if !t_eff.is_finite() {
+                    // Undeliverable frame: play from buffer if possible.
+                    if buffers[u] >= 1.0 {
+                        buffers[u] -= 1.0;
+                        (true, 0.0)
+                    } else {
+                        buffers[u] = 0.0;
+                        (false, interval)
+                    }
+                } else if t_eff <= interval {
+                    // Spare airtime prefetches ahead.
+                    let spare = (interval - t_eff) / interval;
+                    buffers[u] =
+                        (buffers[u] + spare).min(cfg.buffer_capacity_frames as f64);
+                    (true, 0.0)
+                } else {
+                    let deficit = (t_eff - interval) / interval; // frames
+                    if buffers[u] >= deficit {
+                        buffers[u] -= deficit;
+                        (true, 0.0)
+                    } else {
+                        let stall = (deficit - buffers[u]) * interval;
+                        buffers[u] = 0.0;
+                        (false, stall)
+                    }
+                };
+                qoe.users[u].record_frame(on_time, stall_s, q_u);
+
+                // Feed the adapter's cross-layer predictor with this user's
+                // *delivery rate* (bytes over the airtime actually spent on
+                // their items), the quantity an ABR can measure.
+                let (user_bytes, user_airtime): (f64, f64) = plan
+                    .items
+                    .iter()
+                    .filter(|i| i.receivers().contains(&u))
+                    .map(|i| (i.bytes, mac.airtime_s(i.bytes, i.phy_mbps, n)))
+                    .fold((0.0, 0.0), |(b, t), (ib, it)| (b + ib, t + it));
+                let tput = if user_airtime > 0.0 && user_airtime.is_finite() {
+                    user_bytes * 8.0 / (user_airtime * 1e6)
+                } else {
+                    0.0
+                };
+                adapter.observe(u, tput, rss[u]);
+            }
+        }
+
+        qoe.duration_s = self.params.frames as f64 * interval;
+
+        // Pipelined network-only replay (see SessionOutcome docs).
+        let sim = Simulator::new(
+            &mac,
+            n,
+            n,
+            SimTime::from_secs(interval),
+            BacklogPolicy::Drop,
+        );
+        let outcomes_ed = sim.run(&all_plans);
+        let deadline = SimTime::from_secs(interval);
+        let mut on_time = 0usize;
+        let mut addressed = 0usize;
+        for (f, o) in outcomes_ed.iter().enumerate() {
+            for u in 0..n {
+                // Only count users the frame's plan actually addressed.
+                if all_plans[f].items.iter().any(|i| i.receivers().contains(&u)) {
+                    addressed += 1;
+                    if o.on_time(u, deadline) {
+                        on_time += 1;
+                    }
+                }
+            }
+        }
+        let pipelined_on_time_ratio = if addressed > 0 {
+            on_time as f64 / addressed as f64
+        } else {
+            1.0
+        };
+
+        SessionOutcome {
+            qoe,
+            mean_frame_time_s: frame_time_sum / self.params.frames.max(1) as f64,
+            multicast_byte_fraction: if total_bytes > 0.0 {
+                multicast_bytes / total_bytes
+            } else {
+                0.0
+            },
+            mean_group_size: if group_count > 0 {
+                group_size_sum / group_count as f64
+            } else {
+                1.0
+            },
+            customized_beam_fraction: if multicast_groups > 0 {
+                customized_groups as f64 / multicast_groups as f64
+            } else {
+                0.0
+            },
+            blocked_user_frames,
+            mean_prediction_error_m: if pred_err_count > 0 {
+                pred_err_sum / pred_err_count as f64
+            } else {
+                0.0
+            },
+            pipelined_on_time_ratio,
+        }
+    }
+}
+
+/// Helper: a session over `n` synthetic headset users.
+pub fn quick_session(
+    player: PlayerKind,
+    n_users: usize,
+    frames: usize,
+    seed: u64,
+) -> StreamingSession {
+    quick_session_with_device(player, n_users, frames, seed, DeviceClass::Headset)
+}
+
+/// Helper: a session over `n` synthetic users of a given device class
+/// (phone users cluster in a frontal arc — the paper's classroom case —
+/// and show far higher viewport overlap than roaming headset users).
+pub fn quick_session_with_device(
+    player: PlayerKind,
+    n_users: usize,
+    frames: usize,
+    seed: u64,
+    device: DeviceClass,
+) -> StreamingSession {
+    let gen = TraceGenerator::new(seed, device);
+    let traces: Vec<Trace> = (0..n_users).map(|u| gen.generate(u, frames)).collect();
+    StreamingSession::new(
+        SessionParams { player, frames, ..Default::default() },
+        traces,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(player: PlayerKind, users: usize) -> SessionOutcome {
+        let mut s = quick_session(player, users, 30, 7);
+        s.params.analysis_points = 4_000;
+        s.params.fixed_quality = Some(QualityLevel::Low);
+        s.run()
+    }
+
+    #[test]
+    fn session_runs_and_reports() {
+        let out = small(PlayerKind::Volcast, 2);
+        assert_eq!(out.qoe.users.len(), 2);
+        assert_eq!(out.qoe.users[0].frames(), 30);
+        assert!(out.mean_frame_time_s > 0.0);
+        assert!(out.qoe.duration_s > 0.9);
+    }
+
+    #[test]
+    fn vivo_fetches_less_than_vanilla() {
+        let vanilla = small(PlayerKind::Vanilla, 2);
+        let vivo = small(PlayerKind::Vivo, 2);
+        assert!(
+            vivo.mean_frame_time_s < vanilla.mean_frame_time_s,
+            "vivo {} >= vanilla {}",
+            vivo.mean_frame_time_s,
+            vanilla.mean_frame_time_s
+        );
+    }
+
+    #[test]
+    fn volcast_uses_multicast_for_phone_users() {
+        // Phone users cluster: plenty of viewport overlap to multicast.
+        let mut s = quick_session_with_device(
+            PlayerKind::Volcast,
+            3,
+            30,
+            7,
+            DeviceClass::Phone,
+        );
+        s.params.analysis_points = 4_000;
+        s.params.fixed_quality = Some(QualityLevel::Low);
+        let out = s.run();
+        assert!(
+            out.multicast_byte_fraction > 0.2,
+            "multicast fraction {}",
+            out.multicast_byte_fraction
+        );
+        assert!(out.mean_group_size > 1.0);
+    }
+
+    #[test]
+    fn unicast_players_never_multicast() {
+        for p in [PlayerKind::Vanilla, PlayerKind::Vivo] {
+            let out = small(p, 2);
+            assert_eq!(out.multicast_byte_fraction, 0.0);
+            assert!((out.mean_group_size - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = small(PlayerKind::Volcast, 2);
+        let b = small(PlayerKind::Volcast, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prediction_error_is_tracked() {
+        let out = small(PlayerKind::Volcast, 2);
+        assert!(out.mean_prediction_error_m >= 0.0);
+        assert!(out.mean_prediction_error_m < 1.0, "{}", out.mean_prediction_error_m);
+    }
+
+    #[test]
+    fn wifi5_radio_runs_and_behaves() {
+        // ViVo ac 2-user Low sits exactly at the paper's 30 FPS row...
+        let mut s = quick_session(PlayerKind::Vivo, 2, 30, 7);
+        s.params.radio = RadioKind::Wifi5;
+        s.params.analysis_points = 4_000;
+        s.params.fixed_quality = Some(QualityLevel::Low);
+        let vivo = s.run();
+        assert_eq!(vivo.qoe.users.len(), 2);
+        assert!(vivo.qoe.mean_fps() > 25.0, "{}", vivo.qoe.mean_fps());
+        // ...while vanilla at Medium cannot sustain it (paper: 17.4 FPS).
+        let mut s = quick_session(PlayerKind::Vanilla, 2, 30, 7);
+        s.params.radio = RadioKind::Wifi5;
+        s.params.analysis_points = 4_000;
+        s.params.fixed_quality = Some(QualityLevel::Medium);
+        let vanilla = s.run();
+        assert!(
+            vanilla.qoe.mean_fps() < 27.0 && vanilla.qoe.mean_fps() > 8.0,
+            "vanilla ac/2/Medium fps {}",
+            vanilla.qoe.mean_fps()
+        );
+    }
+
+    #[test]
+    fn wifi5_multicast_is_unattractive() {
+        // volcast-over-ac: legacy-rate multicast should (almost) never win,
+        // so the grouping planner keeps everything unicast.
+        let mut s = quick_session_with_device(
+            PlayerKind::Volcast,
+            3,
+            30,
+            42,
+            DeviceClass::Phone,
+        );
+        s.params.radio = RadioKind::Wifi5;
+        s.params.analysis_points = 4_000;
+        s.params.fixed_quality = Some(QualityLevel::Low);
+        let out = s.run();
+        assert!(
+            out.multicast_byte_fraction < 0.05,
+            "legacy-rate multicast used: {}",
+            out.multicast_byte_fraction
+        );
+    }
+
+    #[test]
+    fn disabling_blockage_removes_blocked_frames() {
+        let mut s = quick_session(PlayerKind::Volcast, 3, 30, 7);
+        s.params.analysis_points = 4_000;
+        s.params.body_blockage = false;
+        s.params.fixed_quality = Some(QualityLevel::Low);
+        let out = s.run();
+        assert_eq!(out.blocked_user_frames, 0);
+    }
+
+    #[test]
+    fn pipelined_ratio_is_sane() {
+        let out = small(PlayerKind::Volcast, 2);
+        assert!((0.0..=1.0).contains(&out.pipelined_on_time_ratio));
+        // Two Low-quality users: the schedule fits comfortably.
+        assert!(out.pipelined_on_time_ratio > 0.8, "{}", out.pipelined_on_time_ratio);
+    }
+
+    #[test]
+    fn adaptive_quality_reacts_to_capacity() {
+        // 2 users: plenty of capacity -> quality should not be stuck at the
+        // bottom of the ladder.
+        let mut s = quick_session(PlayerKind::Vivo, 2, 40, 11);
+        s.params.analysis_points = 4_000;
+        let out = s.run();
+        assert!(
+            out.qoe.mean_quality_score() > 0.5,
+            "quality stuck low: {}",
+            out.qoe.mean_quality_score()
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Angle helpers shared by pose math and beam geometry.
+
+use std::f64::consts::PI;
+
+/// Wraps an angle in radians to the interval `(-pi, pi]`.
+pub fn normalize_angle(a: f64) -> f64 {
+    let two_pi = 2.0 * PI;
+    let mut a = a % two_pi;
+    if a <= -PI {
+        a += two_pi;
+    } else if a > PI {
+        a -= two_pi;
+    }
+    a
+}
+
+/// Smallest absolute angular distance between `a` and `b`, in `[0, pi]`.
+pub fn angular_distance(a: f64, b: f64) -> f64 {
+    normalize_angle(a - b).abs()
+}
+
+/// Degrees to radians.
+#[inline]
+pub fn deg_to_rad(d: f64) -> f64 {
+    d * PI / 180.0
+}
+
+/// Radians to degrees.
+#[inline]
+pub fn rad_to_deg(r: f64) -> f64 {
+    r * 180.0 / PI
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn normalize_within_range_is_identity() {
+        for &a in &[0.0, 1.0, -1.0, 3.0, -3.0] {
+            assert!(approx_eq(normalize_angle(a), a, 1e-12));
+        }
+    }
+
+    #[test]
+    fn normalize_wraps() {
+        assert!(approx_eq(normalize_angle(PI + 0.1), -PI + 0.1, 1e-12));
+        assert!(approx_eq(normalize_angle(-PI - 0.1), PI - 0.1, 1e-12));
+        assert!(approx_eq(normalize_angle(5.0 * PI), PI, 1e-9));
+        assert!(approx_eq(normalize_angle(-4.0 * PI), 0.0, 1e-9));
+    }
+
+    #[test]
+    fn normalize_boundary_convention() {
+        // +pi stays +pi; -pi maps to +pi.
+        assert!(approx_eq(normalize_angle(PI), PI, 1e-12));
+        assert!(approx_eq(normalize_angle(-PI), PI, 1e-12));
+    }
+
+    #[test]
+    fn distances() {
+        assert!(approx_eq(angular_distance(0.1, -0.1), 0.2, 1e-12));
+        assert!(approx_eq(angular_distance(3.1, -3.1), 2.0 * PI - 6.2, 1e-9));
+        assert!(approx_eq(angular_distance(1.0, 1.0), 0.0, 1e-12));
+    }
+
+    #[test]
+    fn degree_conversions() {
+        assert!(approx_eq(deg_to_rad(180.0), PI, 1e-12));
+        assert!(approx_eq(rad_to_deg(PI / 2.0), 90.0, 1e-12));
+        assert!(approx_eq(rad_to_deg(deg_to_rad(37.5)), 37.5, 1e-12));
+    }
+}

@@ -1,0 +1,266 @@
+//! 6DoF rigid poses and their vector parameterization.
+// Fixed-size index loops (angle dims, octree children, AP slots) read
+// clearer than iterator chains in this module.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{Quat, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A 6DoF pose: translation (meters) plus orientation.
+///
+/// This is the unit of state for every viewer in volcast: a volumetric-video
+/// viewport is fully determined by a `Pose` and the camera intrinsics
+/// (see [`crate::Frustum`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Pose {
+    /// Position of the viewer in world coordinates (meters).
+    pub position: Vec3,
+    /// Orientation of the viewer (unit quaternion). `-Z` is the view axis.
+    pub orientation: Quat,
+}
+
+impl Pose {
+    /// Creates a pose from position and orientation.
+    pub fn new(position: Vec3, orientation: Quat) -> Self {
+        Pose { position, orientation }
+    }
+
+    /// A pose at `position` looking at `target` with `+Y` up.
+    pub fn looking_at(position: Vec3, target: Vec3) -> Self {
+        Pose { position, orientation: Quat::look_at(target - position, Vec3::Y) }
+    }
+
+    /// The forward (view) direction, i.e. the rotated `-Z` axis.
+    pub fn forward(&self) -> Vec3 {
+        self.orientation.rotate(Vec3::FORWARD)
+    }
+
+    /// The up direction (rotated `+Y`).
+    pub fn up(&self) -> Vec3 {
+        self.orientation.rotate(Vec3::Y)
+    }
+
+    /// The right direction (rotated `+X`).
+    pub fn right(&self) -> Vec3 {
+        self.orientation.rotate(Vec3::X)
+    }
+
+    /// Interpolates position linearly and orientation by slerp.
+    pub fn interpolate(&self, other: &Pose, t: f64) -> Pose {
+        Pose {
+            position: self.position.lerp(other.position, t),
+            orientation: self.orientation.slerp(other.orientation, t),
+        }
+    }
+
+    /// Transforms a point from pose-local coordinates to world coordinates.
+    pub fn local_to_world(&self, p: Vec3) -> Vec3 {
+        self.orientation.rotate(p) + self.position
+    }
+
+    /// Transforms a world-space point into pose-local coordinates.
+    pub fn world_to_local(&self, p: Vec3) -> Vec3 {
+        self.orientation.conjugate().rotate(p - self.position)
+    }
+
+    /// Converts to the 6-component vector `[x, y, z, yaw, pitch, roll]`
+    /// used by the viewport predictors.
+    pub fn to_sixdof(&self) -> SixDof {
+        let (yaw, pitch, roll) = self.orientation.to_yaw_pitch_roll();
+        SixDof { v: [self.position.x, self.position.y, self.position.z, yaw, pitch, roll] }
+    }
+
+    /// Reconstructs a pose from a [`SixDof`] vector.
+    pub fn from_sixdof(s: SixDof) -> Pose {
+        Pose {
+            position: Vec3::new(s.v[0], s.v[1], s.v[2]),
+            orientation: Quat::from_yaw_pitch_roll(s.v[3], s.v[4], s.v[5]),
+        }
+    }
+
+    /// `true` when position and orientation are finite.
+    pub fn is_finite(&self) -> bool {
+        self.position.is_finite() && self.orientation.is_finite()
+    }
+}
+
+/// The difference between two poses, used to express motion per tick.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PoseDelta {
+    /// Translational displacement (meters).
+    pub translation: Vec3,
+    /// Rotational displacement as a quaternion (`to * from^-1`).
+    pub rotation: Quat,
+}
+
+impl PoseDelta {
+    /// Delta that carries `from` onto `to`.
+    pub fn between(from: &Pose, to: &Pose) -> PoseDelta {
+        PoseDelta {
+            translation: to.position - from.position,
+            rotation: to.orientation * from.orientation.conjugate(),
+        }
+    }
+
+    /// Applies this delta to a pose.
+    pub fn apply(&self, p: &Pose) -> Pose {
+        Pose {
+            position: p.position + self.translation,
+            orientation: (self.rotation * p.orientation).normalized(),
+        }
+    }
+
+    /// Magnitude of the translational part in meters.
+    pub fn translation_norm(&self) -> f64 {
+        self.translation.norm()
+    }
+
+    /// Magnitude of the rotational part in radians.
+    pub fn rotation_angle(&self) -> f64 {
+        self.rotation.angle()
+    }
+}
+
+/// A pose flattened to the `[x, y, z, yaw, pitch, roll]` parameterization.
+///
+/// The viewport predictors (linear regression, MLP) operate on these six
+/// scalars per sample, exactly as ViVo and related systems do.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SixDof {
+    /// `[x, y, z, yaw, pitch, roll]` (meters, meters, meters, rad, rad, rad).
+    pub v: [f64; 6],
+}
+
+impl SixDof {
+    /// Number of degrees of freedom.
+    pub const DIMS: usize = 6;
+
+    /// Builds from raw components.
+    pub fn new(v: [f64; 6]) -> Self {
+        SixDof { v }
+    }
+
+    /// Component-wise difference with angular components wrapped to
+    /// `(-pi, pi]` so prediction errors near the wrap point stay small.
+    pub fn wrapped_sub(&self, other: &SixDof) -> SixDof {
+        let mut out = [0.0; 6];
+        for i in 0..3 {
+            out[i] = self.v[i] - other.v[i];
+        }
+        for i in 3..6 {
+            out[i] = crate::normalize_angle(self.v[i] - other.v[i]);
+        }
+        SixDof { v: out }
+    }
+
+    /// Component-wise addition with angular wrap on the rotational part.
+    pub fn wrapped_add(&self, other: &SixDof) -> SixDof {
+        let mut out = [0.0; 6];
+        for i in 0..3 {
+            out[i] = self.v[i] + other.v[i];
+        }
+        for i in 3..6 {
+            out[i] = crate::normalize_angle(self.v[i] + other.v[i]);
+        }
+        SixDof { v: out }
+    }
+
+    /// Euclidean norm of the translational part (meters).
+    pub fn translation_norm(&self) -> f64 {
+        (self.v[0] * self.v[0] + self.v[1] * self.v[1] + self.v[2] * self.v[2]).sqrt()
+    }
+
+    /// Euclidean norm of the rotational part (radians).
+    pub fn rotation_norm(&self) -> f64 {
+        (self.v[3] * self.v[3] + self.v[4] * self.v[4] + self.v[5] * self.v[5]).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn assert_vec_eq(a: Vec3, b: Vec3, tol: f64) {
+        assert!((a - b).norm() < tol, "{a} != {b}");
+    }
+
+    #[test]
+    fn default_pose_looks_down_negative_z() {
+        let p = Pose::default();
+        assert_vec_eq(p.forward(), Vec3::FORWARD, 1e-12);
+        assert_vec_eq(p.up(), Vec3::Y, 1e-12);
+        assert_vec_eq(p.right(), Vec3::X, 1e-12);
+    }
+
+    #[test]
+    fn looking_at_faces_target() {
+        let p = Pose::looking_at(Vec3::new(0.0, 1.6, 3.0), Vec3::new(0.0, 1.0, 0.0));
+        let want = (Vec3::new(0.0, 1.0, 0.0) - Vec3::new(0.0, 1.6, 3.0)).normalized().unwrap();
+        assert_vec_eq(p.forward(), want, 1e-9);
+    }
+
+    #[test]
+    fn local_world_round_trip() {
+        let p = Pose::new(
+            Vec3::new(1.0, 2.0, 3.0),
+            Quat::from_yaw_pitch_roll(0.5, -0.25, 0.1),
+        );
+        let local = Vec3::new(-0.4, 0.9, 2.2);
+        let w = p.local_to_world(local);
+        assert_vec_eq(p.world_to_local(w), local, 1e-12);
+    }
+
+    #[test]
+    fn sixdof_round_trip() {
+        let p = Pose::new(
+            Vec3::new(0.5, 1.6, -2.0),
+            Quat::from_yaw_pitch_roll(1.2, -0.4, 0.3),
+        );
+        let p2 = Pose::from_sixdof(p.to_sixdof());
+        assert_vec_eq(p2.position, p.position, 1e-12);
+        assert!(p.orientation.angle_to(p2.orientation) < 1e-6);
+    }
+
+    #[test]
+    fn delta_between_and_apply() {
+        let a = Pose::new(Vec3::new(0.0, 0.0, 0.0), Quat::IDENTITY);
+        let b = Pose::new(
+            Vec3::new(1.0, 0.0, -1.0),
+            Quat::from_axis_angle(Vec3::Y, FRAC_PI_2),
+        );
+        let d = PoseDelta::between(&a, &b);
+        let b2 = d.apply(&a);
+        assert_vec_eq(b2.position, b.position, 1e-12);
+        assert!(b2.orientation.angle_to(b.orientation) < 1e-9);
+        assert!((d.translation_norm() - 2f64.sqrt()).abs() < 1e-12);
+        assert!((d.rotation_angle() - FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolate_midpoint() {
+        let a = Pose::new(Vec3::ZERO, Quat::IDENTITY);
+        let b = Pose::new(Vec3::new(2.0, 0.0, 0.0), Quat::from_axis_angle(Vec3::Y, 1.0));
+        let m = a.interpolate(&b, 0.5);
+        assert_vec_eq(m.position, Vec3::new(1.0, 0.0, 0.0), 1e-12);
+        assert!((m.orientation.angle_to(a.orientation) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrapped_angle_arithmetic() {
+        let a = SixDof::new([0.0, 0.0, 0.0, 3.1, 0.0, 0.0]);
+        let b = SixDof::new([0.0, 0.0, 0.0, -3.1, 0.0, 0.0]);
+        // Wrapped difference crosses the +-pi boundary: |diff| is small.
+        let d = a.wrapped_sub(&b);
+        assert!(d.v[3].abs() < 0.1, "wrapped diff {}", d.v[3]);
+        let sum = b.wrapped_add(&d);
+        assert!((crate::normalize_angle(sum.v[3] - a.v[3])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sixdof_norms() {
+        let s = SixDof::new([3.0, 0.0, 4.0, 0.6, 0.8, 0.0]);
+        assert!((s.translation_norm() - 5.0).abs() < 1e-12);
+        assert!((s.rotation_norm() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,329 @@
+//! Uniform planar phased arrays and antenna weight vectors.
+//!
+//! The AP's antenna is modeled as an `nx x ny` uniform planar array with
+//! half-wavelength spacing. A beam is an [`AntennaWeights`] vector of
+//! per-element complex weights; its far-field gain toward a direction is
+//! `|w^H a(dir)|^2` where `a` is the steering vector. This is exactly the
+//! abstraction the paper's custom multi-lobe design manipulates.
+
+use crate::calib::WAVELENGTH_M;
+use serde::{Deserialize, Serialize};
+use volcast_geom::{Complex, Quat, Spherical, Vec3};
+
+/// A per-element complex weight vector (one beam).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AntennaWeights {
+    /// One complex weight per array element, row-major.
+    pub w: Vec<Complex>,
+}
+
+impl AntennaWeights {
+    /// Total transmit power of the weight vector (`sum |w_i|^2`).
+    pub fn power(&self) -> f64 {
+        self.w.iter().map(|c| c.norm_sq()).sum()
+    }
+
+    /// Returns the weights scaled to unit total power (the total-transmit-
+    /// power constraint in the paper's beam design). Zero vectors are
+    /// returned unchanged.
+    pub fn normalized(&self) -> AntennaWeights {
+        let p = self.power();
+        if p <= 0.0 {
+            return self.clone();
+        }
+        let s = 1.0 / p.sqrt();
+        AntennaWeights { w: self.w.iter().map(|c| c.scale(s)).collect() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// `true` for an element-less vector.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+}
+
+/// A uniform planar array of isotropic-ish elements at λ/2 spacing.
+///
+/// The array lies in its local XY plane; its boresight is local `-Z`
+/// (matching the camera convention). `orientation`/`position` place it in
+/// the world.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanarArray {
+    /// Elements along local X.
+    pub nx: usize,
+    /// Elements along local Y.
+    pub ny: usize,
+    /// Element spacing in wavelengths (0.5 = half wavelength).
+    pub spacing_wl: f64,
+    /// World position of the array center.
+    pub position: Vec3,
+    /// World orientation (boresight = rotated `-Z`).
+    pub orientation: Quat,
+}
+
+impl PlanarArray {
+    /// An 8x4 = 32-element array like the paper's 8-patch Airfide AP,
+    /// mounted at `position` facing `facing` (world direction).
+    pub fn airfide(position: Vec3, facing: Vec3) -> Self {
+        PlanarArray {
+            nx: 8,
+            ny: 4,
+            spacing_wl: 0.5,
+            position,
+            orientation: Quat::look_at(facing, Vec3::Y),
+        }
+    }
+
+    /// Number of elements.
+    pub fn elements(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Converts a world-space direction into array-local spherical angles.
+    /// Returns `None` for the zero direction.
+    pub fn local_direction(&self, world_dir: Vec3) -> Option<Spherical> {
+        let local = self.orientation.conjugate().rotate(world_dir);
+        Spherical::from_vector(local)
+    }
+
+    /// The steering vector toward an array-local direction: unit-magnitude
+    /// phase terms `exp(j k (x_m sin_az cos_el + y_n sin_el))`.
+    pub fn steering(&self, dir: Spherical) -> AntennaWeights {
+        let k = 2.0 * std::f64::consts::PI / WAVELENGTH_M;
+        let d = self.spacing_wl * WAVELENGTH_M;
+        let u = dir.azimuth.sin() * dir.elevation.cos();
+        let v = dir.elevation.sin();
+        let mut w = Vec::with_capacity(self.elements());
+        let cx = (self.nx as f64 - 1.0) / 2.0;
+        let cy = (self.ny as f64 - 1.0) / 2.0;
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                let x = (ix as f64 - cx) * d;
+                let y = (iy as f64 - cy) * d;
+                w.push(Complex::cis(k * (x * u + y * v)));
+            }
+        }
+        AntennaWeights { w }
+    }
+
+    /// The conjugate-beamforming weights that maximize gain toward `dir`,
+    /// normalized to unit transmit power.
+    pub fn beam_toward(&self, dir: Spherical) -> AntennaWeights {
+        let s = self.steering(dir);
+        AntennaWeights { w: s.w.iter().map(|c| c.conj()).collect() }.normalized()
+    }
+
+    /// Far-field power gain (linear) of `weights` toward an array-local
+    /// direction: `|w^T a(dir)|^2`, including a cosine element pattern.
+    ///
+    /// With unit-power weights the peak achievable gain is the element
+    /// count (e.g. 32 -> ~15 dB).
+    pub fn gain(&self, weights: &AntennaWeights, dir: Spherical) -> f64 {
+        debug_assert_eq!(weights.len(), self.elements());
+        let a = self.steering(dir);
+        let mut acc = Complex::ZERO;
+        for (wi, ai) in weights.w.iter().zip(&a.w) {
+            acc += *wi * *ai;
+        }
+        // Element pattern: cosine roll-off away from boresight, floored to
+        // a -20 dB backlobe so reflections behind the array stay finite.
+        let element = (dir.azimuth.cos() * dir.elevation.cos()).max(0.01);
+        acc.norm_sq() * element
+    }
+
+    /// Samples the far-field pattern along an azimuth cut at fixed
+    /// elevation: `n` points over `[-span, span]` radians, as
+    /// `(azimuth_rad, gain_dBi)` pairs. Useful for inspecting sector and
+    /// multi-lobe beams (see the `beam_designer` example).
+    pub fn azimuth_cut(
+        &self,
+        weights: &AntennaWeights,
+        elevation: f64,
+        span: f64,
+        n: usize,
+    ) -> Vec<(f64, f64)> {
+        assert!(n >= 2);
+        (0..n)
+            .map(|i| {
+                let az = -span + 2.0 * span * i as f64 / (n - 1) as f64;
+                let g = self.gain(weights, Spherical::new(az, elevation));
+                (az, 10.0 * g.max(1e-12).log10())
+            })
+            .collect()
+    }
+
+    /// Gain toward a world-space target point.
+    pub fn gain_toward_point(&self, weights: &AntennaWeights, point: Vec3) -> f64 {
+        match self.local_direction(point - self.position) {
+            Some(dir) => self.gain(weights, dir),
+            None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_array() -> PlanarArray {
+        PlanarArray::airfide(Vec3::ZERO, Vec3::FORWARD)
+    }
+
+    #[test]
+    fn element_count() {
+        assert_eq!(test_array().elements(), 32);
+    }
+
+    #[test]
+    fn beam_has_unit_power() {
+        let a = test_array();
+        for dir in [
+            Spherical::BORESIGHT,
+            Spherical::new(0.5, 0.0),
+            Spherical::new(-1.0, 0.4),
+        ] {
+            let b = a.beam_toward(dir);
+            assert!((b.power() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn boresight_beam_achieves_array_gain() {
+        let a = test_array();
+        let b = a.beam_toward(Spherical::BORESIGHT);
+        let g = a.gain(&b, Spherical::BORESIGHT);
+        // Peak gain = N elements (32) times element pattern (1 at boresight).
+        assert!((g - 32.0).abs() < 1e-6, "gain {g}");
+    }
+
+    #[test]
+    fn steered_beam_peaks_at_target() {
+        let a = test_array();
+        let target = Spherical::new(0.6, 0.2);
+        let b = a.beam_toward(target);
+        let g_target = a.gain(&b, target);
+        // Scan: no direction may beat the target (modulo element pattern).
+        for az in -30..30 {
+            for el in -10..10 {
+                let d = Spherical::new(az as f64 * 0.1, el as f64 * 0.1);
+                let g = a.gain(&b, d);
+                assert!(
+                    g <= g_target * 1.001,
+                    "gain at ({},{}) = {g} exceeds target {g_target}",
+                    d.azimuth,
+                    d.elevation
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn misaligned_beam_loses_gain() {
+        let a = test_array();
+        let b = a.beam_toward(Spherical::BORESIGHT);
+        let g0 = a.gain(&b, Spherical::BORESIGHT);
+        // 30 degrees off: well outside the ~13-degree azimuth beamwidth.
+        let g_off = a.gain(&b, Spherical::new(0.52, 0.0));
+        assert!(g_off < g0 / 10.0, "off-beam gain {g_off} vs peak {g0}");
+    }
+
+    #[test]
+    fn azimuth_beam_narrower_than_elevation() {
+        // 8 elements across azimuth vs 4 across elevation: the -3 dB point
+        // in azimuth comes earlier.
+        let a = test_array();
+        let b = a.beam_toward(Spherical::BORESIGHT);
+        let g0 = a.gain(&b, Spherical::BORESIGHT);
+        let find_3db = |is_az: bool| -> f64 {
+            let mut angle: f64 = 0.0;
+            loop {
+                angle += 0.005;
+                let d = if is_az {
+                    Spherical::new(angle, 0.0)
+                } else {
+                    Spherical::new(0.0, angle)
+                };
+                if a.gain(&b, d) < g0 / 2.0 || angle > 1.5 {
+                    return angle;
+                }
+            }
+        };
+        assert!(find_3db(true) < find_3db(false));
+    }
+
+    #[test]
+    fn world_mounting_and_direction() {
+        // Array on the +Z wall facing -Z sees a user ahead at boresight.
+        let a = PlanarArray::airfide(Vec3::new(0.0, 2.5, 4.0), Vec3::FORWARD);
+        let dir = a.local_direction(Vec3::new(0.0, 2.5, 0.0) - a.position).unwrap();
+        assert!(dir.azimuth.abs() < 1e-9 && dir.elevation.abs() < 1e-9);
+        // A user below and to the right maps to nonzero angles.
+        let dir2 = a.local_direction(Vec3::new(2.0, 1.0, 0.0) - a.position).unwrap();
+        assert!(dir2.azimuth > 0.0);
+        assert!(dir2.elevation < 0.0);
+    }
+
+    #[test]
+    fn gain_toward_point_uses_geometry() {
+        let a = PlanarArray::airfide(Vec3::new(0.0, 2.0, 4.0), Vec3::FORWARD);
+        let user = Vec3::new(0.0, 2.0, 0.0);
+        let b = a.beam_toward(a.local_direction(user - a.position).unwrap());
+        let g_at_user = a.gain_toward_point(&b, user);
+        let g_elsewhere = a.gain_toward_point(&b, Vec3::new(3.0, 1.0, 0.0));
+        assert!(g_at_user > 10.0 * g_elsewhere);
+        // Degenerate: the array's own position.
+        assert_eq!(a.gain_toward_point(&b, a.position), 0.0);
+    }
+
+    #[test]
+    fn azimuth_cut_shape() {
+        let a = test_array();
+        let b = a.beam_toward(Spherical::new(0.4, 0.0));
+        let cut = a.azimuth_cut(&b, 0.0, 1.2, 121);
+        assert_eq!(cut.len(), 121);
+        // The maximum of the cut lies near the steering azimuth.
+        let (peak_az, peak_db) =
+            cut.iter().copied().fold((0.0, f64::MIN), |acc, (az, g)| {
+                if g > acc.1 { (az, g) } else { acc }
+            });
+        assert!((peak_az - 0.4).abs() < 0.05, "peak at {peak_az}");
+        // Peak ~ 15 dBi for 32 elements (x element pattern at 0.4 rad).
+        assert!((12.0..16.0).contains(&peak_db), "peak {peak_db} dB");
+        // Cut endpoints are in range and sorted by azimuth.
+        assert!(cut.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn multi_lobe_cut_shows_two_peaks() {
+        let a = test_array();
+        let w1 = a.beam_toward(Spherical::new(-0.5, 0.0));
+        let w2 = a.beam_toward(Spherical::new(0.5, 0.0));
+        let combined = crate::multilobe::combine_weights(&w1, 1e-6, &w2, 1e-6);
+        let cut = a.azimuth_cut(&combined, 0.0, 1.0, 201);
+        let gain_at = |target: f64| -> f64 {
+            cut.iter()
+                .min_by(|x, y| {
+                    (x.0 - target).abs().partial_cmp(&(y.0 - target).abs()).unwrap()
+                })
+                .unwrap()
+                .1
+        };
+        let lobe_l = gain_at(-0.5);
+        let lobe_r = gain_at(0.5);
+        let valley = gain_at(0.0);
+        assert!(lobe_l > valley + 3.0, "left lobe {lobe_l} valley {valley}");
+        assert!(lobe_r > valley + 3.0, "right lobe {lobe_r} valley {valley}");
+    }
+
+    #[test]
+    fn normalized_zero_vector_is_safe() {
+        let z = AntennaWeights { w: vec![Complex::ZERO; 4] };
+        assert_eq!(z.normalized().power(), 0.0);
+        assert!(!z.is_empty());
+        assert_eq!(z.len(), 4);
+    }
+}

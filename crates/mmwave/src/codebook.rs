@@ -1,0 +1,150 @@
+//! Default sector codebooks.
+//!
+//! Commercial 802.11ad radios ship a fixed codebook of a few dozen sector
+//! beams that the sector-level sweep (SLS) scans. The paper's point (Fig.
+//! 3b) is that these single-lobe sectors were never designed for multicast:
+//! one sector rarely covers two spread-out users with high RSS.
+
+use crate::array::{AntennaWeights, PlanarArray};
+use serde::{Deserialize, Serialize};
+use volcast_geom::Spherical;
+
+/// A set of sector beams over the array's field of view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Codebook {
+    /// Sector beams (unit transmit power each).
+    pub sectors: Vec<AntennaWeights>,
+    /// The steering direction of each sector (same indexing).
+    pub directions: Vec<Spherical>,
+}
+
+impl Codebook {
+    /// Builds the default DFT-style codebook: a uniform az/el grid of
+    /// conjugate-beamforming sectors covering ±`az_span`/±`el_span`.
+    ///
+    /// Defaults mirror commercial devices: ~32-64 sectors.
+    pub fn dft(array: &PlanarArray, n_az: usize, n_el: usize, az_span: f64, el_span: f64) -> Self {
+        assert!(n_az >= 1 && n_el >= 1);
+        let mut sectors = Vec::with_capacity(n_az * n_el);
+        let mut directions = Vec::with_capacity(n_az * n_el);
+        for ie in 0..n_el {
+            let el = if n_el == 1 {
+                0.0
+            } else {
+                -el_span + 2.0 * el_span * ie as f64 / (n_el - 1) as f64
+            };
+            for ia in 0..n_az {
+                let az = if n_az == 1 {
+                    0.0
+                } else {
+                    -az_span + 2.0 * az_span * ia as f64 / (n_az - 1) as f64
+                };
+                let dir = Spherical::new(az, el);
+                sectors.push(array.beam_toward(dir));
+                directions.push(dir);
+            }
+        }
+        Codebook { sectors, directions }
+    }
+
+    /// The standard commercial configuration for the 8x4 array: 16 azimuth
+    /// x 3 elevation sectors over ±60° az, ±30° el (48 sectors).
+    pub fn default_for(array: &PlanarArray) -> Self {
+        Codebook::dft(array, 16, 3, 60f64.to_radians(), 30f64.to_radians())
+    }
+
+    /// Number of sectors.
+    pub fn len(&self) -> usize {
+        self.sectors.len()
+    }
+
+    /// `true` when the codebook has no sectors.
+    pub fn is_empty(&self) -> bool {
+        self.sectors.is_empty()
+    }
+
+    /// Index of the sector whose steering direction is closest to `dir`.
+    pub fn nearest_sector(&self, dir: Spherical) -> Option<usize> {
+        (0..self.len()).min_by(|&a, &b| {
+            self.directions[a]
+                .angle_to(dir)
+                .partial_cmp(&self.directions[b].angle_to(dir))
+                .unwrap()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcast_geom::Vec3;
+
+    fn setup() -> (PlanarArray, Codebook) {
+        let array = PlanarArray::airfide(Vec3::ZERO, Vec3::FORWARD);
+        let cb = Codebook::default_for(&array);
+        (array, cb)
+    }
+
+    #[test]
+    fn default_codebook_size() {
+        let (_, cb) = setup();
+        assert_eq!(cb.len(), 48);
+        assert_eq!(cb.sectors.len(), cb.directions.len());
+        assert!(!cb.is_empty());
+    }
+
+    #[test]
+    fn all_sectors_unit_power() {
+        let (_, cb) = setup();
+        for s in &cb.sectors {
+            assert!((s.power() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sweep_finds_good_sector_for_any_front_direction() {
+        let (array, cb) = setup();
+        // For directions within the codebook span, the best sector must be
+        // within ~4 dB of a dedicated beam.
+        for az_deg in [-55.0f64, -20.0, 0.0, 33.0, 58.0] {
+            for el_deg in [-25.0f64, 0.0, 22.0] {
+                let dir = Spherical::new(az_deg.to_radians(), el_deg.to_radians());
+                let dedicated = array.gain(&array.beam_toward(dir), dir);
+                let best = cb
+                    .sectors
+                    .iter()
+                    .map(|s| array.gain(s, dir))
+                    .fold(0.0f64, f64::max);
+                assert!(
+                    best > dedicated * 0.4,
+                    "az {az_deg} el {el_deg}: best {best} vs dedicated {dedicated}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_sector_is_consistent() {
+        let (_, cb) = setup();
+        for (i, &d) in cb.directions.iter().enumerate() {
+            assert_eq!(cb.nearest_sector(d), Some(i));
+        }
+    }
+
+    #[test]
+    fn single_sector_codebook() {
+        let array = PlanarArray::airfide(Vec3::ZERO, Vec3::FORWARD);
+        let cb = Codebook::dft(&array, 1, 1, 1.0, 1.0);
+        assert_eq!(cb.len(), 1);
+        assert_eq!(cb.directions[0], Spherical::BORESIGHT);
+    }
+
+    #[test]
+    fn directions_span_requested_range() {
+        let (_, cb) = setup();
+        let max_az = cb.directions.iter().map(|d| d.azimuth).fold(f64::MIN, f64::max);
+        let min_az = cb.directions.iter().map(|d| d.azimuth).fold(f64::MAX, f64::min);
+        assert!((max_az - 60f64.to_radians()).abs() < 1e-9);
+        assert!((min_az + 60f64.to_radians()).abs() < 1e-9);
+    }
+}

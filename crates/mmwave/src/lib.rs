@@ -1,0 +1,41 @@
+//! 60 GHz mmWave substrate for volcast.
+//!
+//! Replaces the paper's physical testbed (Airfide 8-patch 802.11ad AP,
+//! QCA9500 laptops, Remcom ray tracing) with a geometric simulation that
+//! exercises the same code paths:
+//!
+//! - [`mod@array`]: uniform planar phased arrays, steering vectors, antenna
+//!   weight vectors and far-field gain patterns,
+//! - [`codebook`]: the default DFT sector codebook commercial 802.11ad
+//!   devices sweep,
+//! - [`channel`]: a room-scale geometric channel — free-space path loss at
+//!   60 GHz, oxygen absorption, first-order wall reflections via the image
+//!   method (the Remcom substitute), and human-body blockage,
+//! - [`mcs`]: 802.11ad DMG and 802.11ac VHT MCS tables mapping RSS to PHY
+//!   rate,
+//! - [`multilobe`]: the paper's customized multi-lobe beam synthesis
+//!   (`w = (Δ2·w1 + Δ1·w2) / (Δ1 + Δ2)`, power-normalized, generalized to
+//!   k users),
+//! - [`beamsearch`]: sector-sweep beam search with its latency model
+//!   (5-20 ms re-search cost on blockage).
+//!
+//! All calibration constants live in [`calib`] with the paper anchor they
+//! reproduce.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod beamsearch;
+pub mod calib;
+pub mod channel;
+pub mod codebook;
+pub mod mcs;
+pub mod multilobe;
+
+pub use array::{AntennaWeights, PlanarArray};
+pub use beamsearch::BeamSearch;
+pub use channel::{Blocker, Channel, Path, Room};
+pub use codebook::Codebook;
+pub use mcs::{McsEntry, McsTable};
+pub use multilobe::{combine_weights, combine_weights_multi, MultiLobeDesigner};

@@ -1,0 +1,306 @@
+//! Customized multi-lobe beam synthesis (§4.2 of the paper).
+//!
+//! Default single-lobe sectors cannot give high RSS to two spread-out
+//! multicast members at once. The paper's design: combine the antenna
+//! weight vectors of the individual users' beams, weighting each by the
+//! *other* user's RSS so the weaker user gets the larger share of transmit
+//! power, under a total-power constraint:
+//!
+//! ```text
+//! w = (Δ2·w1 + Δ1·w2) / (Δ1 + Δ2)        (then power-normalized)
+//! ```
+//!
+//! Only RSS values are needed — not full CSI — because the users have
+//! independent receive chains (paper §4.2). The k-user generalization
+//! weights each user's beam by the inverse of their RSS share.
+
+use crate::array::AntennaWeights;
+use crate::channel::{Blocker, Channel};
+use crate::codebook::Codebook;
+use volcast_geom::Vec3;
+
+/// The paper's two-user combination: `w = (Δ2·w1 + Δ1·w2)/(Δ1+Δ2)`,
+/// normalized to unit transmit power. `rss1`/`rss2` are linear powers
+/// (milliwatts), not dB.
+pub fn combine_weights(
+    w1: &AntennaWeights,
+    rss1_mw: f64,
+    w2: &AntennaWeights,
+    rss2_mw: f64,
+) -> AntennaWeights {
+    combine_weights_multi(&[(w1.clone(), rss1_mw), (w2.clone(), rss2_mw)])
+}
+
+/// k-user generalization: coefficient of user i's beam is proportional to
+/// `1/Δ_i` (weaker users get more power), normalized to unit total power.
+///
+/// For k = 2 this reduces exactly to the paper's formula up to the common
+/// scale removed by normalization:
+/// `c1 : c2 = 1/Δ1 : 1/Δ2 = Δ2 : Δ1`.
+pub fn combine_weights_multi(beams: &[(AntennaWeights, f64)]) -> AntennaWeights {
+    assert!(!beams.is_empty(), "need at least one beam");
+    let n = beams[0].0.len();
+    let mut acc = AntennaWeights { w: vec![volcast_geom::Complex::ZERO; n] };
+    for (w, rss_mw) in beams {
+        assert_eq!(w.len(), n, "mismatched element counts");
+        let coeff = 1.0 / rss_mw.max(1e-15);
+        for (a, b) in acc.w.iter_mut().zip(&w.w) {
+            *a += b.scale(coeff);
+        }
+    }
+    acc.normalized()
+}
+
+/// Designs the transmit beam for a multicast group: either the best common
+/// default sector, or a customized multi-lobe beam — whichever provides the
+/// higher common (minimum) RSS. The paper notes that when all users already
+/// share a strong default sector, the default beam should be used directly.
+///
+/// ```
+/// use volcast_mmwave::{Channel, Codebook, MultiLobeDesigner};
+/// use volcast_geom::Vec3;
+///
+/// let channel = Channel::default_setup();
+/// let codebook = Codebook::default_for(&channel.array);
+/// let designer = MultiLobeDesigner::new(&channel, &codebook);
+/// // Users on opposite sides of the room: no single sector covers both.
+/// let beam = designer.design(
+///     &[Vec3::new(-2.5, 1.5, 0.0), Vec3::new(2.5, 1.5, 0.0)], &[]);
+/// assert!(beam.customized);
+/// assert!(beam.common_rss_dbm() > -68.0); // multicast-capable
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiLobeDesigner<'a> {
+    /// The propagation channel (owns the array geometry).
+    pub channel: &'a Channel,
+    /// The default sector codebook swept by the hardware.
+    pub codebook: &'a Codebook,
+}
+
+/// The outcome of a group beam design.
+#[derive(Debug, Clone)]
+pub struct GroupBeam {
+    /// Weights to transmit with.
+    pub weights: AntennaWeights,
+    /// Per-member RSS (dBm) under those weights.
+    pub member_rss_dbm: Vec<f64>,
+    /// Whether the custom multi-lobe beam beat the default codebook.
+    pub customized: bool,
+}
+
+impl GroupBeam {
+    /// The group's common RSS: the minimum across members.
+    pub fn common_rss_dbm(&self) -> f64 {
+        self.member_rss_dbm
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl<'a> MultiLobeDesigner<'a> {
+    /// Creates a designer over a channel and codebook.
+    pub fn new(channel: &'a Channel, codebook: &'a Codebook) -> Self {
+        MultiLobeDesigner { channel, codebook }
+    }
+
+    /// Best *default-codebook* sector for the group: maximizes the minimum
+    /// member RSS. Returns (weights index, per-member RSS).
+    pub fn best_common_sector(
+        &self,
+        members: &[Vec3],
+        blockers: &[Blocker],
+    ) -> (usize, Vec<f64>) {
+        let mut best_idx = 0usize;
+        let mut best_min = f64::NEG_INFINITY;
+        let mut best_rss = vec![f64::NEG_INFINITY; members.len()];
+        for (i, sector) in self.codebook.sectors.iter().enumerate() {
+            let rss: Vec<f64> = members
+                .iter()
+                .map(|&m| self.channel.rss_dbm(sector, m, blockers))
+                .collect();
+            let min = rss.iter().copied().fold(f64::INFINITY, f64::min);
+            if min > best_min {
+                best_min = min;
+                best_idx = i;
+                best_rss = rss;
+            }
+        }
+        (best_idx, best_rss)
+    }
+
+    /// Designs the custom multi-lobe beam for the group: combine each
+    /// member's individually-best sector, weighted by measured RSS.
+    pub fn custom_beam(&self, members: &[Vec3], blockers: &[Blocker]) -> AntennaWeights {
+        let per_user: Vec<(AntennaWeights, f64)> = members
+            .iter()
+            .map(|&m| {
+                // Individually best sector for this member (the AP knows it
+                // from the sector sweep / predicted 6DoF motion).
+                let (idx, _) = self.best_common_sector(&[m], blockers);
+                let w = self.codebook.sectors[idx].clone();
+                let rss_mw =
+                    crate::calib::dbm_to_mw(self.channel.rss_dbm(&w, m, blockers));
+                (w, rss_mw)
+            })
+            .collect();
+        combine_weights_multi(&per_user)
+    }
+
+    /// Full group beam design: returns whichever of (best common default
+    /// sector, customized multi-lobe beam) yields the higher common RSS.
+    pub fn design(&self, members: &[Vec3], blockers: &[Blocker]) -> GroupBeam {
+        assert!(!members.is_empty());
+        let (idx, default_rss) = self.best_common_sector(members, blockers);
+        let default_min = default_rss.iter().copied().fold(f64::INFINITY, f64::min);
+
+        if members.len() == 1 {
+            return GroupBeam {
+                weights: self.codebook.sectors[idx].clone(),
+                member_rss_dbm: default_rss,
+                customized: false,
+            };
+        }
+
+        let custom = self.custom_beam(members, blockers);
+        let custom_rss: Vec<f64> = members
+            .iter()
+            .map(|&m| self.channel.rss_dbm(&custom, m, blockers))
+            .collect();
+        let custom_min = custom_rss.iter().copied().fold(f64::INFINITY, f64::min);
+
+        if custom_min > default_min {
+            GroupBeam { weights: custom, member_rss_dbm: custom_rss, customized: true }
+        } else {
+            GroupBeam {
+                weights: self.codebook.sectors[idx].clone(),
+                member_rss_dbm: default_rss,
+                customized: false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::PlanarArray;
+    use volcast_geom::{Complex, Spherical};
+
+    fn setup() -> (Channel, Codebook) {
+        let ch = Channel::default_setup();
+        let cb = Codebook::default_for(&ch.array);
+        (ch, cb)
+    }
+
+    #[test]
+    fn combined_weights_have_unit_power() {
+        let array = PlanarArray::airfide(Vec3::ZERO, Vec3::FORWARD);
+        let w1 = array.beam_toward(Spherical::new(-0.5, 0.0));
+        let w2 = array.beam_toward(Spherical::new(0.5, 0.0));
+        let c = combine_weights(&w1, 1e-6, &w2, 2e-6);
+        assert!((c.power() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_user_formula_matches_paper() {
+        // Manual check: with Δ1 = 1, Δ2 = 3 the coefficients must be in
+        // ratio Δ2 : Δ1 = 3 : 1 before normalization.
+        let w1 = AntennaWeights { w: vec![Complex::ONE, Complex::ZERO] };
+        let w2 = AntennaWeights { w: vec![Complex::ZERO, Complex::ONE] };
+        let c = combine_weights(&w1, 1.0, &w2, 3.0);
+        let ratio = c.w[0].abs() / c.w[1].abs();
+        assert!((ratio - 3.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn weaker_user_gets_more_power() {
+        let array = PlanarArray::airfide(Vec3::ZERO, Vec3::FORWARD);
+        let dir1 = Spherical::new(-0.6, 0.0);
+        let dir2 = Spherical::new(0.6, 0.0);
+        let w1 = array.beam_toward(dir1);
+        let w2 = array.beam_toward(dir2);
+        // User 1 is much weaker (RSS 10x lower).
+        let c = combine_weights(&w1, 0.1e-6, &w2, 1e-6);
+        let g1 = array.gain(&c, dir1);
+        let g2 = array.gain(&c, dir2);
+        assert!(g1 > g2, "weak user's lobe {g1} should exceed strong user's {g2}");
+    }
+
+    #[test]
+    fn two_lobes_beat_single_sector_for_spread_users() {
+        let (ch, cb) = setup();
+        // Users on opposite sides of the room: far apart in azimuth.
+        let users = [Vec3::new(-2.5, 1.5, 0.0), Vec3::new(2.5, 1.5, 0.0)];
+        let d = MultiLobeDesigner::new(&ch, &cb);
+        let (_, default_rss) = d.best_common_sector(&users, &[]);
+        let default_min = default_rss.iter().copied().fold(f64::INFINITY, f64::min);
+        let custom = d.custom_beam(&users, &[]);
+        let custom_min = users
+            .iter()
+            .map(|&u| ch.rss_dbm(&custom, u, &[]))
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            custom_min > default_min + 3.0,
+            "custom {custom_min} dBm vs default {default_min} dBm"
+        );
+    }
+
+    #[test]
+    fn design_prefers_default_for_colocated_users() {
+        let (ch, cb) = setup();
+        // Two users standing shoulder to shoulder: one sector covers both.
+        let users = [Vec3::new(0.0, 1.5, 0.0), Vec3::new(0.25, 1.5, 0.0)];
+        let d = MultiLobeDesigner::new(&ch, &cb);
+        let beam = d.design(&users, &[]);
+        // Common RSS must be strong either way; and for such users the
+        // default sector is typically already optimal.
+        assert!(beam.common_rss_dbm() > -60.0);
+    }
+
+    #[test]
+    fn design_customizes_for_spread_users() {
+        let (ch, cb) = setup();
+        let users = [Vec3::new(-2.5, 1.5, 0.0), Vec3::new(2.5, 1.5, 0.0)];
+        let d = MultiLobeDesigner::new(&ch, &cb);
+        let beam = d.design(&users, &[]);
+        assert!(beam.customized, "spread users should trigger the custom beam");
+        assert_eq!(beam.member_rss_dbm.len(), 2);
+    }
+
+    #[test]
+    fn single_user_design_uses_codebook() {
+        let (ch, cb) = setup();
+        let d = MultiLobeDesigner::new(&ch, &cb);
+        let beam = d.design(&[Vec3::new(1.0, 1.5, 0.0)], &[]);
+        assert!(!beam.customized);
+        assert_eq!(beam.member_rss_dbm.len(), 1);
+    }
+
+    #[test]
+    fn design_never_worse_than_default() {
+        let (ch, cb) = setup();
+        let d = MultiLobeDesigner::new(&ch, &cb);
+        for users in [
+            vec![Vec3::new(-1.0, 1.5, 1.0), Vec3::new(2.0, 1.3, -2.0)],
+            vec![
+                Vec3::new(-2.0, 1.5, 0.0),
+                Vec3::new(0.0, 1.5, -2.0),
+                Vec3::new(2.0, 1.5, 0.0),
+            ],
+        ] {
+            let (_, default_rss) = d.best_common_sector(&users, &[]);
+            let default_min = default_rss.iter().copied().fold(f64::INFINITY, f64::min);
+            let beam = d.design(&users, &[]);
+            assert!(beam.common_rss_dbm() >= default_min - 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_group_panics() {
+        let (ch, cb) = setup();
+        let d = MultiLobeDesigner::new(&ch, &cb);
+        let _ = d.design(&[], &[]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Calibration tests: the simulated channel + codebook must reproduce the
+//! Fig. 3 qualitative results:
+//!
+//! - 3b: the fraction of positions where the default codebook sustains
+//!   -68 dBm (≈385 Mbps) drops sharply as multicast group size grows
+//!   (paper: ~96.5% for 1 user, ~79% for 2, ~60% for 3),
+//! - 3d: customized multi-lobe beams raise the common RSS of 2-user groups
+//!   over the default codebook,
+//! - 3e's mechanism: multicast with default beams can be *worse* than
+//!   unicast for some geometries (unbalanced RSS), custom beams fix it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use volcast_geom::Vec3;
+use volcast_mmwave::{Channel, Codebook, McsTable, MultiLobeDesigner};
+
+/// Samples a plausible standing viewer position in the default room
+/// (around the subject at the room center, 1-2.5 m away).
+fn sample_position(rng: &mut StdRng) -> Vec3 {
+    let theta = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+    let r = rng.gen_range(1.0..2.6);
+    Vec3::new(r * theta.sin(), rng.gen_range(1.3..1.8), r * theta.cos())
+}
+
+fn fraction_above(samples: &[f64], threshold: f64) -> f64 {
+    samples.iter().filter(|&&s| s >= threshold).count() as f64 / samples.len() as f64
+}
+
+#[test]
+fn fig3b_default_codebook_degrades_with_group_size() {
+    let ch = Channel::default_setup();
+    let cb = Codebook::default_for(&ch.array);
+    let designer = MultiLobeDesigner::new(&ch, &cb);
+    let mut rng = StdRng::seed_from_u64(3101);
+
+    let trials = 150;
+    let mut best_common = |k: usize, rng: &mut StdRng| -> Vec<f64> {
+        (0..trials)
+            .map(|_| {
+                let users: Vec<Vec3> = (0..k).map(|_| sample_position(rng)).collect();
+                let (_, rss) = designer.best_common_sector(&users, &[]);
+                rss.into_iter().fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    };
+
+    let one = best_common(1, &mut rng);
+    let two = best_common(2, &mut rng);
+    let three = best_common(3, &mut rng);
+
+    let f1 = fraction_above(&one, -68.0);
+    let f2 = fraction_above(&two, -68.0);
+    let f3 = fraction_above(&three, -68.0);
+
+    // Paper's ordering and rough magnitudes (96.5% / 79% / 60%).
+    assert!(f1 > 0.9, "single-user coverage {f1}");
+    assert!(f1 > f2, "1-user {f1} <= 2-user {f2}");
+    assert!(f2 > f3, "2-user {f2} <= 3-user {f3}");
+    assert!(f3 < 0.85, "3-user coverage {f3} suspiciously high");
+}
+
+#[test]
+fn fig3d_custom_beams_raise_common_rss() {
+    let ch = Channel::default_setup();
+    let cb = Codebook::default_for(&ch.array);
+    let designer = MultiLobeDesigner::new(&ch, &cb);
+    let mut rng = StdRng::seed_from_u64(3102);
+
+    let trials = 100;
+    let mut default_wins = 0usize;
+    let mut improvements = Vec::new();
+    for _ in 0..trials {
+        let users = [sample_position(&mut rng), sample_position(&mut rng)];
+        let (_, default_rss) = designer.best_common_sector(&users, &[]);
+        let default_min = default_rss.into_iter().fold(f64::INFINITY, f64::min);
+        let beam = designer.design(&users, &[]);
+        let designed_min = beam.common_rss_dbm();
+        assert!(
+            designed_min >= default_min - 1e-9,
+            "design must never lose to the default sector"
+        );
+        if !beam.customized {
+            default_wins += 1;
+        }
+        improvements.push(designed_min - default_min);
+    }
+    let mean_gain: f64 = improvements.iter().sum::<f64>() / trials as f64;
+    assert!(
+        mean_gain > 1.5,
+        "mean common-RSS improvement only {mean_gain} dB"
+    );
+    // The paper notes the default beam should be kept when both users are
+    // already strong — both regimes must occur.
+    assert!(default_wins > 0, "default beam never preferred");
+    assert!(default_wins < trials, "custom beam never preferred");
+}
+
+#[test]
+fn fig3e_mechanism_unbalanced_multicast_can_lose_to_unicast() {
+    // With the default codebook, a 2-user multicast runs at the minimum
+    // member MCS; when the sector is unbalanced this rate can be lower than
+    // serving the better user alone — the pathology Fig. 3e reports.
+    let ch = Channel::default_setup();
+    let cb = Codebook::default_for(&ch.array);
+    let designer = MultiLobeDesigner::new(&ch, &cb);
+    let mcs = McsTable::dmg();
+    let mut rng = StdRng::seed_from_u64(3103);
+
+    let mut found_pathology = false;
+    let mut custom_fixes = false;
+    for _ in 0..200 {
+        let users = [sample_position(&mut rng), sample_position(&mut rng)];
+        let (_, default_rss) = designer.best_common_sector(&users, &[]);
+        let multicast_rate = mcs.multicast_rate_mbps(&default_rss);
+
+        // Unicast: each user on their own best sector.
+        let unicast_rates: Vec<f64> = users
+            .iter()
+            .map(|&u| {
+                let (_, rss) = designer.best_common_sector(&[u], &[]);
+                mcs.phy_rate_mbps(rss[0])
+            })
+            .collect();
+        // Effective per-user rate when time-sharing unicast: half each.
+        let unicast_effective = unicast_rates.iter().sum::<f64>() / 4.0;
+        // Multicast delivers to both at once: per-user effective rate is
+        // the group rate (both receive the same bits simultaneously).
+        if multicast_rate < unicast_effective {
+            found_pathology = true;
+            let beam = designer.design(&users, &[]);
+            let fixed_rate = mcs.multicast_rate_mbps(&beam.member_rss_dbm);
+            if fixed_rate > multicast_rate {
+                custom_fixes = true;
+                break;
+            }
+        }
+    }
+    assert!(found_pathology, "no geometry showed the unbalanced-RSS pathology");
+    assert!(custom_fixes, "custom beams never repaired the pathology");
+}

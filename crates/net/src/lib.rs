@@ -1,0 +1,34 @@
+//! Deterministic discrete-event WLAN simulator for volcast.
+//!
+//! Event-driven in the smoltcp tradition: explicit integer-nanosecond time,
+//! a deterministic event queue, and poll-style state machines — no async
+//! runtime, no wall-clock dependence, bit-identical runs for a fixed seed.
+//!
+//! - [`SimTime`] / [`EventQueue`]: the simulation clock and ordered event
+//!   dispatch,
+//! - [`AdMac`] / [`AcMac`]: calibrated airtime models for 802.11ad
+//!   service-period scheduling and 802.11ac contention (Table 1's two
+//!   networks),
+//! - [`TransmissionPlan`]: per-video-frame schedules mixing multicast and
+//!   unicast items, executed on the MAC models,
+//! - [`LinkState`]: per-user link tracker (RSS/MCS EWMA, outage detection)
+//!   feeding the cross-layer rate adaptation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod link;
+pub mod mac;
+pub mod plan;
+pub mod queue;
+pub mod sim;
+pub mod time;
+pub mod wifi5;
+
+pub use link::LinkState;
+pub use mac::{AcMac, AdMac, MacModel};
+pub use plan::{PlanTiming, TransmissionPlan, TxItem, TxKind};
+pub use queue::EventQueue;
+pub use sim::{BacklogPolicy, FrameOutcome, Simulator};
+pub use time::SimTime;
+pub use wifi5::Wifi5Channel;

@@ -1,0 +1,217 @@
+//! Per-video-frame transmission plans.
+//!
+//! The multicast scheduler (volcast-core) emits, for each video frame, a
+//! plan of items: multicast bursts carrying the overlapped cells of a group
+//! and unicast bursts carrying each user's residual cells. The plan
+//! executes sequentially on the medium (802.11ad service periods are TDMA),
+//! realizing exactly the paper's frame-time model
+//! `T_m(k) = S_m/r_m + Σ_i (S_i - S_m)/r_i`, plus optional per-item beam
+//! switching overhead.
+
+use crate::mac::MacModel;
+use serde::{Deserialize, Serialize};
+
+/// Who a transmission item is for.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxKind {
+    /// One receiver.
+    Unicast {
+        /// Receiving user id.
+        user: usize,
+    },
+    /// A multicast group (the overlapped-cell payload).
+    Multicast {
+        /// Receiving user ids.
+        members: Vec<usize>,
+    },
+}
+
+/// One scheduled burst.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TxItem {
+    /// Receiver(s).
+    pub kind: TxKind,
+    /// Payload size in bytes.
+    pub bytes: f64,
+    /// PHY rate the burst runs at (multicast: the group's common MCS rate).
+    pub phy_mbps: f64,
+    /// Beam-switch overhead paid before this burst, seconds.
+    pub beam_switch_s: f64,
+}
+
+impl TxItem {
+    /// A unicast burst.
+    pub fn unicast(user: usize, bytes: f64, phy_mbps: f64) -> Self {
+        TxItem { kind: TxKind::Unicast { user }, bytes, phy_mbps, beam_switch_s: 0.0 }
+    }
+
+    /// A multicast burst.
+    pub fn multicast(members: Vec<usize>, bytes: f64, phy_mbps: f64) -> Self {
+        TxItem { kind: TxKind::Multicast { members }, bytes, phy_mbps, beam_switch_s: 0.0 }
+    }
+
+    /// The users that receive this item.
+    pub fn receivers(&self) -> Vec<usize> {
+        match &self.kind {
+            TxKind::Unicast { user } => vec![*user],
+            TxKind::Multicast { members } => members.clone(),
+        }
+    }
+}
+
+/// A frame's transmission schedule.
+///
+/// ```
+/// use volcast_net::{AdMac, TransmissionPlan, TxItem};
+///
+/// let mut plan = TransmissionPlan::new();
+/// // Shared cells to both users at the group MCS, residuals unicast.
+/// plan.items.push(TxItem::multicast(vec![0, 1], 400_000.0, 1251.25));
+/// plan.items.push(TxItem::unicast(0, 150_000.0, 2502.5));
+/// plan.items.push(TxItem::unicast(1, 100_000.0, 2502.5));
+/// let timing = plan.execute(&AdMac::default(), 2, 2);
+/// assert!(timing.total_s > 0.0 && timing.total_s.is_finite());
+/// // User 0 finishes with their residual; user 1 last.
+/// assert!(timing.user_completion_s[1] > timing.user_completion_s[0]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TransmissionPlan {
+    /// Items executed in order.
+    pub items: Vec<TxItem>,
+}
+
+/// The timing outcome of executing a plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanTiming {
+    /// Completion time (seconds from plan start) of each item.
+    pub item_completion_s: Vec<f64>,
+    /// Per-user completion: when the *last* item addressed to each user
+    /// finishes (indexed by user id; `None` when no item addressed them).
+    pub user_completion_s: Vec<Option<f64>>,
+    /// Total airtime of the plan in seconds.
+    pub total_s: f64,
+}
+
+impl TransmissionPlan {
+    /// Creates an empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total bytes scheduled.
+    pub fn total_bytes(&self) -> f64 {
+        self.items.iter().map(|i| i.bytes).sum()
+    }
+
+    /// Executes the plan sequentially on `mac`. `n_active` is the number of
+    /// stations sharing the medium (for per-station MAC overhead);
+    /// `n_users` sizes the per-user completion vector.
+    pub fn execute<M: MacModel>(&self, mac: &M, n_active: usize, n_users: usize) -> PlanTiming {
+        let mut t = 0.0f64;
+        let mut item_completion_s = Vec::with_capacity(self.items.len());
+        let mut user_completion_s = vec![None; n_users];
+        for item in &self.items {
+            t += item.beam_switch_s;
+            t += mac.airtime_s(item.bytes, item.phy_mbps, n_active);
+            item_completion_s.push(t);
+            for u in item.receivers() {
+                if u < n_users {
+                    user_completion_s[u] = Some(t);
+                }
+            }
+        }
+        PlanTiming { item_completion_s, user_completion_s, total_s: t }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mac::AdMac;
+
+    fn mac() -> AdMac {
+        // Idealized MAC for exact arithmetic: no overheads, efficiency 1.
+        AdMac { base_efficiency: 1.0, bhi_fraction: 0.0, per_sta_overhead: 0.0 }
+    }
+
+    #[test]
+    fn empty_plan_takes_no_time() {
+        let plan = TransmissionPlan::new();
+        let timing = plan.execute(&mac(), 2, 2);
+        assert_eq!(timing.total_s, 0.0);
+        assert_eq!(timing.user_completion_s, vec![None, None]);
+        assert_eq!(plan.total_bytes(), 0.0);
+    }
+
+    #[test]
+    fn sequential_airtime_adds_up() {
+        // 1 Mb at 1000 Mbps = 1 ms each.
+        let bytes = 1e6 / 8.0;
+        let mut plan = TransmissionPlan::new();
+        plan.items.push(TxItem::unicast(0, bytes, 1000.0));
+        plan.items.push(TxItem::unicast(1, bytes, 1000.0));
+        let t = plan.execute(&mac(), 2, 2);
+        assert!((t.item_completion_s[0] - 1e-3).abs() < 1e-12);
+        assert!((t.item_completion_s[1] - 2e-3).abs() < 1e-12);
+        assert!((t.total_s - 2e-3).abs() < 1e-12);
+        assert_eq!(t.user_completion_s[0], Some(t.item_completion_s[0]));
+        assert_eq!(t.user_completion_s[1], Some(t.item_completion_s[1]));
+    }
+
+    #[test]
+    fn paper_frame_time_model() {
+        // T_m(k) = S_m/r_m + sum_i (S_i - S_m)/r_i with two users.
+        let s_m = 4e5; // overlapped bytes
+        let s_1 = 6e5;
+        let s_2 = 5e5;
+        let r_m = 800.0; // multicast (min-MCS) Mbps
+        let r_1 = 2000.0;
+        let r_2 = 1500.0;
+        let mut plan = TransmissionPlan::new();
+        plan.items.push(TxItem::multicast(vec![0, 1], s_m, r_m));
+        plan.items.push(TxItem::unicast(0, s_1 - s_m, r_1));
+        plan.items.push(TxItem::unicast(1, s_2 - s_m, r_2));
+        let t = plan.execute(&mac(), 2, 2);
+        let expect =
+            s_m * 8.0 / (r_m * 1e6) + (s_1 - s_m) * 8.0 / (r_1 * 1e6) + (s_2 - s_m) * 8.0 / (r_2 * 1e6);
+        assert!((t.total_s - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multicast_completes_all_members_at_once() {
+        let mut plan = TransmissionPlan::new();
+        plan.items.push(TxItem::multicast(vec![0, 1, 2], 1e5, 1000.0));
+        let t = plan.execute(&mac(), 3, 4);
+        assert_eq!(t.user_completion_s[0], t.user_completion_s[1]);
+        assert_eq!(t.user_completion_s[1], t.user_completion_s[2]);
+        assert_eq!(t.user_completion_s[3], None);
+    }
+
+    #[test]
+    fn beam_switch_overhead_counts() {
+        let bytes = 1e6 / 8.0;
+        let mut plan = TransmissionPlan::new();
+        let mut item = TxItem::unicast(0, bytes, 1000.0);
+        item.beam_switch_s = 5e-3;
+        plan.items.push(item);
+        let t = plan.execute(&mac(), 1, 1);
+        assert!((t.total_s - 6e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outage_makes_plan_infinite() {
+        let mut plan = TransmissionPlan::new();
+        plan.items.push(TxItem::unicast(0, 1e5, 0.0));
+        let t = plan.execute(&mac(), 1, 1);
+        assert!(t.total_s.is_infinite());
+    }
+
+    #[test]
+    fn receivers_listing() {
+        assert_eq!(TxItem::unicast(3, 1.0, 1.0).receivers(), vec![3]);
+        assert_eq!(
+            TxItem::multicast(vec![1, 4], 1.0, 1.0).receivers(),
+            vec![1, 4]
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! Simulation time: integer nanoseconds since simulation start.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time. Integer nanoseconds: exact, total-ordered,
+/// overflow-checked in debug builds; no floating-point drift.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// From seconds (fractional allowed).
+    pub fn from_secs(s: f64) -> SimTime {
+        assert!(s >= 0.0 && s.is_finite(), "invalid time {s}");
+        SimTime((s * 1e9).round() as u64)
+    }
+
+    /// From milliseconds.
+    pub fn from_millis(ms: f64) -> SimTime {
+        Self::from_secs(ms / 1e3)
+    }
+
+    /// From microseconds.
+    pub fn from_micros(us: f64) -> SimTime {
+        Self::from_secs(us / 1e6)
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 - rhs.0)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s", self.as_secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let t = SimTime::from_secs(1.5);
+        assert_eq!(t.0, 1_500_000_000);
+        assert!((t.as_secs() - 1.5).abs() < 1e-12);
+        assert!((SimTime::from_millis(33.333).as_millis() - 33.333).abs() < 1e-6);
+        assert_eq!(SimTime::from_micros(1.0).0, 1_000);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::from_secs(1.0);
+        let b = SimTime::from_secs(2.5);
+        assert_eq!((a + b).as_secs(), 3.5);
+        assert_eq!((b - a).as_secs(), 1.5);
+        assert!(a < b);
+        assert_eq!(a.saturating_sub(b), SimTime::ZERO);
+        let mut c = a;
+        c += a;
+        assert_eq!(c.as_secs(), 2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_time_rejected() {
+        let _ = SimTime::from_secs(-1.0);
+    }
+}

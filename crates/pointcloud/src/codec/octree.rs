@@ -1,0 +1,503 @@
+//! Octree geometry + color coding. See module docs in [`super`].
+// Fixed-size index loops (angle dims, octree children, AP slots) read
+// clearer than iterator chains in this module.
+#![allow(clippy::needless_range_loop)]
+
+use super::range::{BitModel, RangeDecoder, RangeEncoder};
+use crate::point::{Point, PointCloud};
+use serde::{Deserialize, Serialize};
+use volcast_geom::{Aabb, Vec3};
+
+/// Codec parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CodecConfig {
+    /// Geometry quantization: bits per axis (octree depth). The paper-scale
+    /// human body at depth 10 gives ~2 mm voxels.
+    pub depth: u32,
+    /// Color quantization: bits per channel (1..=8).
+    pub color_bits: u32,
+}
+
+impl Default for CodecConfig {
+    fn default() -> Self {
+        CodecConfig { depth: 10, color_bits: 6 }
+    }
+}
+
+/// Why a bitstream failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The header is shorter than the fixed header size.
+    TruncatedHeader,
+    /// Bad magic bytes.
+    BadMagic,
+    /// Header fields are inconsistent (e.g. zero depth, absurd counts).
+    InvalidHeader(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::TruncatedHeader => write!(f, "truncated header"),
+            CodecError::BadMagic => write!(f, "bad magic"),
+            CodecError::InvalidHeader(why) => write!(f, "invalid header: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// An encoded cloud: header + entropy-coded payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncodedCloud {
+    /// Serialized bitstream (header + payload).
+    pub data: Vec<u8>,
+}
+
+impl EncodedCloud {
+    /// Total size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Compression statistics for instrumentation and the bench harness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CodecStats {
+    /// Points in the input cloud.
+    pub input_points: usize,
+    /// Unique voxels after quantization (= decoded point count).
+    pub voxels: usize,
+    /// Compressed size in bytes.
+    pub bytes: usize,
+    /// Compressed bits per input point.
+    pub bits_per_point: f64,
+}
+
+const MAGIC: [u8; 4] = *b"VOCT";
+const HEADER_LEN: usize = 4 + 1 + 1 + 4 + 24;
+const MAX_DEPTH: u32 = 16;
+
+/// 3D Morton encode: interleaves the low `depth` bits of x, y, z.
+fn morton_encode(x: u32, y: u32, z: u32, depth: u32) -> u64 {
+    let mut code = 0u64;
+    for i in (0..depth).rev() {
+        code = (code << 3)
+            | (((x >> i) & 1) as u64) << 2
+            | (((y >> i) & 1) as u64) << 1
+            | ((z >> i) & 1) as u64;
+    }
+    code
+}
+
+/// Inverse of [`morton_encode`].
+fn morton_decode(code: u64, depth: u32) -> (u32, u32, u32) {
+    let (mut x, mut y, mut z) = (0u32, 0u32, 0u32);
+    for i in 0..depth {
+        let group = (code >> (3 * i)) & 0b111;
+        x |= (((group >> 2) & 1) as u32) << i;
+        y |= (((group >> 1) & 1) as u32) << i;
+        z |= ((group & 1) as u32) << i;
+    }
+    (x, y, z)
+}
+
+struct Contexts {
+    /// Occupancy bit contexts: [level][child_index].
+    occupancy: Vec<[BitModel; 8]>,
+    /// Color bit contexts: [channel][bit position].
+    color: [[BitModel; 8]; 3],
+}
+
+impl Contexts {
+    fn new(depth: u32) -> Self {
+        Contexts {
+            occupancy: vec![[BitModel::new(); 8]; depth as usize],
+            color: [[BitModel::new(); 8]; 3],
+        }
+    }
+}
+
+/// Encodes a cloud. Returns the bitstream and compression statistics.
+pub fn encode(cloud: &PointCloud, cfg: &CodecConfig) -> (EncodedCloud, CodecStats) {
+    assert!(cfg.depth >= 1 && cfg.depth <= MAX_DEPTH, "depth must be in 1..=16");
+    assert!(cfg.color_bits >= 1 && cfg.color_bits <= 8, "color_bits must be in 1..=8");
+
+    let bounds = if cloud.is_empty() {
+        Aabb::new(Vec3::ZERO, Vec3::ZERO)
+    } else {
+        cloud.bounds()
+    };
+    let extent = bounds.extent().max_component().max(1e-6);
+    let levels = 1u32 << cfg.depth;
+    let scale = levels as f64 / extent;
+
+    // Voxelize: quantize and merge duplicates (color-averaged).
+    let mut voxels: Vec<(u64, [u32; 3], u32)> = cloud
+        .points
+        .iter()
+        .map(|p| {
+            let rel = (p.position() - bounds.min) * scale;
+            let q = |v: f64| (v.floor() as i64).clamp(0, (levels - 1) as i64) as u32;
+            let (x, y, z) = (q(rel.x), q(rel.y), q(rel.z));
+            (
+                morton_encode(x, y, z, cfg.depth),
+                [p.color[0] as u32, p.color[1] as u32, p.color[2] as u32],
+                1u32,
+            )
+        })
+        .collect();
+    voxels.sort_unstable_by_key(|v| v.0);
+    // Merge duplicates, summing colors for averaging.
+    let mut merged: Vec<(u64, [u32; 3], u32)> = Vec::with_capacity(voxels.len());
+    for v in voxels {
+        match merged.last_mut() {
+            Some(last) if last.0 == v.0 => {
+                for c in 0..3 {
+                    last.1[c] += v.1[c];
+                }
+                last.2 += v.2;
+            }
+            _ => merged.push(v),
+        }
+    }
+
+    let codes: Vec<u64> = merged.iter().map(|v| v.0).collect();
+
+    // Header.
+    let mut data = Vec::with_capacity(HEADER_LEN + merged.len());
+    data.extend_from_slice(&MAGIC);
+    data.push(cfg.depth as u8);
+    data.push(cfg.color_bits as u8);
+    data.extend_from_slice(&(merged.len() as u32).to_le_bytes());
+    for v in [bounds.min.x, bounds.min.y, bounds.min.z] {
+        data.extend_from_slice(&(v as f32).to_le_bytes());
+    }
+    for v in [extent, 0.0, 0.0] {
+        data.extend_from_slice(&(v as f32).to_le_bytes());
+    }
+    debug_assert_eq!(data.len(), HEADER_LEN);
+
+    // Payload.
+    let mut ctx = Contexts::new(cfg.depth);
+    let mut enc = RangeEncoder::new();
+    if !codes.is_empty() {
+        encode_node(&mut enc, &mut ctx, &codes, 0, cfg.depth);
+        // Colors in Morton (leaf) order.
+        let shift = 8 - cfg.color_bits;
+        for v in &merged {
+            for ch in 0..3 {
+                let avg = v.1[ch] / v.2;
+                enc.encode_bits(&mut ctx.color[ch], avg >> shift, cfg.color_bits);
+            }
+        }
+    }
+    data.extend_from_slice(&enc.finish());
+
+    let stats = CodecStats {
+        input_points: cloud.len(),
+        voxels: merged.len(),
+        bytes: data.len(),
+        bits_per_point: if cloud.is_empty() {
+            0.0
+        } else {
+            data.len() as f64 * 8.0 / cloud.len() as f64
+        },
+    };
+    (EncodedCloud { data }, stats)
+}
+
+/// Recursive DFS over the sorted Morton codes. `level` counts down; at each
+/// node the 3-bit child group is at bit offset `3 * (level - 1)`.
+fn encode_node(
+    enc: &mut RangeEncoder,
+    ctx: &mut Contexts,
+    codes: &[u64],
+    depth_from_root: u32,
+    total_depth: u32,
+) {
+    let level_shift = 3 * (total_depth - depth_from_root - 1);
+    // Partition children: codes are sorted, so each child occupies a
+    // contiguous range.
+    let mut ranges: [(usize, usize); 8] = [(0, 0); 8];
+    let mut start = 0usize;
+    for child in 0..8u64 {
+        let end = codes[start..]
+            .iter()
+            .position(|&c| (c >> level_shift) & 0b111 != child)
+            .map(|p| start + p)
+            .unwrap_or(codes.len());
+        ranges[child as usize] = (start, end);
+        start = end;
+    }
+    // Emit occupancy bits.
+    for child in 0..8usize {
+        let occupied = ranges[child].1 > ranges[child].0;
+        enc.encode_bit(&mut ctx.occupancy[depth_from_root as usize][child], occupied);
+    }
+    // Recurse.
+    if depth_from_root + 1 < total_depth {
+        for child in 0..8usize {
+            let (s, e) = ranges[child];
+            if e > s {
+                encode_node(enc, ctx, &codes[s..e], depth_from_root + 1, total_depth);
+            }
+        }
+    }
+}
+
+/// Decodes a bitstream back into a voxelized point cloud.
+pub fn decode(encoded: &EncodedCloud) -> Result<PointCloud, CodecError> {
+    let data = &encoded.data;
+    if data.len() < HEADER_LEN {
+        return Err(CodecError::TruncatedHeader);
+    }
+    if data[0..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let depth = data[4] as u32;
+    let color_bits = data[5] as u32;
+    if depth == 0 || depth > MAX_DEPTH {
+        return Err(CodecError::InvalidHeader("depth out of range"));
+    }
+    if color_bits == 0 || color_bits > 8 {
+        return Err(CodecError::InvalidHeader("color_bits out of range"));
+    }
+    let count = u32::from_le_bytes(data[6..10].try_into().unwrap()) as usize;
+    let f32_at = |off: usize| -> f64 {
+        f32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as f64
+    };
+    let min = Vec3::new(f32_at(10), f32_at(14), f32_at(18));
+    let extent = f32_at(22);
+    if !(extent.is_finite() && extent > 0.0) && count > 0 {
+        return Err(CodecError::InvalidHeader("bad extent"));
+    }
+    if count == 0 {
+        return Ok(PointCloud::new());
+    }
+
+    let levels = 1u32 << depth;
+    let voxel = extent / levels as f64;
+
+    let mut ctx = Contexts::new(depth);
+    let mut dec = RangeDecoder::new(&data[HEADER_LEN..]);
+    let mut codes = Vec::with_capacity(count);
+    decode_node(&mut dec, &mut ctx, 0u64, 0, depth, &mut codes, count);
+
+    let mut points = Vec::with_capacity(codes.len());
+    let shift = 8 - color_bits;
+    // Reconstruct quantized colors at bucket centers.
+    let dequant = |v: u32| -> u8 {
+        let v = (v << shift) + ((1u32 << shift) >> 1);
+        v.min(255) as u8
+    };
+    for &code in &codes {
+        let (x, y, z) = morton_decode(code, depth);
+        let pos = min
+            + Vec3::new(
+                (x as f64 + 0.5) * voxel,
+                (y as f64 + 0.5) * voxel,
+                (z as f64 + 0.5) * voxel,
+            );
+        let r = dec.decode_bits(&mut ctx.color[0], color_bits);
+        let g = dec.decode_bits(&mut ctx.color[1], color_bits);
+        let b = dec.decode_bits(&mut ctx.color[2], color_bits);
+        points.push(Point::new(
+            [pos.x as f32, pos.y as f32, pos.z as f32],
+            [dequant(r), dequant(g), dequant(b)],
+        ));
+    }
+    Ok(PointCloud::from_points(points))
+}
+
+fn decode_node(
+    dec: &mut RangeDecoder,
+    ctx: &mut Contexts,
+    prefix: u64,
+    depth_from_root: u32,
+    total_depth: u32,
+    out: &mut Vec<u64>,
+    limit: usize,
+) {
+    let mut occ = [false; 8];
+    for (child, o) in occ.iter_mut().enumerate() {
+        *o = dec.decode_bit(&mut ctx.occupancy[depth_from_root as usize][child]);
+    }
+    for (child, &o) in occ.iter().enumerate() {
+        if !o {
+            continue;
+        }
+        if out.len() >= limit {
+            // Corrupt stream protection: never exceed the declared count.
+            return;
+        }
+        let code = (prefix << 3) | child as u64;
+        if depth_from_root + 1 == total_depth {
+            out.push(code);
+        } else {
+            decode_node(dec, ctx, code, depth_from_root + 1, total_depth, out, limit);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticBody;
+
+    #[test]
+    fn morton_round_trip() {
+        for depth in [1u32, 4, 10, 16] {
+            let m = (1u32 << depth) - 1;
+            for (x, y, z) in [(0, 0, 0), (1 & m, 2 & m, 3 & m), (m, m, m), (m / 2, 0, m)] {
+                let code = morton_encode(x, y, z, depth);
+                assert_eq!(morton_decode(code, depth), (x, y, z));
+            }
+        }
+    }
+
+    #[test]
+    fn morton_order_groups_spatially() {
+        // The first octant (low halves) must sort before the last octant.
+        let depth = 4;
+        let a = morton_encode(0, 0, 0, depth);
+        let b = morton_encode(7, 7, 7, depth);
+        let c = morton_encode(8, 8, 8, depth);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn empty_cloud_round_trip() {
+        let (enc, stats) = encode(&PointCloud::new(), &CodecConfig::default());
+        assert_eq!(stats.voxels, 0);
+        let dec = decode(&enc).unwrap();
+        assert!(dec.is_empty());
+    }
+
+    #[test]
+    fn single_point_round_trip() {
+        let cloud = PointCloud::from_points(vec![Point::new([1.0, 2.0, 3.0], [200, 100, 50])]);
+        let (enc, stats) = encode(&cloud, &CodecConfig::default());
+        assert_eq!(stats.voxels, 1);
+        let dec = decode(&enc).unwrap();
+        assert_eq!(dec.len(), 1);
+        // Degenerate bounds: extent clamp keeps the voxel near the point.
+        let p = dec.points[0].position();
+        assert!((p - Vec3::new(1.0, 2.0, 3.0)).norm() < 0.01, "{p}");
+    }
+
+    #[test]
+    fn body_round_trip_geometry_error_bounded() {
+        let cloud = SyntheticBody::default().frame(0, 20_000);
+        let cfg = CodecConfig { depth: 9, color_bits: 6 };
+        let (enc, stats) = encode(&cloud, &cfg);
+        let dec = decode(&enc).unwrap();
+        assert_eq!(dec.len(), stats.voxels);
+        // Voxel size = extent / 2^9; max quantization error = voxel * sqrt(3)/2.
+        let extent = cloud.bounds().extent().max_component();
+        let max_err = extent / 512.0 * 3f64.sqrt() / 2.0 + 1e-6;
+        // Every decoded point must be within max_err of some original point.
+        // (Spot-check a sample for test speed.)
+        for d in dec.points.iter().step_by(97) {
+            let dp = d.position();
+            let best = cloud
+                .points
+                .iter()
+                .map(|o| o.position().distance(dp))
+                .fold(f64::INFINITY, f64::min);
+            assert!(best <= max_err, "decoded point {dp} off by {best} > {max_err}");
+        }
+    }
+
+    #[test]
+    fn compression_is_effective() {
+        let cloud = SyntheticBody::default().frame(0, 50_000);
+        let (_, stats) = encode(&cloud, &CodecConfig::default());
+        // Raw: 12 bytes position + 3 bytes color = 120 bits/point.
+        assert!(
+            stats.bits_per_point < 40.0,
+            "bits per point {}",
+            stats.bits_per_point
+        );
+        assert!(stats.bits_per_point > 2.0);
+    }
+
+    #[test]
+    fn deeper_quantization_costs_more_bits() {
+        let cloud = SyntheticBody::default().frame(0, 20_000);
+        let (_, s8) = encode(&cloud, &CodecConfig { depth: 8, color_bits: 6 });
+        let (_, s11) = encode(&cloud, &CodecConfig { depth: 11, color_bits: 6 });
+        assert!(s11.bytes > s8.bytes);
+    }
+
+    #[test]
+    fn color_fidelity_within_quantization() {
+        let cloud = PointCloud::from_points(vec![
+            Point::new([0.0, 0.0, 0.0], [255, 0, 128]),
+            Point::new([1.0, 1.0, 1.0], [0, 255, 64]),
+        ]);
+        let cfg = CodecConfig { depth: 8, color_bits: 6 };
+        let (enc, _) = encode(&cloud, &cfg);
+        let dec = decode(&enc).unwrap();
+        assert_eq!(dec.len(), 2);
+        let step = 1u32 << (8 - cfg.color_bits); // 4
+        for d in &dec.points {
+            let orig = cloud
+                .points
+                .iter()
+                .min_by(|a, b| {
+                    let da = a.position().distance(d.position());
+                    let db = b.position().distance(d.position());
+                    da.partial_cmp(&db).unwrap()
+                })
+                .unwrap();
+            for ch in 0..3 {
+                let err = (d.color[ch] as i32 - orig.color[ch] as i32).unsigned_abs();
+                assert!(err <= step, "channel {ch} err {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_inputs() {
+        assert_eq!(
+            decode(&EncodedCloud { data: vec![1, 2, 3] }),
+            Err(CodecError::TruncatedHeader)
+        );
+        let mut bad_magic = vec![0u8; HEADER_LEN + 8];
+        bad_magic[0..4].copy_from_slice(b"NOPE");
+        assert_eq!(
+            decode(&EncodedCloud { data: bad_magic }),
+            Err(CodecError::BadMagic)
+        );
+        // Bad depth.
+        let mut bad_depth = vec![0u8; HEADER_LEN + 8];
+        bad_depth[0..4].copy_from_slice(&MAGIC);
+        bad_depth[4] = 0;
+        bad_depth[5] = 6;
+        assert!(matches!(
+            decode(&EncodedCloud { data: bad_depth }),
+            Err(CodecError::InvalidHeader(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_does_not_panic_or_overrun() {
+        let cloud = SyntheticBody::default().frame(0, 2_000);
+        let (mut enc, stats) = encode(&cloud, &CodecConfig::default());
+        // Truncate the payload savagely.
+        enc.data.truncate(HEADER_LEN + 8);
+        let dec = decode(&enc).unwrap();
+        assert!(dec.len() <= stats.voxels);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let cloud = SyntheticBody::default().frame(3, 10_000);
+        let (enc, stats) = encode(&cloud, &CodecConfig::default());
+        assert_eq!(stats.input_points, 10_000);
+        assert_eq!(stats.bytes, enc.size_bytes());
+        assert!(stats.voxels <= stats.input_points);
+        assert!((stats.bits_per_point - enc.size_bytes() as f64 * 8.0 / 10_000.0).abs() < 1e-9);
+    }
+}

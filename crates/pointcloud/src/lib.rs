@@ -1,0 +1,35 @@
+//! Point-cloud substrate for volcast.
+//!
+//! The paper streams the 8i "soldier" voxelized point-cloud video compressed
+//! with Google Draco; neither artifact is redistributable here, so this crate
+//! provides the synthetic equivalents (see `DESIGN.md` §1):
+//!
+//! - [`PointCloud`] / [`VideoSequence`]: frames of colored points,
+//! - [`synthetic::SyntheticBody`]: a parametric animated humanoid sampled to
+//!   an exact target density (330K/430K/550K points per frame),
+//! - [`CellGrid`]: the spatial cell partition (25/50/100 cm cells) that makes
+//!   each cell independently prefetchable and decodable, as in ViVo,
+//! - [`codec`]: a real octree geometry codec (quantization + occupancy
+//!   entropy coding with an adaptive binary range coder) standing in for
+//!   Draco, with matching rate behaviour,
+//! - [`DecodeModel`]: the client-side decode-throughput ceiling (the paper's
+//!   "550K points is the highest density decodable at 30 FPS"),
+//! - [`QualityLadder`]: the three-version quality ladder with bitrates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cells;
+pub mod codec;
+pub mod decode_model;
+pub mod point;
+pub mod quality;
+pub mod synthetic;
+pub mod video;
+
+pub use cells::{CellGrid, CellId, CellInfo};
+pub use decode_model::DecodeModel;
+pub use point::{Point, PointCloud};
+pub use quality::{Quality, QualityLadder, QualityLevel};
+pub use synthetic::SyntheticBody;
+pub use video::VideoSequence;

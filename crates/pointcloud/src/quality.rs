@@ -1,0 +1,199 @@
+//! The three-version quality ladder from the paper's experimental setup.
+//!
+//! The paper encodes the soldier sequence at three point densities — 330K,
+//! 430K and 550K points/frame — whose compressed bitrates range from 235 to
+//! 364 Mbps. [`Quality`] captures those calibration anchors so the network
+//! experiments can compute frame sizes without generating geometry, while
+//! [`QualityLadder`] ties the levels to an actual synthetic video.
+
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's three quality versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum QualityLevel {
+    /// 330K points/frame.
+    Low,
+    /// 430K points/frame.
+    Medium,
+    /// 550K points/frame (double the highest density used in ViVo; the
+    /// highest density Draco-decodable at 30 FPS on the client laptops).
+    High,
+}
+
+impl QualityLevel {
+    /// All levels, lowest first.
+    pub const ALL: [QualityLevel; 3] =
+        [QualityLevel::Low, QualityLevel::Medium, QualityLevel::High];
+
+    /// Human-readable label matching the paper's table ("330K points").
+    pub fn label(self) -> &'static str {
+        match self {
+            QualityLevel::Low => "330K points",
+            QualityLevel::Medium => "430K points",
+            QualityLevel::High => "550K points",
+        }
+    }
+
+    /// The next level down, or `None` at the bottom.
+    pub fn lower(self) -> Option<QualityLevel> {
+        match self {
+            QualityLevel::Low => None,
+            QualityLevel::Medium => Some(QualityLevel::Low),
+            QualityLevel::High => Some(QualityLevel::Medium),
+        }
+    }
+
+    /// The next level up, or `None` at the top.
+    pub fn higher(self) -> Option<QualityLevel> {
+        match self {
+            QualityLevel::Low => Some(QualityLevel::Medium),
+            QualityLevel::Medium => Some(QualityLevel::High),
+            QualityLevel::High => None,
+        }
+    }
+}
+
+/// Calibrated per-level streaming parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quality {
+    /// Level identifier.
+    pub level: QualityLevel,
+    /// Target points per frame.
+    pub points_per_frame: usize,
+    /// Calibrated compressed full-frame bitrate in Mbps at 30 FPS
+    /// (paper: 235-364 Mbps across the ladder).
+    pub full_frame_mbps: f64,
+}
+
+impl Quality {
+    /// Paper-calibrated parameters for a level.
+    ///
+    /// Bitrates interpolate the paper's 235-364 Mbps range across the
+    /// ladder proportionally to point count.
+    pub fn of(level: QualityLevel) -> Quality {
+        match level {
+            QualityLevel::Low => Quality {
+                level,
+                points_per_frame: 330_000,
+                full_frame_mbps: 235.0,
+            },
+            QualityLevel::Medium => Quality {
+                level,
+                points_per_frame: 430_000,
+                full_frame_mbps: 294.0,
+            },
+            QualityLevel::High => Quality {
+                level,
+                points_per_frame: 550_000,
+                full_frame_mbps: 364.0,
+            },
+        }
+    }
+
+    /// Compressed size of one full frame in bytes at 30 FPS.
+    pub fn full_frame_bytes(&self) -> f64 {
+        self.full_frame_mbps * 1e6 / 8.0 / 30.0
+    }
+
+    /// Compressed bytes per point implied by the calibration.
+    pub fn bytes_per_point(&self) -> f64 {
+        self.full_frame_bytes() / self.points_per_frame as f64
+    }
+}
+
+/// The full ladder: the three levels of one video.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityLadder {
+    /// The three calibrated levels, lowest first.
+    pub levels: [Quality; 3],
+}
+
+impl Default for QualityLadder {
+    fn default() -> Self {
+        QualityLadder {
+            levels: [
+                Quality::of(QualityLevel::Low),
+                Quality::of(QualityLevel::Medium),
+                Quality::of(QualityLevel::High),
+            ],
+        }
+    }
+}
+
+impl QualityLadder {
+    /// Looks up a level's parameters.
+    pub fn get(&self, level: QualityLevel) -> Quality {
+        self.levels[match level {
+            QualityLevel::Low => 0,
+            QualityLevel::Medium => 1,
+            QualityLevel::High => 2,
+        }]
+    }
+
+    /// The highest level whose full-frame bitrate fits within `budget_mbps`,
+    /// or `None` when even Low does not fit.
+    pub fn best_within(&self, budget_mbps: f64) -> Option<QualityLevel> {
+        self.levels
+            .iter()
+            .rev()
+            .find(|q| q.full_frame_mbps <= budget_mbps)
+            .map(|q| q.level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone() {
+        let l = QualityLadder::default();
+        assert!(l.get(QualityLevel::Low).points_per_frame
+            < l.get(QualityLevel::Medium).points_per_frame);
+        assert!(l.get(QualityLevel::Medium).points_per_frame
+            < l.get(QualityLevel::High).points_per_frame);
+        assert!(l.get(QualityLevel::Low).full_frame_mbps
+            < l.get(QualityLevel::High).full_frame_mbps);
+    }
+
+    #[test]
+    fn paper_anchor_bitrates() {
+        assert_eq!(Quality::of(QualityLevel::Low).full_frame_mbps, 235.0);
+        assert_eq!(Quality::of(QualityLevel::High).full_frame_mbps, 364.0);
+        assert_eq!(Quality::of(QualityLevel::High).points_per_frame, 550_000);
+    }
+
+    #[test]
+    fn frame_bytes_match_bitrate() {
+        let q = Quality::of(QualityLevel::High);
+        // 364 Mbps at 30 FPS ~ 1.52 MB/frame.
+        let mb = q.full_frame_bytes() / 1e6;
+        assert!((mb - 1.516).abs() < 0.01, "{mb}");
+        // Bytes per point ~ 2.7.
+        assert!((q.bytes_per_point() - 2.76).abs() < 0.1);
+    }
+
+    #[test]
+    fn level_ordering_helpers() {
+        assert_eq!(QualityLevel::Low.lower(), None);
+        assert_eq!(QualityLevel::Low.higher(), Some(QualityLevel::Medium));
+        assert_eq!(QualityLevel::High.higher(), None);
+        assert_eq!(QualityLevel::High.lower(), Some(QualityLevel::Medium));
+        assert!(QualityLevel::Low < QualityLevel::High);
+    }
+
+    #[test]
+    fn best_within_budget() {
+        let l = QualityLadder::default();
+        assert_eq!(l.best_within(400.0), Some(QualityLevel::High));
+        assert_eq!(l.best_within(300.0), Some(QualityLevel::Medium));
+        assert_eq!(l.best_within(240.0), Some(QualityLevel::Low));
+        assert_eq!(l.best_within(100.0), None);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(QualityLevel::High.label(), "550K points");
+        assert_eq!(QualityLevel::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the point-cloud substrate: codec round-trip fidelity,
+//! cell-partition invariants and subsampling behaviour.
+
+use proptest::prelude::*;
+use volcast_pointcloud::codec::{decode, encode, CodecConfig};
+use volcast_pointcloud::{CellGrid, Point, PointCloud};
+
+fn arb_point(extent: f32) -> impl Strategy<Value = Point> {
+    (
+        -extent..extent,
+        -extent..extent,
+        -extent..extent,
+        any::<u8>(),
+        any::<u8>(),
+        any::<u8>(),
+    )
+        .prop_map(|(x, y, z, r, g, b)| Point::new([x, y, z], [r, g, b]))
+}
+
+fn arb_cloud(max_points: usize) -> impl Strategy<Value = PointCloud> {
+    prop::collection::vec(arb_point(5.0), 0..max_points).prop_map(PointCloud::from_points)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn codec_round_trip_is_voxel_accurate(cloud in arb_cloud(300), depth in 4u32..11) {
+        let cfg = CodecConfig { depth, color_bits: 6 };
+        let (enc, stats) = encode(&cloud, &cfg);
+        let dec = decode(&enc).unwrap();
+        prop_assert_eq!(dec.len(), stats.voxels);
+        prop_assert!(dec.len() <= cloud.len());
+        if cloud.is_empty() {
+            prop_assert!(dec.is_empty());
+            return Ok(());
+        }
+        // Quantization error bound: voxel diagonal / 2 (+ f32 slack).
+        let extent = cloud.bounds().extent().max_component().max(1e-6);
+        let max_err = extent / (1u64 << depth) as f64 * 3f64.sqrt() / 2.0 + 1e-3;
+        // Bidirectional Hausdorff bound.
+        for d in &dec.points {
+            let best = cloud.points.iter()
+                .map(|o| o.position().distance(d.position()))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(best <= max_err, "decoded offset {} > {}", best, max_err);
+        }
+        for o in &cloud.points {
+            let best = dec.points.iter()
+                .map(|d| d.position().distance(o.position()))
+                .fold(f64::INFINITY, f64::min);
+            prop_assert!(best <= max_err, "original uncovered by {} > {}", best, max_err);
+        }
+    }
+
+    #[test]
+    fn codec_is_deterministic(cloud in arb_cloud(200)) {
+        let cfg = CodecConfig::default();
+        let (a, _) = encode(&cloud, &cfg);
+        let (b, _) = encode(&cloud, &cfg);
+        prop_assert_eq!(a.data, b.data);
+    }
+
+    #[test]
+    fn partition_is_exhaustive_and_disjoint(cloud in arb_cloud(300), size in 0.1f64..2.0) {
+        let grid = CellGrid::new(size);
+        let cells = grid.partition(&cloud);
+        let mut seen = vec![false; cloud.len()];
+        for c in &cells {
+            prop_assert_eq!(c.point_count, c.point_indices.len());
+            for &i in &c.point_indices {
+                prop_assert!(!seen[i as usize], "point in two cells");
+                seen[i as usize] = true;
+                // The point really lies in the cell bounds.
+                let p = cloud.points[i as usize].position();
+                prop_assert!(grid.cell_bounds(c.id).contains(p));
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "point missing from partition");
+    }
+
+    #[test]
+    fn cell_of_matches_cell_bounds(x in -10.0f64..10.0, y in -10.0f64..10.0,
+                                   z in -10.0f64..10.0, size in 0.05f64..3.0) {
+        let grid = CellGrid::new(size);
+        let p = volcast_geom::Vec3::new(x, y, z);
+        let id = grid.cell_of(p);
+        prop_assert!(grid.cell_bounds(id).contains(p));
+    }
+
+    #[test]
+    fn subsample_never_exceeds_target(cloud in arb_cloud(300), target in 0usize..400) {
+        let s = cloud.subsample(target);
+        prop_assert!(s.len() <= target.min(cloud.len()).max(0));
+        if target >= cloud.len() {
+            prop_assert_eq!(s.len(), cloud.len());
+        } else {
+            prop_assert_eq!(s.len(), target);
+        }
+        // Every sampled point exists in the original.
+        for p in &s.points {
+            prop_assert!(cloud.points.contains(p));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Decoding arbitrary bytes must never panic: it either errors or
+    /// produces some (possibly garbage) cloud bounded by the declared
+    /// count. This is the safety contract for network-received bitstreams.
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(data in prop::collection::vec(any::<u8>(), 0..400)) {
+        use volcast_pointcloud::codec::EncodedCloud;
+        let _ = decode(&EncodedCloud { data });
+    }
+
+    /// Same with a valid header but corrupted payload.
+    #[test]
+    fn decode_corrupted_payload_never_panics(
+        cloud in arb_cloud(100),
+        flips in prop::collection::vec((0usize..4096, any::<u8>()), 1..16),
+    ) {
+        let (mut enc, stats) = encode(&cloud, &CodecConfig::default());
+        for (pos, val) in flips {
+            if enc.data.len() > 34 {
+                let idx = 34 + pos % (enc.data.len() - 34); // leave the header intact
+                enc.data[idx] ^= val;
+            }
+        }
+        if let Ok(decoded) = decode(&enc) {
+            prop_assert!(decoded.len() <= stats.voxels);
+        }
+    }
+}

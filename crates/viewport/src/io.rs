@@ -1,0 +1,145 @@
+//! Trace and study serialization.
+//!
+//! Viewport traces are the interchange artifact of this research area (the
+//! paper's own dataset is 32 users' 6DoF poses at 30 Hz). This module
+//! stores [`Trace`]/[`UserStudy`] as self-describing JSON, so externally
+//! collected traces can be dropped into every experiment in place of the
+//! synthetic generator, and synthetic studies can be exported for other
+//! tools.
+
+use crate::traces::{Trace, UserStudy};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Versioned on-disk container.
+#[derive(Debug, Serialize, Deserialize)]
+struct StudyFile {
+    /// Format version for forward compatibility.
+    version: u32,
+    /// The traces.
+    traces: Vec<Trace>,
+}
+
+const VERSION: u32 = 1;
+
+/// Errors from trace I/O.
+#[derive(Debug)]
+pub enum IoError {
+    /// Filesystem error.
+    Io(std::io::Error),
+    /// Malformed JSON or wrong schema.
+    Format(serde_json::Error),
+    /// A known-incompatible format version.
+    Version(u32),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Format(e) => write!(f, "format error: {e}"),
+            IoError::Version(v) => write!(f, "unsupported trace file version {v}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Format(e)
+    }
+}
+
+/// Writes a study to a JSON writer.
+pub fn write_study<W: Write>(study: &UserStudy, mut w: W) -> Result<(), IoError> {
+    let file = StudyFile { version: VERSION, traces: study.traces.clone() };
+    let json = serde_json::to_string(&file)?;
+    w.write_all(json.as_bytes())?;
+    Ok(())
+}
+
+/// Reads a study from a JSON reader.
+pub fn read_study<R: Read>(mut r: R) -> Result<UserStudy, IoError> {
+    let mut buf = String::new();
+    r.read_to_string(&mut buf)?;
+    let file: StudyFile = serde_json::from_str(&buf)?;
+    if file.version != VERSION {
+        return Err(IoError::Version(file.version));
+    }
+    Ok(UserStudy { traces: file.traces })
+}
+
+/// Saves a study to a file path.
+pub fn save_study<P: AsRef<Path>>(study: &UserStudy, path: P) -> Result<(), IoError> {
+    write_study(study, std::fs::File::create(path)?)
+}
+
+/// Loads a study from a file path.
+pub fn load_study<P: AsRef<Path>>(path: P) -> Result<UserStudy, IoError> {
+    read_study(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_memory() {
+        let study = UserStudy::generate_with(5, 20, 2, 2);
+        let mut buf = Vec::new();
+        write_study(&study, &mut buf).unwrap();
+        let loaded = read_study(buf.as_slice()).unwrap();
+        assert_eq!(loaded.len(), study.len());
+        for (a, b) in study.traces.iter().zip(&loaded.traces) {
+            assert_eq!(a.user_id, b.user_id);
+            assert_eq!(a.device, b.device);
+            assert_eq!(a.rate_hz, b.rate_hz);
+            assert_eq!(a.poses.len(), b.poses.len());
+            for (pa, pb) in a.poses.iter().zip(&b.poses) {
+                assert!((pa.position - pb.position).norm() < 1e-12);
+                assert!(pa.orientation.angle_to(pb.orientation) < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let study = UserStudy::generate_with(6, 10, 1, 1);
+        let dir = std::env::temp_dir().join("volcast_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("study.json");
+        save_study(&study, &path).unwrap();
+        let loaded = load_study(&path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let json = r#"{"version": 99, "traces": []}"#;
+        match read_study(json.as_bytes()) {
+            Err(IoError::Version(99)) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(matches!(
+            read_study("not json".as_bytes()),
+            Err(IoError::Format(_))
+        ));
+        assert!(matches!(
+            read_study(r#"{"version": 1}"#.as_bytes()),
+            Err(IoError::Format(_))
+        ));
+    }
+}

@@ -1,0 +1,38 @@
+//! 6DoF viewport substrate for volcast.
+//!
+//! Provides everything the paper's §3 measurement study and §4.1 research
+//! agenda need on the viewer side:
+//!
+//! - [`traces`]: seeded synthetic 6DoF viewport trajectories for two device
+//!   classes (PH = smartphone, HM = headset), substituting for the paper's
+//!   32-participant IRB user study,
+//! - [`visibility`]: per-user cell visibility maps computed with the three
+//!   ViVo optimizations (frustum culling, distance-based LOD, occlusion
+//!   culling),
+//! - [`similarity`]: the IoU viewport-similarity metric over visibility
+//!   maps, for pairs and groups,
+//! - [`predict`]: single-user 6DoF viewport prediction (linear regression
+//!   and MLP, as in ViVo/CoNEXT'19),
+//! - [`joint`]: joint multi-user viewport prediction with inter-user
+//!   proximity/occlusion awareness (§4.1),
+//! - [`blockage`]: viewport-prediction-driven mmWave blockage forecasting
+//!   (§4.1, "viewport prediction for proactive blockage mitigation").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blockage;
+pub mod io;
+pub mod joint;
+pub mod predict;
+pub mod similarity;
+pub mod traces;
+pub mod visibility;
+
+pub use blockage::{BlockageEvent, BlockageForecaster};
+pub use io::{load_study, save_study};
+pub use joint::JointPredictor;
+pub use predict::{LinearPredictor, MlpPredictor, Predictor};
+pub use similarity::{group_iou, iou, overlap_bytes};
+pub use traces::{DeviceClass, Trace, TraceGenerator, UserStudy};
+pub use visibility::{VisibilityMap, VisibilityOptions, VisibilityComputer};

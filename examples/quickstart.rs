@@ -1,0 +1,45 @@
+//! Quickstart: stream volumetric video to three co-located users.
+//!
+//! Builds a default end-to-end session — synthetic soldier video, three
+//! headset users orbiting it, the simulated 802.11ad room — runs it with
+//! the full volcast pipeline, and prints the QoE report next to the two
+//! baselines.
+//!
+//! Run: `cargo run --release --example quickstart`
+
+use volcast::core::{quick_session, PlayerKind};
+
+fn main() {
+    let users = 3;
+    let frames = 90; // 3 seconds at 30 FPS
+
+    println!("volcast quickstart: {users} users, {frames} frames\n");
+    println!(
+        "{:<18} {:>9} {:>12} {:>9} {:>12} {:>11}",
+        "player", "mean FPS", "stall ratio", "quality", "mcast bytes", "group size"
+    );
+    println!("{}", "-".repeat(76));
+
+    for player in [PlayerKind::Vanilla, PlayerKind::Vivo, PlayerKind::Volcast] {
+        let mut session = quick_session(player, users, frames, 42);
+        let outcome = session.run();
+        println!(
+            "{:<18} {:>9.1} {:>12.3} {:>9.2} {:>11.0}% {:>11.2}",
+            player.label(),
+            outcome.qoe.mean_fps(),
+            outcome.qoe.mean_stall_ratio(),
+            outcome.qoe.mean_quality_score(),
+            outcome.multicast_byte_fraction * 100.0,
+            outcome.mean_group_size,
+        );
+    }
+
+    println!("\nWhat just happened, per frame:");
+    println!(" 1. each user's 6DoF pose was observed and predicted 10 frames ahead,");
+    println!(" 2. the point-cloud frame was partitioned into 50 cm cells and each");
+    println!("    user's visible cells were computed (frustum+distance+occlusion),");
+    println!(" 3. users with overlapping viewports were grouped (T_m(k) model) and");
+    println!("    a multicast beam was designed for each group,");
+    println!(" 4. the schedule ran on a calibrated 802.11ad MAC model, and client");
+    println!("    buffers/decoders determined stalls and QoE.");
+}
