@@ -1,12 +1,14 @@
-//! Criterion microbenchmarks for the performance-critical kernels.
+//! Microbenchmarks for the performance-critical kernels.
 //!
 //! These measure the costs a real deployment would care about: per-frame
 //! visibility computation, grouping search, beam design, codec throughput,
-//! channel evaluation, and the event engine.
+//! channel evaluation, and the event engine. Timing uses the in-tree
+//! harness (`volcast_util::timing`) — wall-clock min/median/mean over a
+//! fixed sample count, no external dependencies.
 //!
 //! Run: `cargo bench -p volcast-bench`
+//! (knobs: `VOLCAST_BENCH_SAMPLES`, default 20)
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use volcast_core::{GroupPlanner, GroupingInputs, SystemConfig};
 use volcast_geom::Vec3;
@@ -14,26 +16,25 @@ use volcast_mmwave::{Channel, Codebook, McsTable, MultiLobeDesigner};
 use volcast_net::{EventQueue, SimTime};
 use volcast_pointcloud::codec::{decode, encode, CodecConfig};
 use volcast_pointcloud::{CellGrid, SyntheticBody};
-use volcast_viewport::{
-    iou, DeviceClass, UserStudy, VisibilityComputer, VisibilityOptions,
-};
+use volcast_util::timing::Harness;
+use volcast_viewport::{iou, DeviceClass, UserStudy, VisibilityComputer, VisibilityOptions};
 
-fn bench_codec(c: &mut Criterion) {
+fn bench_codec(h: &mut Harness) {
     let cloud = SyntheticBody::default().frame(0, 50_000);
     let cfg = CodecConfig::default();
-    c.bench_function("codec/encode_50k_points", |b| {
+    h.bench_function("codec/encode_50k_points", |b| {
         b.iter(|| encode(black_box(&cloud), &cfg))
     });
     let (enc, _) = encode(&cloud, &cfg);
-    c.bench_function("codec/decode_50k_points", |b| {
+    h.bench_function("codec/decode_50k_points", |b| {
         b.iter(|| decode(black_box(&enc)).unwrap())
     });
 }
 
-fn bench_geometry(c: &mut Criterion) {
+fn bench_geometry(h: &mut Harness) {
     let cloud = SyntheticBody::default().frame(0, 50_000);
     let grid = CellGrid::new(0.5);
-    c.bench_function("cells/partition_50k_points", |b| {
+    h.bench_function("cells/partition_50k_points", |b| {
         b.iter(|| grid.partition(black_box(&cloud)))
     });
 
@@ -44,38 +45,41 @@ fn bench_geometry(c: &mut Criterion) {
         ..VisibilityOptions::vivo()
     });
     let pose = study.traces[16].pose(10);
-    c.bench_function("visibility/full_map_one_user", |b| {
+    h.bench_function("visibility/full_map_one_user", |b| {
         b.iter(|| vc.compute(black_box(&pose), &grid, &partition))
     });
 
     let m0 = vc.compute(&study.traces[16].pose(10), &grid, &partition);
     let m1 = vc.compute(&study.traces[17].pose(10), &grid, &partition);
-    c.bench_function("similarity/iou_pair", |b| {
+    h.bench_function("similarity/iou_pair", |b| {
         b.iter(|| iou(black_box(&m0), black_box(&m1)))
     });
 }
 
-fn bench_mmwave(c: &mut Criterion) {
+fn bench_mmwave(h: &mut Harness) {
     let channel = Channel::default_setup();
     let codebook = Codebook::default_for(&channel.array);
     let designer = MultiLobeDesigner::new(&channel, &codebook);
     let user = Vec3::new(1.0, 1.5, -1.0);
-    c.bench_function("channel/rss_one_beam", |b| {
+    h.bench_function("channel/rss_one_beam", |b| {
         let beam = &codebook.sectors[10];
         b.iter(|| channel.rss_dbm(black_box(beam), user, &[]))
     });
     let pair = [Vec3::new(-2.0, 1.5, 0.0), Vec3::new(2.0, 1.5, 0.0)];
-    c.bench_function("beam/design_two_user_group", |b| {
+    h.bench_function("beam/design_two_user_group", |b| {
         b.iter(|| designer.design(black_box(&pair), &[]))
     });
 }
 
-fn bench_grouping(c: &mut Criterion) {
+fn bench_grouping(h: &mut Harness) {
     // Realistic grouping instance: 6 users over a real frame partition.
     let cloud = SyntheticBody::default().frame(0, 15_000);
     let grid = CellGrid::new(0.5);
     let partition = grid.partition(&cloud);
-    let sizes: Vec<f64> = partition.iter().map(|c| c.point_count as f64 * 3.0).collect();
+    let sizes: Vec<f64> = partition
+        .iter()
+        .map(|c| c.point_count as f64 * 3.0)
+        .collect();
     let study = UserStudy::generate(1, 30);
     let vc = VisibilityComputer::new(VisibilityOptions {
         intrinsics: DeviceClass::Phone.intrinsics(),
@@ -89,16 +93,14 @@ fn bench_grouping(c: &mut Criterion) {
     let channel = Channel::default_setup();
     let codebook = Codebook::default_for(&channel.array);
     let designer = MultiLobeDesigner::new(&channel, &codebook);
-    let positions: Vec<Vec3> = (0..6)
-        .map(|u| study.traces[u].pose(10).position)
-        .collect();
+    let positions: Vec<Vec3> = (0..6).map(|u| study.traces[u].pose(10).position).collect();
     let group_rate = |members: &[usize]| -> f64 {
         let pts: Vec<_> = members.iter().map(|&u| positions[u]).collect();
         let beam = designer.design(&pts, &[]);
         mcs.multicast_rate_mbps(&beam.member_rss_dbm)
     };
     let planner = GroupPlanner::new(SystemConfig::default());
-    c.bench_function("grouping/plan_6_users", |b| {
+    h.bench_function("grouping/plan_6_users", |b| {
         b.iter(|| {
             planner.plan(black_box(&GroupingInputs {
                 maps: &maps,
@@ -111,30 +113,26 @@ fn bench_grouping(c: &mut Criterion) {
     });
 }
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("events/schedule_pop_10k", |b| {
-        b.iter_batched(
-            EventQueue::<u64>::new,
-            |mut q| {
-                for i in 0..10_000u64 {
-                    // Pseudo-random interleaved times.
-                    let t = (i.wrapping_mul(2_654_435_761)) % 1_000_000;
-                    q.schedule(SimTime(t + 1_000_000), i);
-                }
-                let mut acc = 0u64;
-                while let Some((_, e)) = q.pop() {
-                    acc = acc.wrapping_add(e);
-                }
-                acc
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_event_queue(h: &mut Harness) {
+    h.bench_function("events/schedule_pop_10k", |b| {
+        b.iter_batched(EventQueue::<u64>::new, |mut q| {
+            for i in 0..10_000u64 {
+                // Pseudo-random interleaved times.
+                let t = (i.wrapping_mul(2_654_435_761)) % 1_000_000;
+                q.schedule(SimTime(t + 1_000_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            acc
+        })
     });
 }
 
-fn bench_synthetic(c: &mut Criterion) {
+fn bench_synthetic(h: &mut Harness) {
     let body = SyntheticBody::default();
-    c.bench_function("synthetic/frame_100k_points", |b| {
+    h.bench_function("synthetic/frame_100k_points", |b| {
         let mut i = 0u64;
         b.iter(|| {
             i += 1;
@@ -143,10 +141,12 @@ fn bench_synthetic(c: &mut Criterion) {
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_codec, bench_geometry, bench_mmwave, bench_grouping,
-              bench_event_queue, bench_synthetic
+fn main() {
+    let mut h = Harness::new();
+    bench_codec(&mut h);
+    bench_geometry(&mut h);
+    bench_mmwave(&mut h);
+    bench_grouping(&mut h);
+    bench_event_queue(&mut h);
+    bench_synthetic(&mut h);
 }
-criterion_main!(benches);

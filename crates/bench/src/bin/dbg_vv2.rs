@@ -9,9 +9,14 @@ fn main() {
             s.params.fixed_quality = Some(QualityLevel::High);
             s.params.analysis_points = 8_000;
             let out = s.run();
-            println!("{n} {:?}: fps {:.1} stalls {:.3} frame_ms {:.1} mcast {:.0}%",
-                player, out.qoe.mean_fps(), out.qoe.mean_stall_ratio(),
-                out.mean_frame_time_s*1e3, out.multicast_byte_fraction*100.0);
+            println!(
+                "{n} {:?}: fps {:.1} stalls {:.3} frame_ms {:.1} mcast {:.0}%",
+                player,
+                out.qoe.mean_fps(),
+                out.qoe.mean_stall_ratio(),
+                out.mean_frame_time_s * 1e3,
+                out.multicast_byte_fraction * 100.0
+            );
         }
     }
 }

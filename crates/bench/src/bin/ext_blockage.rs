@@ -35,7 +35,12 @@ fn walker(frames: usize, z: f64, speed_mps: f64) -> Trace {
             Pose::new(Vec3::new(x, 1.7, z), Default::default())
         })
         .collect();
-    Trace { user_id: usize::MAX, device: DeviceClass::Headset, rate_hz: rate, poses }
+    Trace {
+        user_id: usize::MAX,
+        device: DeviceClass::Headset,
+        rate_hz: rate,
+        poses,
+    }
 }
 
 fn main() {
@@ -58,13 +63,8 @@ fn main() {
             s.walkers.push(walker(frames, 2.0, 1.2));
         }
         let out = s.run();
-        let stall_per_user: f64 = out
-            .qoe
-            .users
-            .iter()
-            .map(|u| u.stall_time_s)
-            .sum::<f64>()
-            / out.qoe.users.len() as f64;
+        let stall_per_user: f64 =
+            out.qoe.users.iter().map(|u| u.stall_time_s).sum::<f64>() / out.qoe.users.len() as f64;
         println!(
             "{:<26} {:>9.1} {:>12.3} {:>12.3} {:>11}",
             label,

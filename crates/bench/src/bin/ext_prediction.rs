@@ -83,7 +83,11 @@ fn main() {
             let poses: Vec<_> = users.iter().map(|&u| ctx.study.traces[u].pose(f)).collect();
             jp.observe_frame(&poses);
         }
-        print!(" {:>6.3}/{:<6.3}", t_sum / count as f64, r_sum / count as f64);
+        print!(
+            " {:>6.3}/{:<6.3}",
+            t_sum / count as f64,
+            r_sum / count as f64
+        );
     }
     println!();
 

@@ -11,8 +11,8 @@
 
 use volcast_core::session::quick_session_with_device;
 use volcast_core::PlayerKind;
-use volcast_viewport::DeviceClass;
 use volcast_pointcloud::QualityLevel;
+use volcast_viewport::DeviceClass;
 
 fn main() {
     println!("Ext A: end-to-end user scaling at fixed High quality (550K pts)\n");
@@ -26,8 +26,7 @@ fn main() {
             // Classroom scenario: phone viewers clustered in a frontal
             // arc — the paper's motivating multi-user case, where viewport
             // overlap (and thus multicast opportunity) is highest.
-            let mut s =
-                quick_session_with_device(player, n, 90, 42, DeviceClass::Phone);
+            let mut s = quick_session_with_device(player, n, 90, 42, DeviceClass::Phone);
             s.params.fixed_quality = Some(QualityLevel::High);
             s.params.analysis_points = 10_000;
             let out = s.run();

@@ -24,13 +24,8 @@ fn main() {
     );
     println!("{}", "-".repeat(60));
     for cell in [0.25f64, 0.5, 1.0] {
-        let mut s = quick_session_with_device(
-            PlayerKind::Volcast,
-            users,
-            frames,
-            42,
-            DeviceClass::Phone,
-        );
+        let mut s =
+            quick_session_with_device(PlayerKind::Volcast, users, frames, 42, DeviceClass::Phone);
         s.params.config.cell_size = cell;
         s.params.fixed_quality = Some(QualityLevel::High);
         s.params.analysis_points = 10_000;
@@ -57,13 +52,8 @@ fn main() {
         ("predicted, horizon 10", true, 10),
         ("predicted, horizon 20", true, 20),
     ] {
-        let mut s = quick_session_with_device(
-            PlayerKind::Volcast,
-            users,
-            frames,
-            42,
-            DeviceClass::Phone,
-        );
+        let mut s =
+            quick_session_with_device(PlayerKind::Volcast, users, frames, 42, DeviceClass::Phone);
         s.params.use_prediction = use_prediction;
         s.params.config.prediction_horizon = horizon;
         s.params.fixed_quality = Some(QualityLevel::High);

@@ -54,7 +54,10 @@ fn main() {
         .max_by(|&a, &b| gain(&series[a]).partial_cmp(&gain(&series[b])).unwrap())
         .unwrap();
 
-    for (label, idx) in [("stable-overlap pair", stable), ("converging pair", converging)] {
+    for (label, idx) in [
+        ("stable-overlap pair", stable),
+        ("converging pair", converging),
+    ] {
         let (a, b) = (hm[pairs[idx][0]], hm[pairs[idx][1]]);
         println!("# {label}: User {a}, User {b}");
         println!("frame,iou");
@@ -63,9 +66,7 @@ fn main() {
         }
         println!();
     }
-    println!(
-        "# paper shape: stable pair sits near IoU 1 most of the video;"
-    );
+    println!("# paper shape: stable pair sits near IoU 1 most of the video;");
     println!("# converging pair starts low and rises to ~1 by the end.");
     let s = &series[converging];
     println!(

@@ -9,16 +9,15 @@
 //!
 //! Run: `cargo run --release -p volcast-bench --bin fig3b`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use volcast_bench::{cdf_at, print_cdf, Context};
 use volcast_mmwave::MultiLobeDesigner;
+use volcast_util::rng::Rng;
 
 fn main() {
     let frames = 300usize;
     let ctx = Context::standard(42, frames);
     let designer = MultiLobeDesigner::new(&ctx.channel, &ctx.codebook);
-    let mut rng = StdRng::seed_from_u64(1003);
+    let mut rng = Rng::seed_from_u64(1003);
 
     let trials = 400usize;
     println!("Fig. 3b: CDF of max common RSS under the default codebook\n");
@@ -49,7 +48,10 @@ fn main() {
 
     println!("\nFraction of positions with common RSS >= -68 dBm (385 Mbps):");
     for (k, samples) in &results {
-        println!("  {k} user(s): {:.1}%", (1.0 - cdf_at(samples, -68.0 - 1e-9)) * 100.0);
+        println!(
+            "  {k} user(s): {:.1}%",
+            (1.0 - cdf_at(samples, -68.0 - 1e-9)) * 100.0
+        );
     }
     println!("\npaper anchors: 96.5% (1 user), 79% (2 users), 60% (3 users).");
 }

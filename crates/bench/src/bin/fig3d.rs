@@ -9,16 +9,15 @@
 //!
 //! Run: `cargo run --release -p volcast-bench --bin fig3d`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use volcast_bench::{mean, print_cdf, quantile, Context};
 use volcast_mmwave::MultiLobeDesigner;
+use volcast_util::rng::Rng;
 
 fn main() {
     let frames = 300usize;
     let ctx = Context::standard(42, frames);
     let designer = MultiLobeDesigner::new(&ctx.channel, &ctx.codebook);
-    let mut rng = StdRng::seed_from_u64(1004);
+    let mut rng = Rng::seed_from_u64(1004);
 
     let trials = 300usize;
     let mut default_rss = Vec::with_capacity(trials);
@@ -58,7 +57,10 @@ fn main() {
         "max common-RSS improvement: mean {:.1} dB, p90 {:.1} dB, max {:.1} dB",
         mean(&improvements),
         quantile(&improvements, 0.9),
-        improvements.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        improvements
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max),
     );
     println!(
         "custom beam chosen for {:.0}% of pairs (default kept when both users already strong)",

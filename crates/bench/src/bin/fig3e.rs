@@ -14,11 +14,10 @@
 //!
 //! Run: `cargo run --release -p volcast-bench --bin fig3e`
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use volcast_bench::{mean, quantile, Context};
 use volcast_mmwave::{McsTable, MultiLobeDesigner};
 use volcast_pointcloud::{CellGrid, QualityLevel, SyntheticBody, VideoSequence};
+use volcast_util::rng::Rng;
 use volcast_viewport::{overlap_bytes, VisibilityComputer, VisibilityOptions};
 
 fn main() {
@@ -33,7 +32,7 @@ fn main() {
     let analysis_points = 20_000usize;
     let byte_scale =
         quality.points_per_frame as f64 / analysis_points as f64 * quality.bytes_per_point();
-    let mut rng = StdRng::seed_from_u64(1005);
+    let mut rng = Rng::seed_from_u64(1005);
 
     let trials = 200usize;
     let mut norm_default = Vec::new();
@@ -49,8 +48,10 @@ fn main() {
         };
         let cloud = body.frame(f as u64, analysis_points);
         let partition = grid.partition(&cloud);
-        let sizes: Vec<f64> =
-            partition.iter().map(|c| c.point_count as f64 * byte_scale).collect();
+        let sizes: Vec<f64> = partition
+            .iter()
+            .map(|c| c.point_count as f64 * byte_scale)
+            .collect();
         let maps: Vec<_> = [a, b]
             .iter()
             .map(|&u| {
@@ -62,7 +63,10 @@ fn main() {
                 vc.compute(&trace.pose(f), &grid, &partition)
             })
             .collect();
-        let s: Vec<f64> = maps.iter().map(|m| m.required_bytes(&partition, &sizes)).collect();
+        let s: Vec<f64> = maps
+            .iter()
+            .map(|m| m.required_bytes(&partition, &sizes))
+            .collect();
         let s_m = overlap_bytes(&[&maps[0], &maps[1]], &partition, &sizes);
         let positions = [
             ctx.study.traces[a].pose(f).position,

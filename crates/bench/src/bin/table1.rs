@@ -48,9 +48,7 @@ fn main() {
     let vivo_fraction = vivo_visibility_fraction(&ctx);
     println!("Measured ViVo visibility fraction: {vivo_fraction:.3}\n");
 
-    println!(
-        "Table 1: Performance of multi-user volumetric video streaming with"
-    );
+    println!("Table 1: Performance of multi-user volumetric video streaming with");
     println!("vanilla and multi-user ViVo systems (max achievable FPS, cap 30).\n");
     println!(
         "{:<4} {:>5} {:>10} | {:>7} {:>7} {:>7} | {:>7} {:>7} {:>7}",

@@ -17,14 +17,8 @@ use volcast_core::{PlayerKind, RadioKind};
 use volcast_pointcloud::QualityLevel;
 use volcast_viewport::DeviceClass;
 
-fn fps(
-    radio: RadioKind,
-    player: PlayerKind,
-    users: usize,
-    quality: QualityLevel,
-) -> f64 {
-    let mut s =
-        quick_session_with_device(player, users, 60, 42, DeviceClass::Phone);
+fn fps(radio: RadioKind, player: PlayerKind, users: usize, quality: QualityLevel) -> f64 {
+    let mut s = quick_session_with_device(player, users, 60, 42, DeviceClass::Phone);
     s.params.radio = radio;
     s.params.fixed_quality = Some(quality);
     s.params.analysis_points = 8_000;

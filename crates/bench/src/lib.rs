@@ -4,6 +4,14 @@
 //! regenerates it (see `DESIGN.md` §3 for the index). This library holds
 //! the pieces they share: the standard experiment context (user study,
 //! channel, codebook), CDF helpers, and table formatting.
+//!
+//! ```
+//! use volcast_bench::{cdf, quantile};
+//!
+//! let c = cdf(vec![3.0, 1.0, 2.0]);
+//! assert_eq!(c.first(), Some(&(1.0, 1.0 / 3.0)));
+//! assert_eq!(quantile(&[1.0, 2.0, 3.0, 4.0], 1.0), 4.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,7 +39,12 @@ impl Context {
         let study = UserStudy::generate(seed, frames);
         let channel = Channel::default_setup();
         let codebook = Codebook::default_for(&channel.array);
-        Context { study, channel, codebook, frames }
+        Context {
+            study,
+            channel,
+            codebook,
+            frames,
+        }
     }
 }
 

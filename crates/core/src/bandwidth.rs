@@ -7,11 +7,10 @@
 //! application-layer throughput history, so a predicted blockage cuts the
 //! estimate before the first late frame.
 
-use serde::{Deserialize, Serialize};
 use volcast_net::LinkState;
 
 /// Application + PHY inputs for one user's prediction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CrossLayerInputs {
     /// Most recent measured application throughput (Mbps).
     pub measured_throughput_mbps: f64,
@@ -27,7 +26,7 @@ pub struct CrossLayerInputs {
 }
 
 /// Per-user cross-layer bandwidth predictor.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BandwidthPredictor {
     /// EWMA weight of the newest throughput sample.
     pub alpha: f64,
@@ -81,9 +80,7 @@ impl BandwidthPredictor {
     /// Blockage correction: multiply by `blockage_discount` when a body is
     /// forecast to cross the link.
     pub fn predict_mbps(&self, inputs: &CrossLayerInputs) -> f64 {
-        let base = self
-            .ewma_mbps
-            .unwrap_or(inputs.current_phy_rate_mbps * 0.5);
+        let base = self.ewma_mbps.unwrap_or(inputs.current_phy_rate_mbps * 0.5);
         let phy_scale = if inputs.current_phy_rate_mbps > 0.0 {
             (inputs.predicted_phy_rate_mbps / inputs.current_phy_rate_mbps).clamp(0.1, 2.0)
         } else if inputs.predicted_phy_rate_mbps > 0.0 {
@@ -106,6 +103,21 @@ impl BandwidthPredictor {
         self.ewma_mbps.unwrap_or(inputs.current_phy_rate_mbps * 0.5)
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(CrossLayerInputs {
+    measured_throughput_mbps,
+    buffer_frames,
+    blockage_forecast,
+    predicted_phy_rate_mbps,
+    current_phy_rate_mbps
+});
+volcast_util::impl_json_struct!(BandwidthPredictor {
+    alpha,
+    blockage_discount,
+    ewma_mbps,
+    link
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,10 +1,9 @@
 //! System-wide configuration.
 
-use serde::{Deserialize, Serialize};
 use volcast_geom::CameraIntrinsics;
 
 /// Configuration shared by the streaming pipeline components.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SystemConfig {
     /// Target display frame rate (the paper caps at 30 FPS).
     pub target_fps: f64,
@@ -46,6 +45,17 @@ impl SystemConfig {
         1.0 / self.target_fps
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(SystemConfig {
+    target_fps,
+    cell_size,
+    prediction_horizon,
+    predictor_window,
+    min_merge_iou,
+    intrinsics,
+    buffer_capacity_frames
+});
 
 #[cfg(test)]
 mod tests {

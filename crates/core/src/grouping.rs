@@ -19,12 +19,11 @@
 //! stays feasible.
 
 use crate::config::SystemConfig;
-use serde::{Deserialize, Serialize};
 use volcast_pointcloud::CellInfo;
 use volcast_viewport::{group_iou, overlap_bytes, VisibilityMap};
 
 /// A multicast group in a plan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Group {
     /// Member user ids, sorted.
     pub members: Vec<usize>,
@@ -63,7 +62,7 @@ pub struct GroupingInputs<'a> {
 }
 
 /// The planner's output for one frame.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GroupPlan {
     /// Final groups (singletons included).
     pub groups: Vec<Group>,
@@ -149,7 +148,11 @@ impl GroupPlanner {
     /// Builds the group plan for one frame.
     pub fn plan(&self, inputs: &GroupingInputs<'_>) -> GroupPlan {
         let n = inputs.maps.len();
-        assert_eq!(n, inputs.unicast_rate_mbps.len(), "rates must cover all users");
+        assert_eq!(
+            n,
+            inputs.unicast_rate_mbps.len(),
+            "rates must cover all users"
+        );
 
         // Per-user total requested bytes S_i.
         let member_bytes: Vec<f64> = inputs
@@ -170,14 +173,17 @@ impl GroupPlanner {
 
         // Greedy merging.
         loop {
-            let current_time =
-                Self::plan_time_s(&groups, &member_bytes, inputs.unicast_rate_mbps);
+            let current_time = Self::plan_time_s(&groups, &member_bytes, inputs.unicast_rate_mbps);
             let mut best: Option<(usize, usize, Group, f64)> = None;
 
             for i in 0..groups.len() {
                 for j in (i + 1)..groups.len() {
-                    let mut members: Vec<usize> =
-                        groups[i].members.iter().chain(&groups[j].members).copied().collect();
+                    let mut members: Vec<usize> = groups[i]
+                        .members
+                        .iter()
+                        .chain(&groups[j].members)
+                        .copied()
+                        .collect();
                     members.sort_unstable();
                     let maps: Vec<&VisibilityMap> =
                         members.iter().map(|&u| &inputs.maps[u]).collect();
@@ -229,12 +235,28 @@ impl GroupPlanner {
         }
 
         groups.sort_by_key(|g| g.members.clone());
-        let estimated_time_s =
-            Self::plan_time_s(&groups, &member_bytes, inputs.unicast_rate_mbps);
+        let estimated_time_s = Self::plan_time_s(&groups, &member_bytes, inputs.unicast_rate_mbps);
         let feasible = estimated_time_s <= self.config.frame_interval_s();
-        GroupPlan { groups, estimated_time_s, feasible }
+        GroupPlan {
+            groups,
+            estimated_time_s,
+            feasible,
+        }
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(Group {
+    members,
+    multicast_bytes,
+    multicast_rate_mbps,
+    iou
+});
+volcast_util::impl_json_struct!(GroupPlan {
+    groups,
+    estimated_time_s,
+    feasible
+});
 
 #[cfg(test)]
 mod tests {
@@ -251,7 +273,11 @@ mod tests {
 
     fn partition_of(n: i32) -> (Vec<CellInfo>, Vec<f64>) {
         let cells: Vec<CellInfo> = (0..n)
-            .map(|x| CellInfo { id: CellId::new(x, 0, 0), point_count: 100, point_indices: vec![] })
+            .map(|x| CellInfo {
+                id: CellId::new(x, 0, 0),
+                point_count: 100,
+                point_indices: vec![],
+            })
             .collect();
         let sizes = vec![100_000.0; n as usize]; // 100 KB per cell
         (cells, sizes)
@@ -259,12 +285,7 @@ mod tests {
 
     /// Planner fixture: identical unicast rates, multicast rate a fixed
     /// fraction of unicast.
-    fn plan_with(
-        maps: &[VisibilityMap],
-        unicast: f64,
-        multicast: f64,
-        min_iou: f64,
-    ) -> GroupPlan {
+    fn plan_with(maps: &[VisibilityMap], unicast: f64, multicast: f64, min_iou: f64) -> GroupPlan {
         let (partition, sizes) = partition_of(12);
         let rates = vec![unicast; maps.len()];
         let mc = move |_: &[usize]| multicast;

@@ -23,6 +23,18 @@
 //!   itself (visibility-aware multicast with custom beams),
 //! - [`qoe`]: quality-of-experience metrics,
 //! - [`multi_ap`]: multi-AP coordination (§5, open challenge realized).
+//!
+//! ```
+//! use volcast_core::{SessionParams, StreamingSession};
+//! use volcast_viewport::UserStudy;
+//!
+//! // Two seeded runs of the full end-to-end session agree exactly.
+//! let params = SessionParams { frames: 5, analysis_points: 2_000, ..SessionParams::default() };
+//! let traces = UserStudy::generate_with(7, 5, 1, 1).traces;
+//! let a = StreamingSession::new(params.clone(), traces.clone()).run();
+//! let b = StreamingSession::new(params, traces).run();
+//! assert_eq!(a.qoe.mean_fps(), b.qoe.mean_fps());
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

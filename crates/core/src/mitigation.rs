@@ -9,12 +9,11 @@
 //! [`BlockageMitigator`] models both modes; sessions charge the resulting
 //! beam-outage time into their frame schedules.
 
-use serde::{Deserialize, Serialize};
 use volcast_mmwave::BeamSearch;
 use volcast_viewport::BlockageEvent;
 
 /// Reactive vs proactive operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MitigationMode {
     /// Wait for the outage, then full beam re-search.
     Reactive,
@@ -28,7 +27,7 @@ pub enum MitigationMode {
 /// attenuates the blocked paths and the session re-steers to the best
 /// surviving path); the mitigator only decides *when the switch happens*
 /// and what it costs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MitigationAction {
     /// The user whose link is (or will be) blocked.
     pub user: usize,
@@ -41,7 +40,7 @@ pub struct MitigationAction {
 }
 
 /// Blockage mitigation engine.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlockageMitigator {
     /// Operating mode.
     pub mode: MitigationMode,
@@ -110,12 +109,35 @@ impl BlockageMitigator {
     }
 }
 
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_enum!(MitigationMode {
+    Reactive,
+    Proactive
+});
+volcast_util::impl_json_struct!(MitigationAction {
+    user,
+    onset_frames,
+    prefetch_frames,
+    beam_outage_s
+});
+volcast_util::impl_json_struct!(BlockageMitigator {
+    mode,
+    beam_search,
+    codebook_sectors,
+    proactive_candidates,
+    prefetch_frames
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn event(victim: usize, onset: usize) -> BlockageEvent {
-        BlockageEvent { victim, blocker: 9, onset_frames: onset }
+        BlockageEvent {
+            victim,
+            blocker: 9,
+            onset_frames: onset,
+        }
     }
 
     #[test]

@@ -10,13 +10,12 @@
 // clearer than iterator chains in this module.
 #![allow(clippy::needless_range_loop)]
 
-use serde::{Deserialize, Serialize};
 use volcast_geom::Vec3;
 use volcast_mmwave::{Channel, Codebook, MultiLobeDesigner};
 use volcast_viewport::{iou, VisibilityMap};
 
 /// Assignment of users to APs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ApAssignment {
     /// `assignment[user] = ap index`.
     pub user_ap: Vec<usize>,
@@ -45,7 +44,11 @@ impl<'a> MultiApCoordinator<'a> {
     pub fn new(channels: Vec<&'a Channel>, codebooks: Vec<&'a Codebook>) -> Self {
         assert_eq!(channels.len(), codebooks.len());
         assert!(!channels.is_empty());
-        MultiApCoordinator { channels, codebooks, similarity_weight: 0.4 }
+        MultiApCoordinator {
+            channels,
+            codebooks,
+            similarity_weight: 0.4,
+        }
     }
 
     /// Assigns users to APs.
@@ -167,7 +170,9 @@ impl<'a> MultiApCoordinator<'a> {
         // the strongest leakage from other APs' beams.
         let mut min_margin = f64::INFINITY;
         for a in 0..n_aps {
-            let Some((beam_a, users_a)) = &beams[a] else { continue };
+            let Some((beam_a, users_a)) = &beams[a] else {
+                continue;
+            };
             for (idx, &victim) in users_a.iter().enumerate() {
                 let desired = beam_a.member_rss_dbm[idx];
                 for b in 0..n_aps {
@@ -191,6 +196,13 @@ impl<'a> MultiApCoordinator<'a> {
         }
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(ApAssignment {
+    user_ap,
+    ap_common_rss_dbm,
+    min_interference_margin_db
+});
 
 #[cfg(test)]
 mod tests {
@@ -228,7 +240,7 @@ mod tests {
         let cb2 = Codebook::default_for(&c2.array);
         let mut coord = MultiApCoordinator::new(vec![&c1, &c2], vec![&cb1, &cb2]);
         coord.similarity_weight = 0.0; // pure link quality
-        // Two users near the +z wall (AP1), two near -z (AP2).
+                                       // Two users near the +z wall (AP1), two near -z (AP2).
         let positions = vec![
             Vec3::new(-1.0, 1.5, 2.5),
             Vec3::new(1.0, 1.5, 2.5),

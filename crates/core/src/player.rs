@@ -11,11 +11,10 @@
 //! frame rate given a per-user network rate, the per-frame payload, and the
 //! client decode ceiling, capped at the display rate.
 
-use serde::{Deserialize, Serialize};
 use volcast_pointcloud::DecodeModel;
 
 /// Which player a user runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlayerKind {
     /// Full-frame fetching.
     Vanilla,
@@ -55,6 +54,13 @@ pub fn max_sustainable_fps(
     let decode_fps = decode.max_fps(frame_points);
     network_fps.min(decode_fps).min(display_cap_fps)
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_enum!(PlayerKind {
+    Vanilla,
+    Vivo,
+    Volcast
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,10 +1,9 @@
 //! Quality-of-experience accounting.
 
-use serde::{Deserialize, Serialize};
 use volcast_pointcloud::QualityLevel;
 
 /// Accumulated QoE for one user over a session.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UserQoe {
     /// Frames rendered on time.
     pub frames_on_time: usize,
@@ -89,7 +88,7 @@ impl UserQoe {
 }
 
 /// Session-level QoE: all users.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct QoeReport {
     /// Per-user records.
     pub users: Vec<UserQoe>,
@@ -100,7 +99,10 @@ pub struct QoeReport {
 impl QoeReport {
     /// Creates a report for `n` users.
     pub fn new(n: usize) -> Self {
-        QoeReport { users: vec![UserQoe::default(); n], duration_s: 0.0 }
+        QoeReport {
+            users: vec![UserQoe::default(); n],
+            duration_s: 0.0,
+        }
     }
 
     /// Mean stall ratio across users.
@@ -116,7 +118,11 @@ impl QoeReport {
         if self.users.is_empty() {
             return 0.0;
         }
-        self.users.iter().map(|u| u.mean_quality_score()).sum::<f64>() / self.users.len() as f64
+        self.users
+            .iter()
+            .map(|u| u.mean_quality_score())
+            .sum::<f64>()
+            / self.users.len() as f64
     }
 
     /// Mean effective FPS across users.
@@ -133,8 +139,11 @@ impl QoeReport {
 
     /// Jain's fairness index over per-user effective FPS.
     pub fn fps_fairness(&self) -> f64 {
-        let rates: Vec<f64> =
-            self.users.iter().map(|u| u.effective_fps(self.duration_s)).collect();
+        let rates: Vec<f64> = self
+            .users
+            .iter()
+            .map(|u| u.effective_fps(self.duration_s))
+            .collect();
         let n = rates.len() as f64;
         if n == 0.0 {
             return 1.0;
@@ -148,6 +157,16 @@ impl QoeReport {
         }
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(UserQoe {
+    frames_on_time,
+    frames_stalled,
+    stall_time_s,
+    qualities,
+    quality_switches
+});
+volcast_util::impl_json_struct!(QoeReport { users, duration_s });
 
 #[cfg(test)]
 mod tests {

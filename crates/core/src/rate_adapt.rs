@@ -11,11 +11,10 @@
 //!   switching ahead of forecast blockages.
 
 use crate::bandwidth::{BandwidthPredictor, CrossLayerInputs};
-use serde::{Deserialize, Serialize};
 use volcast_pointcloud::{QualityLadder, QualityLevel};
 
 /// Which adaptation policy a session runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AbrPolicy {
     /// Buffer-occupancy thresholds only.
     BufferOnly,
@@ -26,7 +25,7 @@ pub enum AbrPolicy {
 }
 
 /// A reaction the adapter may request alongside the quality decision.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RateAction {
     /// Prefetch future frames for this user while bandwidth lasts.
     Prefetch {
@@ -45,7 +44,7 @@ pub enum RateAction {
 }
 
 /// Per-frame adaptation decision for one user.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RateDecision {
     /// Chosen quality level.
     pub quality: QualityLevel,
@@ -140,9 +139,7 @@ impl RateAdapter {
                 // A big gap between predicted and current PHY rate means
                 // the geometry changed: regroup.
                 if inputs.current_phy_rate_mbps > 0.0
-                    && (inputs.predicted_phy_rate_mbps / inputs.current_phy_rate_mbps
-                        - 1.0)
-                        .abs()
+                    && (inputs.predicted_phy_rate_mbps / inputs.current_phy_rate_mbps - 1.0).abs()
                         > 0.3
                 {
                     actions.push(RateAction::Regroup);
@@ -153,6 +150,15 @@ impl RateAdapter {
         RateDecision { quality, actions }
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_enum!(AbrPolicy {
+    BufferOnly,
+    ThroughputOnly,
+    CrossLayer
+});
+volcast_util::impl_json_enum!(RateAction { Prefetch { user, frames }, Regroup, BeamSwitch { user } });
+volcast_util::impl_json_struct!(RateDecision { quality, actions });
 
 #[cfg(test)]
 mod tests {
@@ -191,23 +197,27 @@ mod tests {
         // 1000 Mbps x 0.85 = 850 budget -> High (364) easily at share 1.
         let a = warmed(AbrPolicy::ThroughputOnly, 1000.0);
         assert_eq!(
-            a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 1.0, 1.0).quality,
+            a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 1.0, 1.0)
+                .quality,
             QualityLevel::High
         );
         // share 1/4 -> 212 budget -> even Low (235) fails -> clamps Low.
         assert_eq!(
-            a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 0.25, 1.0).quality,
+            a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 0.25, 1.0)
+                .quality,
             QualityLevel::Low
         );
         // Visibility culling (needed_fraction 0.7) stretches the budget to
         // ~304 Mbps -> Medium (294) fits, High (364) does not.
         assert_eq!(
-            a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 0.25, 0.7).quality,
+            a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 0.25, 0.7)
+                .quality,
             QualityLevel::Medium
         );
         // Aggressive culling (0.5) fits even High: budget 425 > 364.
         assert_eq!(
-            a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 0.25, 0.5).quality,
+            a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 0.25, 0.5)
+                .quality,
             QualityLevel::High
         );
     }
@@ -222,8 +232,12 @@ mod tests {
         let dip = a.decide(0, &inputs(5.0, 2502.5, 500.5, false), 1.0, 1.0);
         assert_eq!(dip.quality, QualityLevel::Low);
         // Throughput-only would have stayed High.
-        let naive = warmed(AbrPolicy::ThroughputOnly, 1000.0)
-            .decide(0, &inputs(5.0, 2502.5, 500.5, false), 1.0, 1.0);
+        let naive = warmed(AbrPolicy::ThroughputOnly, 1000.0).decide(
+            0,
+            &inputs(5.0, 2502.5, 500.5, false),
+            1.0,
+            1.0,
+        );
         assert_eq!(naive.quality, QualityLevel::High);
     }
 

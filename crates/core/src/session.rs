@@ -28,7 +28,6 @@ use crate::mitigation::{BlockageMitigator, MitigationMode};
 use crate::player::PlayerKind;
 use crate::qoe::QoeReport;
 use crate::rate_adapt::{AbrPolicy, RateAdapter};
-use serde::{Deserialize, Serialize};
 use volcast_mmwave::{Blocker, Channel, Codebook, McsTable, MultiLobeDesigner};
 use volcast_net::{
     AcMac, AdMac, BacklogPolicy, MacModel, SimTime, Simulator, TransmissionPlan, TxItem,
@@ -36,12 +35,12 @@ use volcast_net::{
 };
 use volcast_pointcloud::{CellGrid, DecodeModel, QualityLevel, VideoSequence};
 use volcast_viewport::{
-    BlockageForecaster, DeviceClass, JointPredictor, Trace, TraceGenerator,
-    VisibilityComputer, VisibilityOptions,
+    BlockageForecaster, DeviceClass, JointPredictor, Trace, TraceGenerator, VisibilityComputer,
+    VisibilityOptions,
 };
 
 /// Which radio the session runs over.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RadioKind {
     /// 802.11ad at 60 GHz: directional beams, body blockage, multicast at
     /// the group's common MCS under a designed beam (the paper's system).
@@ -67,7 +66,7 @@ impl MacModel for MacDispatch<'_> {
 }
 
 /// Session parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SessionParams {
     /// Shared system configuration.
     pub config: SystemConfig,
@@ -115,7 +114,7 @@ impl Default for SessionParams {
 }
 
 /// Aggregated outcome of a session run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionOutcome {
     /// Per-user and aggregate QoE.
     pub qoe: QoeReport,
@@ -232,8 +231,7 @@ impl StreamingSession {
 
             // Bodies of the *other* users and of ambient walkers block
             // each link. Blocker list layout: users first, then walkers.
-            let walker_pos: Vec<_> =
-                self.walkers.iter().map(|w| w.pose(f).position).collect();
+            let walker_pos: Vec<_> = self.walkers.iter().map(|w| w.pose(f).position).collect();
             let all_blockers: Vec<Blocker> = if self.params.body_blockage {
                 poses
                     .iter()
@@ -278,9 +276,7 @@ impl StreamingSession {
                 .map(|u| {
                     self.params.body_blockage
                         && ((0..n).any(|v| {
-                            v != u
-                                && forecaster
-                                    .is_blocked(poses[u].position, poses[v].position)
+                            v != u && forecaster.is_blocked(poses[u].position, poses[v].position)
                         }) || walker_pos
                             .iter()
                             .any(|&w| forecaster.is_blocked(poses[u].position, w)))
@@ -322,19 +318,13 @@ impl StreamingSession {
                 .map(|u| {
                     if is_wifi5 {
                         // Log-distance 5 GHz link; bodies shadow mildly.
-                        let d = self
-                            .channel
-                            .array
-                            .position
-                            .distance(poses[u].position);
+                        let d = self.channel.array.position.distance(poses[u].position);
                         let shadows = if self.params.body_blockage {
                             all_blockers
                                 .iter()
                                 .enumerate()
                                 .filter(|&(i, b)| {
-                                    i != u
-                                        && forecaster
-                                            .is_blocked(poses[u].position, b.center)
+                                    i != u && forecaster.is_blocked(poses[u].position, b.center)
                                 })
                                 .count()
                         } else {
@@ -365,11 +355,12 @@ impl StreamingSession {
             blocked_prev = blocked_now.clone();
 
             let mcs_table = if is_wifi5 { &self.vht } else { &self.mcs };
-            let unicast_phy: Vec<f64> =
-                rss.iter().map(|&r| mcs_table.phy_rate_mbps(r)).collect();
+            let unicast_phy: Vec<f64> = rss.iter().map(|&r| mcs_table.phy_rate_mbps(r)).collect();
 
             // --- 3. visibility maps ------------------------------------
-            let cloud = self.video.frame_with_density(f as u64, self.params.analysis_points);
+            let cloud = self
+                .video
+                .frame_with_density(f as u64, self.params.analysis_points);
             let partition = grid.partition(&cloud);
             let maps: Vec<_> = (0..n)
                 .map(|u| {
@@ -380,11 +371,7 @@ impl StreamingSession {
                             ..VisibilityOptions::vivo()
                         },
                     };
-                    VisibilityComputer::new(options).compute(
-                        &planning_poses[u],
-                        &grid,
-                        &partition,
-                    )
+                    VisibilityComputer::new(options).compute(&planning_poses[u], &grid, &partition)
                 })
                 .collect();
 
@@ -400,7 +387,10 @@ impl StreamingSession {
                             partition
                                 .iter()
                                 .filter_map(|c| {
-                                    maps[u].cells.get(&c.id).map(|lod| c.point_count as f64 * lod)
+                                    maps[u]
+                                        .cells
+                                        .get(&c.id)
+                                        .map(|lod| c.point_count as f64 * lod)
                                 })
                                 .sum::<f64>()
                                 / total_points
@@ -441,14 +431,12 @@ impl StreamingSession {
                 quality.points_per_frame as f64 / self.params.analysis_points as f64
                     * quality.bytes_per_point()
             };
-            let unit_sizes: Vec<f64> =
-                partition.iter().map(|c| c.point_count as f64).collect();
+            let unit_sizes: Vec<f64> = partition.iter().map(|c| c.point_count as f64).collect();
             // Grouping plans with cell sizes at the lowest active quality;
             // each formed group is then re-priced at its own members'
             // minimum quality (shared cells must be decodable by all
             // members), and residuals at each member's own quality.
-            let planning_quality =
-                qualities.iter().copied().min().unwrap_or(QualityLevel::Low);
+            let planning_quality = qualities.iter().copied().min().unwrap_or(QualityLevel::Low);
             // Effective per-user quality actually delivered this frame
             // (grouped volcast users may be pulled down to group quality).
             let mut effective_quality = qualities.clone();
@@ -475,9 +463,7 @@ impl StreamingSession {
             // queued first — the AP doesn't yet know the link is dead.
             for u in 0..n {
                 if wasted_tx[u] {
-                    let clear_rss = self
-                        .channel
-                        .rss_dedicated_beam(poses[u].position, &[]);
+                    let clear_rss = self.channel.rss_dedicated_beam(poses[u].position, &[]);
                     let stale_phy = mcs_table.phy_rate_mbps(clear_rss);
                     // Conservative: the AP aborts after ~a quarter of the
                     // frame's worth of unacknowledged MPDUs.
@@ -520,14 +506,12 @@ impl StreamingSession {
                         .iter()
                         .map(|s| s * scale_for(planning_quality))
                         .collect();
-                    let positions: Vec<_> =
-                        planning_poses.iter().map(|p| p.position).collect();
+                    let positions: Vec<_> = planning_poses.iter().map(|p| p.position).collect();
                     // Beam designs are deterministic per member set within
                     // a frame; memoize them — the greedy grouping search
                     // probes the same candidate sets repeatedly.
-                    let rate_cache: std::cell::RefCell<
-                        std::collections::HashMap<Vec<usize>, f64>,
-                    > = std::cell::RefCell::new(std::collections::HashMap::new());
+                    let rate_cache: std::cell::RefCell<std::collections::HashMap<Vec<usize>, f64>> =
+                        std::cell::RefCell::new(std::collections::HashMap::new());
                     let group_rate = |members: &[usize]| -> f64 {
                         if is_wifi5 {
                             // Group-addressed frames at the legacy basic
@@ -537,8 +521,7 @@ impl StreamingSession {
                         if let Some(&r) = rate_cache.borrow().get(members) {
                             return r;
                         }
-                        let pts: Vec<_> =
-                            members.iter().map(|&u| positions[u]).collect();
+                        let pts: Vec<_> = members.iter().map(|&u| positions[u]).collect();
                         // All bodies block — including other group members
                         // (joining a group does not move anyone's body).
                         // Each receiver's own cylinder is excluded by the
@@ -546,8 +529,7 @@ impl StreamingSession {
                         let min_rss = if self.params.custom_beams {
                             designer.design(&pts, &all_blockers).common_rss_dbm()
                         } else {
-                            let (_, rss) =
-                                designer.best_common_sector(&pts, &all_blockers);
+                            let (_, rss) = designer.best_common_sector(&pts, &all_blockers);
                             rss.into_iter().fold(f64::INFINITY, f64::min)
                         };
                         let r = self.mcs.phy_rate_mbps(min_rss);
@@ -593,10 +575,8 @@ impl StreamingSession {
                                     + g.members
                                         .iter()
                                         .map(|&u| {
-                                            let own = member_unit[u]
-                                                * scale_for(qualities[u]);
-                                            let residual =
-                                                (own - shared_bytes).max(0.0);
+                                            let own = member_unit[u] * scale_for(qualities[u]);
+                                            let residual = (own - shared_bytes).max(0.0);
                                             if unicast_phy[u] > 0.0 {
                                                 residual / unicast_phy[u]
                                             } else {
@@ -608,8 +588,7 @@ impl StreamingSession {
                                     .members
                                     .iter()
                                     .map(|&u| {
-                                        let own =
-                                            member_unit[u] * scale_for(qualities[u]);
+                                        let own = member_unit[u] * scale_for(qualities[u]);
                                         if unicast_phy[u] > 0.0 {
                                             own / unicast_phy[u]
                                         } else {
@@ -619,14 +598,12 @@ impl StreamingSession {
                                     .sum::<f64>();
                                 merged_t <= unicast_t
                             };
-                        let group_active = beneficial
-                            && admit(shared_bytes, g.multicast_rate_mbps);
+                        let group_active = beneficial && admit(shared_bytes, g.multicast_rate_mbps);
 
                         if group_active {
                             multicast_groups += 1;
                             if self.params.custom_beams {
-                                let pts: Vec<_> =
-                                    g.members.iter().map(|&u| positions[u]).collect();
+                                let pts: Vec<_> = g.members.iter().map(|&u| positions[u]).collect();
                                 if designer.design(&pts, &all_blockers).customized {
                                     customized_groups += 1;
                                 }
@@ -696,8 +673,8 @@ impl StreamingSession {
                 // a stall. Half the pushed frames are credited (the other
                 // half render with out-of-date viewports and are wasted).
                 let reserve = extra_prefetch[u] as f64 * 0.5;
-                buffers[u] = (buffers[u] + reserve)
-                    .min(cfg.buffer_capacity_frames as f64 + reserve);
+                buffers[u] =
+                    (buffers[u] + reserve).min(cfg.buffer_capacity_frames as f64 + reserve);
 
                 let delivery = if needed_bytes[u] <= 0.0 {
                     0.0 // nothing visible: trivially delivered
@@ -706,8 +683,9 @@ impl StreamingSession {
                 } else {
                     timing.user_completion_s[u].unwrap_or(f64::INFINITY)
                 };
-                let decode_t =
-                    self.decode.frame_decode_time(self.video.quality(q_u).points_per_frame);
+                let decode_t = self
+                    .decode
+                    .frame_decode_time(self.video.quality(q_u).points_per_frame);
                 let t_eff = delivery.max(decode_t);
 
                 let (on_time, stall_s) = if !t_eff.is_finite() {
@@ -722,8 +700,7 @@ impl StreamingSession {
                 } else if t_eff <= interval {
                     // Spare airtime prefetches ahead.
                     let spare = (interval - t_eff) / interval;
-                    buffers[u] =
-                        (buffers[u] + spare).min(cfg.buffer_capacity_frames as f64);
+                    buffers[u] = (buffers[u] + spare).min(cfg.buffer_capacity_frames as f64);
                     (true, 0.0)
                 } else {
                     let deficit = (t_eff - interval) / interval; // frames
@@ -773,7 +750,11 @@ impl StreamingSession {
         for (f, o) in outcomes_ed.iter().enumerate() {
             for u in 0..n {
                 // Only count users the frame's plan actually addressed.
-                if all_plans[f].items.iter().any(|i| i.receivers().contains(&u)) {
+                if all_plans[f]
+                    .items
+                    .iter()
+                    .any(|i| i.receivers().contains(&u))
+                {
                     addressed += 1;
                     if o.on_time(u, deadline) {
                         on_time += 1;
@@ -839,10 +820,40 @@ pub fn quick_session_with_device(
     let gen = TraceGenerator::new(seed, device);
     let traces: Vec<Trace> = (0..n_users).map(|u| gen.generate(u, frames)).collect();
     StreamingSession::new(
-        SessionParams { player, frames, ..Default::default() },
+        SessionParams {
+            player,
+            frames,
+            ..Default::default()
+        },
         traces,
     )
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_enum!(RadioKind { MmWave, Wifi5 });
+volcast_util::impl_json_struct!(SessionParams {
+    config,
+    player,
+    abr,
+    mitigation,
+    fixed_quality,
+    frames,
+    analysis_points,
+    custom_beams,
+    use_prediction,
+    body_blockage,
+    radio
+});
+volcast_util::impl_json_struct!(SessionOutcome {
+    qoe,
+    mean_frame_time_s,
+    multicast_byte_fraction,
+    mean_group_size,
+    customized_beam_fraction,
+    blocked_user_frames,
+    mean_prediction_error_m,
+    pipelined_on_time_ratio
+});
 
 #[cfg(test)]
 mod tests {
@@ -879,13 +890,7 @@ mod tests {
     #[test]
     fn volcast_uses_multicast_for_phone_users() {
         // Phone users cluster: plenty of viewport overlap to multicast.
-        let mut s = quick_session_with_device(
-            PlayerKind::Volcast,
-            3,
-            30,
-            7,
-            DeviceClass::Phone,
-        );
+        let mut s = quick_session_with_device(PlayerKind::Volcast, 3, 30, 7, DeviceClass::Phone);
         s.params.analysis_points = 4_000;
         s.params.fixed_quality = Some(QualityLevel::Low);
         let out = s.run();
@@ -917,7 +922,11 @@ mod tests {
     fn prediction_error_is_tracked() {
         let out = small(PlayerKind::Volcast, 2);
         assert!(out.mean_prediction_error_m >= 0.0);
-        assert!(out.mean_prediction_error_m < 1.0, "{}", out.mean_prediction_error_m);
+        assert!(
+            out.mean_prediction_error_m < 1.0,
+            "{}",
+            out.mean_prediction_error_m
+        );
     }
 
     #[test]
@@ -947,13 +956,7 @@ mod tests {
     fn wifi5_multicast_is_unattractive() {
         // volcast-over-ac: legacy-rate multicast should (almost) never win,
         // so the grouping planner keeps everything unicast.
-        let mut s = quick_session_with_device(
-            PlayerKind::Volcast,
-            3,
-            30,
-            42,
-            DeviceClass::Phone,
-        );
+        let mut s = quick_session_with_device(PlayerKind::Volcast, 3, 30, 42, DeviceClass::Phone);
         s.params.radio = RadioKind::Wifi5;
         s.params.analysis_points = 4_000;
         s.params.fixed_quality = Some(QualityLevel::Low);
@@ -980,7 +983,11 @@ mod tests {
         let out = small(PlayerKind::Volcast, 2);
         assert!((0.0..=1.0).contains(&out.pipelined_on_time_ratio));
         // Two Low-quality users: the schedule fits comfortably.
-        assert!(out.pipelined_on_time_ratio > 0.8, "{}", out.pipelined_on_time_ratio);
+        assert!(
+            out.pipelined_on_time_ratio > 0.8,
+            "{}",
+            out.pipelined_on_time_ratio
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Property tests for the grouping planner and QoE accounting.
 
-use proptest::prelude::*;
 use volcast_core::{GroupPlanner, GroupingInputs, SystemConfig, UserQoe};
 use volcast_pointcloud::{CellId, CellInfo, QualityLevel};
+use volcast_util::prop::prelude::*;
 use volcast_viewport::VisibilityMap;
 
 /// Random visibility maps over a small universe of cells.
@@ -28,7 +28,11 @@ fn arb_maps(users: usize, cells: i32) -> impl Strategy<Value = Vec<VisibilityMap
 
 fn universe(cells: i32) -> (Vec<CellInfo>, Vec<f64>) {
     let partition: Vec<CellInfo> = (0..cells)
-        .map(|x| CellInfo { id: CellId::new(x, 0, 0), point_count: 50, point_indices: vec![] })
+        .map(|x| CellInfo {
+            id: CellId::new(x, 0, 0),
+            point_count: 50,
+            point_indices: vec![],
+        })
         .collect();
     let sizes = vec![80_000.0; cells as usize];
     (partition, sizes)

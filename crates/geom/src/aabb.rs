@@ -1,10 +1,9 @@
 //! Axis-aligned bounding boxes.
 
 use crate::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// An axis-aligned bounding box, the shape of every point-cloud cell.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Aabb {
     /// Minimum corner.
     pub min: Vec3,
@@ -16,7 +15,10 @@ impl Aabb {
     /// Builds a box from its two extreme corners (components are sorted, so
     /// argument order does not matter).
     pub fn new(a: Vec3, b: Vec3) -> Self {
-        Aabb { min: a.min(b), max: a.max(b) }
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
     }
 
     /// The empty box: `union` identity, contains nothing.
@@ -29,7 +31,10 @@ impl Aabb {
 
     /// A box centered at `c` with half-extent `h` in each axis.
     pub fn from_center_half_extent(c: Vec3, h: Vec3) -> Self {
-        Aabb { min: c - h, max: c + h }
+        Aabb {
+            min: c - h,
+            max: c + h,
+        }
     }
 
     /// `true` when the box contains no volume (any min > max).
@@ -95,7 +100,10 @@ impl Aabb {
 
     /// Smallest box containing both operands.
     pub fn union(&self, o: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(o.min), max: self.max.max(o.max) }
+        Aabb {
+            min: self.min.min(o.min),
+            max: self.max.max(o.max),
+        }
     }
 
     /// Grows the box (if needed) to contain `p`.
@@ -143,6 +151,9 @@ impl Aabb {
         self.closest_point(p).distance(p)
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(Aabb { min, max });
 
 #[cfg(test)]
 mod tests {

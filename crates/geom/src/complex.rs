@@ -4,11 +4,10 @@
 //! `num-complex`) to keep the dependency set to the sanctioned offline
 //! crates; the mmWave beamforming code needs only a handful of operations.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub};
 
 /// A complex number `re + i*im` in double precision.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Complex {
     /// Real part.
     pub re: f64,
@@ -108,7 +107,10 @@ impl Mul for Complex {
     type Output = Complex;
     #[inline]
     fn mul(self, r: Complex) -> Complex {
-        Complex::new(self.re * r.re - self.im * r.im, self.re * r.im + self.im * r.re)
+        Complex::new(
+            self.re * r.re - self.im * r.im,
+            self.re * r.im + self.im * r.re,
+        )
     }
 }
 
@@ -164,6 +166,9 @@ impl std::fmt::Display for Complex {
         }
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(Complex { re, im });
 
 #[cfg(test)]
 mod tests {

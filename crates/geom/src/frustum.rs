@@ -5,10 +5,9 @@
 //! user's viewport. This module implements the classic six-plane test.
 
 use crate::{Aabb, Plane, Pose, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// A view frustum built from a 6DoF pose and pinhole-camera intrinsics.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Frustum {
     /// The six bounding planes, normals pointing inward:
     /// near, far, left, right, bottom, top.
@@ -20,7 +19,7 @@ pub struct Frustum {
 }
 
 /// Camera intrinsics for frustum construction.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CameraIntrinsics {
     /// Vertical field of view in radians.
     pub fov_y: f64,
@@ -67,7 +66,11 @@ impl Frustum {
         let bottom = Plane::from_normal_point(r.cross(f - u * half_v), o);
         let top = Plane::from_normal_point((f + u * half_v).cross(r), o);
 
-        Frustum { planes: [near, far, left, right, bottom, top], origin: o, direction: f }
+        Frustum {
+            planes: [near, far, left, right, bottom, top],
+            origin: o,
+            direction: f,
+        }
     }
 
     /// `true` when the point is inside (or on the boundary of) the frustum.
@@ -84,7 +87,9 @@ impl Frustum {
 
     /// Sphere test with the same conservative semantics.
     pub fn intersects_sphere(&self, center: Vec3, radius: f64) -> bool {
-        self.planes.iter().all(|pl| pl.signed_distance(center) >= -radius)
+        self.planes
+            .iter()
+            .all(|pl| pl.signed_distance(center) >= -radius)
     }
 
     /// Distance from the apex to a point (used by distance-based LOD).
@@ -92,6 +97,19 @@ impl Frustum {
         self.origin.distance(p)
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(Frustum {
+    planes,
+    origin,
+    direction
+});
+volcast_util::impl_json_struct!(CameraIntrinsics {
+    fov_y,
+    aspect,
+    near,
+    far
+});
 
 #[cfg(test)]
 mod tests {
@@ -149,15 +167,17 @@ mod tests {
     fn aabb_straddling_boundary_is_visible() {
         let f = default_frustum();
         // Box centered outside the top plane but large enough to cross it.
-        let straddle =
-            Aabb::from_center_half_extent(Vec3::new(0.0, 0.8, -1.0), Vec3::splat(0.5));
+        let straddle = Aabb::from_center_half_extent(Vec3::new(0.0, 0.8, -1.0), Vec3::splat(0.5));
         assert!(f.intersects_aabb(&straddle));
     }
 
     #[test]
     fn rotated_frustum_tracks_view() {
         // Look along +X instead (-Z rotated by -90 deg about Y).
-        let pose = Pose::new(Vec3::ZERO, Quat::from_axis_angle(Vec3::Y, -std::f64::consts::FRAC_PI_2));
+        let pose = Pose::new(
+            Vec3::ZERO,
+            Quat::from_axis_angle(Vec3::Y, -std::f64::consts::FRAC_PI_2),
+        );
         let f = Frustum::from_pose(&pose, &CameraIntrinsics::default());
         assert!(f.contains_point(Vec3::new(5.0, 0.0, 0.0)));
         assert!(!f.contains_point(Vec3::new(-5.0, 0.0, 0.0)));

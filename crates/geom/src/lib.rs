@@ -13,6 +13,15 @@
 //!
 //! Everything here is deterministic, allocation-free and `f64`-based: the
 //! simulator above it must produce bit-identical results for a fixed seed.
+//!
+//! ```
+//! use volcast_geom::{Quat, Vec3};
+//!
+//! // Rotating the x axis a quarter turn about z gives the y axis.
+//! let q = Quat::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), std::f64::consts::FRAC_PI_2);
+//! let v = q.rotate(Vec3::new(1.0, 0.0, 0.0));
+//! assert!((v - Vec3::new(0.0, 1.0, 0.0)).norm() < 1e-12);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,11 +1,10 @@
 //! 3x3 matrices (row-major) for rotations and small linear algebra.
 
 use crate::{Quat, Vec3};
-use serde::{Deserialize, Serialize};
 use std::ops::Mul;
 
 /// A row-major 3x3 matrix of `f64`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Mat3 {
     /// Rows of the matrix: `m[r][c]`.
     pub m: [[f64; 3]; 3],
@@ -19,8 +18,9 @@ impl Default for Mat3 {
 
 impl Mat3 {
     /// The identity matrix.
-    pub const IDENTITY: Mat3 =
-        Mat3 { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
+    pub const IDENTITY: Mat3 = Mat3 {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
 
     /// Builds a matrix from rows.
     #[inline]
@@ -140,6 +140,9 @@ impl Mul for Mat3 {
         Mat3::new(out)
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(Mat3 { m });
 
 #[cfg(test)]
 mod tests {

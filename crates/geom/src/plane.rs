@@ -1,13 +1,12 @@
 //! Oriented planes for frustum culling.
 
 use crate::{Aabb, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// A plane in Hessian normal form: points `p` with `n . p + d = 0`.
 ///
 /// The normal points toward the *positive* half-space; frustum planes are
 /// oriented so the interior of the frustum is positive.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Plane {
     /// Unit normal.
     pub normal: Vec3,
@@ -20,7 +19,10 @@ impl Plane {
     /// the plane. Falls back to `+Y`/0 for a zero normal.
     pub fn from_normal_point(normal: Vec3, point: Vec3) -> Self {
         let n = normal.normalized_or(Vec3::Y);
-        Plane { normal: n, d: -n.dot(point) }
+        Plane {
+            normal: n,
+            d: -n.dot(point),
+        }
     }
 
     /// Signed distance from `p` to the plane (positive on the normal side).
@@ -49,6 +51,9 @@ impl Plane {
         self.signed_distance(c) >= -r
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(Plane { normal, d });
 
 #[cfg(test)]
 mod tests {

@@ -4,14 +4,13 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::{Quat, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// A 6DoF pose: translation (meters) plus orientation.
 ///
 /// This is the unit of state for every viewer in volcast: a volumetric-video
 /// viewport is fully determined by a `Pose` and the camera intrinsics
 /// (see [`crate::Frustum`]).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Pose {
     /// Position of the viewer in world coordinates (meters).
     pub position: Vec3,
@@ -22,12 +21,18 @@ pub struct Pose {
 impl Pose {
     /// Creates a pose from position and orientation.
     pub fn new(position: Vec3, orientation: Quat) -> Self {
-        Pose { position, orientation }
+        Pose {
+            position,
+            orientation,
+        }
     }
 
     /// A pose at `position` looking at `target` with `+Y` up.
     pub fn looking_at(position: Vec3, target: Vec3) -> Self {
-        Pose { position, orientation: Quat::look_at(target - position, Vec3::Y) }
+        Pose {
+            position,
+            orientation: Quat::look_at(target - position, Vec3::Y),
+        }
     }
 
     /// The forward (view) direction, i.e. the rotated `-Z` axis.
@@ -67,7 +72,16 @@ impl Pose {
     /// used by the viewport predictors.
     pub fn to_sixdof(&self) -> SixDof {
         let (yaw, pitch, roll) = self.orientation.to_yaw_pitch_roll();
-        SixDof { v: [self.position.x, self.position.y, self.position.z, yaw, pitch, roll] }
+        SixDof {
+            v: [
+                self.position.x,
+                self.position.y,
+                self.position.z,
+                yaw,
+                pitch,
+                roll,
+            ],
+        }
     }
 
     /// Reconstructs a pose from a [`SixDof`] vector.
@@ -85,7 +99,7 @@ impl Pose {
 }
 
 /// The difference between two poses, used to express motion per tick.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PoseDelta {
     /// Translational displacement (meters).
     pub translation: Vec3,
@@ -125,7 +139,7 @@ impl PoseDelta {
 ///
 /// The viewport predictors (linear regression, MLP) operate on these six
 /// scalars per sample, exactly as ViVo and related systems do.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SixDof {
     /// `[x, y, z, yaw, pitch, roll]` (meters, meters, meters, rad, rad, rad).
     pub v: [f64; 6],
@@ -176,6 +190,17 @@ impl SixDof {
     }
 }
 
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(Pose {
+    position,
+    orientation
+});
+volcast_util::impl_json_struct!(PoseDelta {
+    translation,
+    rotation
+});
+volcast_util::impl_json_struct!(SixDof { v });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -196,7 +221,9 @@ mod tests {
     #[test]
     fn looking_at_faces_target() {
         let p = Pose::looking_at(Vec3::new(0.0, 1.6, 3.0), Vec3::new(0.0, 1.0, 0.0));
-        let want = (Vec3::new(0.0, 1.0, 0.0) - Vec3::new(0.0, 1.6, 3.0)).normalized().unwrap();
+        let want = (Vec3::new(0.0, 1.0, 0.0) - Vec3::new(0.0, 1.6, 3.0))
+            .normalized()
+            .unwrap();
         assert_vec_eq(p.forward(), want, 1e-9);
     }
 
@@ -240,7 +267,10 @@ mod tests {
     #[test]
     fn interpolate_midpoint() {
         let a = Pose::new(Vec3::ZERO, Quat::IDENTITY);
-        let b = Pose::new(Vec3::new(2.0, 0.0, 0.0), Quat::from_axis_angle(Vec3::Y, 1.0));
+        let b = Pose::new(
+            Vec3::new(2.0, 0.0, 0.0),
+            Quat::from_axis_angle(Vec3::Y, 1.0),
+        );
         let m = a.interpolate(&b, 0.5);
         assert_vec_eq(m.position, Vec3::new(1.0, 0.0, 0.0), 1e-12);
         assert!((m.orientation.angle_to(a.orientation) - 0.5).abs() < 1e-9);

@@ -1,14 +1,13 @@
 //! Unit quaternions for 3D orientation.
 
 use crate::{Mat3, Vec3};
-use serde::{Deserialize, Serialize};
 use std::ops::Mul;
 
 /// A quaternion `w + xi + yj + zk`, used (normalized) to represent rotation.
 ///
 /// Rotation composition follows the convention `(a * b)` = "apply `b`
 /// first, then `a`" when rotating vectors with [`Quat::rotate`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Quat {
     /// Scalar part.
     pub w: f64,
@@ -28,7 +27,12 @@ impl Default for Quat {
 
 impl Quat {
     /// The identity rotation.
-    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a quaternion from raw components (not normalized).
     #[inline]
@@ -74,7 +78,11 @@ impl Quat {
         if f.x.abs() < 1e-9 && f.z.abs() < 1e-9 {
             // Looking straight up/down: yaw from the rotated up vector.
             let u = self.rotate(Vec3::Y);
-            yaw = if pitch > 0.0 { u.x.atan2(u.z) } else { (-u.x).atan2(-u.z) };
+            yaw = if pitch > 0.0 {
+                u.x.atan2(u.z)
+            } else {
+                (-u.x).atan2(-u.z)
+            };
             roll = 0.0;
         } else {
             yaw = (-f.x).atan2(-f.z);
@@ -173,9 +181,21 @@ impl Quat {
     pub fn to_mat3(self) -> Mat3 {
         let Quat { w, x, y, z } = self.normalized();
         Mat3::new([
-            [1.0 - 2.0 * (y * y + z * z), 2.0 * (x * y - w * z), 2.0 * (x * z + w * y)],
-            [2.0 * (x * y + w * z), 1.0 - 2.0 * (x * x + z * z), 2.0 * (y * z - w * x)],
-            [2.0 * (x * z - w * y), 2.0 * (y * z + w * x), 1.0 - 2.0 * (x * x + y * y)],
+            [
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - w * z),
+                2.0 * (x * z + w * y),
+            ],
+            [
+                2.0 * (x * y + w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - w * x),
+            ],
+            [
+                2.0 * (x * z - w * y),
+                2.0 * (y * z + w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ],
         ])
     }
 
@@ -212,6 +232,9 @@ impl Mul for Quat {
         )
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(Quat { w, x, y, z });
 
 #[cfg(test)]
 mod tests {

@@ -2,10 +2,9 @@
 //! mmWave line-of-sight/blockage checks.
 
 use crate::{Aabb, Vec3};
-use serde::{Deserialize, Serialize};
 
 /// A half-line: `origin + t * direction` for `t >= 0`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ray {
     /// Start point.
     pub origin: Vec3,
@@ -16,7 +15,10 @@ pub struct Ray {
 impl Ray {
     /// Builds a ray; the direction is normalized (`None` for zero dir).
     pub fn new(origin: Vec3, direction: Vec3) -> Option<Ray> {
-        direction.normalized().map(|d| Ray { origin, direction: d })
+        direction.normalized().map(|d| Ray {
+            origin,
+            direction: d,
+        })
     }
 
     /// Ray from `a` toward `b` (None when coincident).
@@ -91,7 +93,11 @@ impl Ray {
                 // Find where it enters the height range.
                 let dy = self.direction.y;
                 if dy.abs() < 1e-12 {
-                    return if (y0..=y1).contains(&self.origin.y) { Some(0.0) } else { None };
+                    return if (y0..=y1).contains(&self.origin.y) {
+                        Some(0.0)
+                    } else {
+                        None
+                    };
                 }
                 let t0 = (y0 - self.origin.y) / dy;
                 let t1 = (y1 - self.origin.y) / dy;
@@ -134,6 +140,9 @@ impl Ray {
         None
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(Ray { origin, direction });
 
 #[cfg(test)]
 mod tests {
@@ -194,22 +203,32 @@ mod tests {
         let ap = Vec3::new(0.0, 2.5, 0.0);
         let user = Vec3::new(0.0, 1.2, -6.0);
         let r = Ray::between(ap, user).unwrap();
-        assert!(r.intersect_vertical_cylinder(0.0, -3.0, 0.25, 0.0, 1.0).is_none());
+        assert!(r
+            .intersect_vertical_cylinder(0.0, -3.0, 0.25, 0.0, 1.0)
+            .is_none());
     }
 
     #[test]
     fn cylinder_offset_to_side_misses() {
         let r = Ray::new(Vec3::ZERO, Vec3::FORWARD).unwrap();
-        assert!(r.intersect_vertical_cylinder(1.0, -3.0, 0.25, -1.0, 1.0).is_none());
-        assert!(r.intersect_vertical_cylinder(0.0, -3.0, 0.25, -1.0, 1.0).is_some());
+        assert!(r
+            .intersect_vertical_cylinder(1.0, -3.0, 0.25, -1.0, 1.0)
+            .is_none());
+        assert!(r
+            .intersect_vertical_cylinder(0.0, -3.0, 0.25, -1.0, 1.0)
+            .is_some());
     }
 
     #[test]
     fn vertical_ray_inside_cylinder() {
         let r = Ray::new(Vec3::new(0.0, 5.0, 0.0), -Vec3::Y).unwrap();
-        let t = r.intersect_vertical_cylinder(0.0, 0.0, 1.0, 0.0, 2.0).unwrap();
+        let t = r
+            .intersect_vertical_cylinder(0.0, 0.0, 1.0, 0.0, 2.0)
+            .unwrap();
         assert!((t - 3.0).abs() < 1e-12); // enters slab at y=2 -> t=3
         let r_out = Ray::new(Vec3::new(5.0, 5.0, 0.0), -Vec3::Y).unwrap();
-        assert!(r_out.intersect_vertical_cylinder(0.0, 0.0, 1.0, 0.0, 2.0).is_none());
+        assert!(r_out
+            .intersect_vertical_cylinder(0.0, 0.0, 1.0, 0.0, 2.0)
+            .is_none());
     }
 }

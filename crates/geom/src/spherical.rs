@@ -1,7 +1,6 @@
 //! Azimuth/elevation direction handling for beam geometry.
 
 use crate::Vec3;
-use serde::{Deserialize, Serialize};
 
 /// A direction in spherical coordinates relative to an antenna array.
 ///
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// - `azimuth`: angle in the horizontal (XZ) plane, 0 along `-Z`
 ///   (array boresight), positive toward `+X`, in `(-pi, pi]`.
 /// - `elevation`: angle above the horizontal plane, in `[-pi/2, pi/2]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Spherical {
     /// Azimuth in radians.
     pub azimuth: f64,
@@ -19,7 +18,10 @@ pub struct Spherical {
 
 impl Spherical {
     /// Boresight (azimuth 0, elevation 0).
-    pub const BORESIGHT: Spherical = Spherical { azimuth: 0.0, elevation: 0.0 };
+    pub const BORESIGHT: Spherical = Spherical {
+        azimuth: 0.0,
+        elevation: 0.0,
+    };
 
     /// Creates a direction from azimuth/elevation radians.
     pub fn new(azimuth: f64, elevation: f64) -> Self {
@@ -47,6 +49,9 @@ impl Spherical {
     }
 }
 
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(Spherical { azimuth, elevation });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -69,9 +74,13 @@ mod tests {
 
     #[test]
     fn round_trip() {
-        for &(az, el) in
-            &[(0.0, 0.0), (0.5, 0.3), (-1.2, -0.7), (2.9, 1.0), (FRAC_PI_4, -FRAC_PI_4)]
-        {
+        for &(az, el) in &[
+            (0.0, 0.0),
+            (0.5, 0.3),
+            (-1.2, -0.7),
+            (2.9, 1.0),
+            (FRAC_PI_4, -FRAC_PI_4),
+        ] {
             let s = Spherical::new(az, el);
             let s2 = Spherical::from_vector(s.to_unit_vector()).unwrap();
             assert!(approx_eq(s2.azimuth, az, 1e-9), "az {az}");

@@ -1,6 +1,5 @@
 //! Double-precision 3-vector.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A 3-dimensional vector of `f64` components.
@@ -8,7 +7,7 @@ use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, 
 /// Used throughout volcast for positions (meters), directions and velocities.
 /// The coordinate convention is right-handed with `+Y` up, `-Z` forward
 /// (OpenGL-style), matching the frustum and pose math in this crate.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Vec3 {
     /// X component (right).
     pub x: f64,
@@ -20,15 +19,35 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit vector along +X.
-    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    pub const X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// Unit vector along +Y.
-    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    pub const Y: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
     /// Unit vector along +Z.
-    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
     /// The conventional forward viewing direction (`-Z`).
-    pub const FORWARD: Vec3 = Vec3 { x: 0.0, y: 0.0, z: -1.0 };
+    pub const FORWARD: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: -1.0,
+    };
 
     /// Creates a vector from components.
     #[inline]
@@ -112,13 +131,21 @@ impl Vec3 {
     /// Component-wise minimum.
     #[inline]
     pub fn min(self, other: Vec3) -> Vec3 {
-        Vec3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+        Vec3::new(
+            self.x.min(other.x),
+            self.y.min(other.y),
+            self.z.min(other.z),
+        )
     }
 
     /// Component-wise maximum.
     #[inline]
     pub fn max(self, other: Vec3) -> Vec3 {
-        Vec3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+        Vec3::new(
+            self.x.max(other.x),
+            self.y.max(other.y),
+            self.z.max(other.z),
+        )
     }
 
     /// Component-wise multiplication (Hadamard product).
@@ -275,6 +302,9 @@ impl std::fmt::Display for Vec3 {
     }
 }
 
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(Vec3 { x, y, z });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,9 +363,17 @@ mod tests {
 
     #[test]
     fn angle_between_axes() {
-        assert!(approx_eq(Vec3::X.angle_between(Vec3::Y), std::f64::consts::FRAC_PI_2, 1e-12));
+        assert!(approx_eq(
+            Vec3::X.angle_between(Vec3::Y),
+            std::f64::consts::FRAC_PI_2,
+            1e-12
+        ));
         assert!(approx_eq(Vec3::X.angle_between(Vec3::X), 0.0, 1e-9));
-        assert!(approx_eq(Vec3::X.angle_between(-Vec3::X), std::f64::consts::PI, 1e-12));
+        assert!(approx_eq(
+            Vec3::X.angle_between(-Vec3::X),
+            std::f64::consts::PI,
+            1e-12
+        ));
         assert_eq!(Vec3::ZERO.angle_between(Vec3::X), 0.0);
     }
 

@@ -1,17 +1,18 @@
 //! Property-based tests for the geometric invariants every higher layer
 //! relies on.
 
-use proptest::prelude::*;
 use volcast_geom::{
     normalize_angle, Aabb, CameraIntrinsics, Complex, Frustum, Pose, Quat, Ray, Spherical, Vec3,
 };
+use volcast_util::prop::prelude::*;
 
 fn finite_f64(range: f64) -> impl Strategy<Value = f64> {
     -range..range
 }
 
 fn arb_vec3(range: f64) -> impl Strategy<Value = Vec3> {
-    (finite_f64(range), finite_f64(range), finite_f64(range)).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    (finite_f64(range), finite_f64(range), finite_f64(range))
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
 fn arb_quat() -> impl Strategy<Value = Quat> {

@@ -7,11 +7,10 @@
 //! abstraction the paper's custom multi-lobe design manipulates.
 
 use crate::calib::WAVELENGTH_M;
-use serde::{Deserialize, Serialize};
 use volcast_geom::{Complex, Quat, Spherical, Vec3};
 
 /// A per-element complex weight vector (one beam).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AntennaWeights {
     /// One complex weight per array element, row-major.
     pub w: Vec<Complex>,
@@ -32,7 +31,9 @@ impl AntennaWeights {
             return self.clone();
         }
         let s = 1.0 / p.sqrt();
-        AntennaWeights { w: self.w.iter().map(|c| c.scale(s)).collect() }
+        AntennaWeights {
+            w: self.w.iter().map(|c| c.scale(s)).collect(),
+        }
     }
 
     /// Number of elements.
@@ -51,7 +52,7 @@ impl AntennaWeights {
 /// The array lies in its local XY plane; its boresight is local `-Z`
 /// (matching the camera convention). `orientation`/`position` place it in
 /// the world.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlanarArray {
     /// Elements along local X.
     pub nx: usize,
@@ -114,7 +115,10 @@ impl PlanarArray {
     /// normalized to unit transmit power.
     pub fn beam_toward(&self, dir: Spherical) -> AntennaWeights {
         let s = self.steering(dir);
-        AntennaWeights { w: s.w.iter().map(|c| c.conj()).collect() }.normalized()
+        AntennaWeights {
+            w: s.w.iter().map(|c| c.conj()).collect(),
+        }
+        .normalized()
     }
 
     /// Far-field power gain (linear) of `weights` toward an array-local
@@ -164,6 +168,16 @@ impl PlanarArray {
         }
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(AntennaWeights { w });
+volcast_util::impl_json_struct!(PlanarArray {
+    nx,
+    ny,
+    spacing_wl,
+    position,
+    orientation
+});
 
 #[cfg(test)]
 mod tests {
@@ -259,10 +273,14 @@ mod tests {
     fn world_mounting_and_direction() {
         // Array on the +Z wall facing -Z sees a user ahead at boresight.
         let a = PlanarArray::airfide(Vec3::new(0.0, 2.5, 4.0), Vec3::FORWARD);
-        let dir = a.local_direction(Vec3::new(0.0, 2.5, 0.0) - a.position).unwrap();
+        let dir = a
+            .local_direction(Vec3::new(0.0, 2.5, 0.0) - a.position)
+            .unwrap();
         assert!(dir.azimuth.abs() < 1e-9 && dir.elevation.abs() < 1e-9);
         // A user below and to the right maps to nonzero angles.
-        let dir2 = a.local_direction(Vec3::new(2.0, 1.0, 0.0) - a.position).unwrap();
+        let dir2 = a
+            .local_direction(Vec3::new(2.0, 1.0, 0.0) - a.position)
+            .unwrap();
         assert!(dir2.azimuth > 0.0);
         assert!(dir2.elevation < 0.0);
     }
@@ -287,9 +305,16 @@ mod tests {
         assert_eq!(cut.len(), 121);
         // The maximum of the cut lies near the steering azimuth.
         let (peak_az, peak_db) =
-            cut.iter().copied().fold((0.0, f64::MIN), |acc, (az, g)| {
-                if g > acc.1 { (az, g) } else { acc }
-            });
+            cut.iter().copied().fold(
+                (0.0, f64::MIN),
+                |acc, (az, g)| {
+                    if g > acc.1 {
+                        (az, g)
+                    } else {
+                        acc
+                    }
+                },
+            );
         assert!((peak_az - 0.4).abs() < 0.05, "peak at {peak_az}");
         // Peak ~ 15 dBi for 32 elements (x element pattern at 0.4 rad).
         assert!((12.0..16.0).contains(&peak_db), "peak {peak_db} dB");
@@ -307,7 +332,10 @@ mod tests {
         let gain_at = |target: f64| -> f64 {
             cut.iter()
                 .min_by(|x, y| {
-                    (x.0 - target).abs().partial_cmp(&(y.0 - target).abs()).unwrap()
+                    (x.0 - target)
+                        .abs()
+                        .partial_cmp(&(y.0 - target).abs())
+                        .unwrap()
                 })
                 .unwrap()
                 .1
@@ -321,7 +349,9 @@ mod tests {
 
     #[test]
     fn normalized_zero_vector_is_safe() {
-        let z = AntennaWeights { w: vec![Complex::ZERO; 4] };
+        let z = AntennaWeights {
+            w: vec![Complex::ZERO; 4],
+        };
         assert_eq!(z.normalized().power(), 0.0);
         assert!(!z.is_empty());
         assert_eq!(z.len(), 4);

@@ -9,11 +9,10 @@
 
 use crate::channel::{Blocker, Channel};
 use crate::codebook::Codebook;
-use serde::{Deserialize, Serialize};
 use volcast_geom::Vec3;
 
 /// Result of one sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepResult {
     /// Index of the best sector in the codebook.
     pub sector: usize,
@@ -24,7 +23,7 @@ pub struct SweepResult {
 }
 
 /// Sector sweep engine with a timing model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BeamSearch {
     /// Time per SSW frame (per sector probed), seconds. ~15 us airtime plus
     /// turnaround; commercial sweeps land in the hundreds of microseconds
@@ -38,7 +37,10 @@ impl Default for BeamSearch {
     /// Calibrated so a full 48-sector sweep costs ~12 ms and a focused
     /// partial sweep a few ms — inside the paper's 5-20 ms window.
     fn default() -> Self {
-        BeamSearch { per_sector_s: 230e-6, overhead_s: 1.2e-3 }
+        BeamSearch {
+            per_sector_s: 230e-6,
+            overhead_s: 1.2e-3,
+        }
     }
 }
 
@@ -51,7 +53,13 @@ impl BeamSearch {
         user: Vec3,
         blockers: &[Blocker],
     ) -> SweepResult {
-        self.sweep_subset(channel, codebook, user, blockers, &Vec::from_iter(0..codebook.len()))
+        self.sweep_subset(
+            channel,
+            codebook,
+            user,
+            blockers,
+            &Vec::from_iter(0..codebook.len()),
+        )
     }
 
     /// Partial sweep over an explicit subset of sector indices (used for
@@ -89,7 +97,9 @@ impl BeamSearch {
         predicted_pos: Vec3,
         k: usize,
     ) -> Vec<usize> {
-        let Some(dir) = channel.array.local_direction(predicted_pos - channel.array.position)
+        let Some(dir) = channel
+            .array
+            .local_direction(predicted_pos - channel.array.position)
         else {
             return (0..codebook.len().min(k)).collect();
         };
@@ -104,6 +114,17 @@ impl BeamSearch {
         idx
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(SweepResult {
+    sector,
+    rss_dbm,
+    duration_s
+});
+volcast_util::impl_json_struct!(BeamSearch {
+    per_sector_s,
+    overhead_s
+});
 
 #[cfg(test)]
 mod tests {

@@ -12,11 +12,10 @@
 
 use crate::array::{AntennaWeights, PlanarArray};
 use crate::calib;
-use serde::{Deserialize, Serialize};
 use volcast_geom::{Ray, Vec3};
 
 /// A rectangular room: `x in [-w/2, w/2]`, `y in [0, h]`, `z in [-d/2, d/2]`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Room {
     /// Width (x extent) in meters.
     pub width: f64,
@@ -31,12 +30,17 @@ pub struct Room {
 impl Default for Room {
     /// An 8 x 3 x 8 m lab/classroom.
     fn default() -> Self {
-        Room { width: 8.0, height: 3.0, depth: 8.0, floor_reflection: false }
+        Room {
+            width: 8.0,
+            height: 3.0,
+            depth: 8.0,
+            floor_reflection: false,
+        }
     }
 }
 
 /// A standing human blocker: vertical cylinder.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Blocker {
     /// Cylinder center (x, z); y ignored.
     pub center: Vec3,
@@ -49,12 +53,16 @@ pub struct Blocker {
 impl Blocker {
     /// A typical standing person at `center` (head position or body center).
     pub fn person(center: Vec3) -> Self {
-        Blocker { center, radius: 0.25, height: 1.8 }
+        Blocker {
+            center,
+            radius: 0.25,
+            height: 1.8,
+        }
     }
 }
 
 /// One propagation path from the AP to a receiver.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Path {
     /// First hop target from the TX: the receiver itself (LoS) or the
     /// specular reflection point on a surface.
@@ -68,7 +76,7 @@ pub struct Path {
 }
 
 /// The channel: a room plus the AP's planar array.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Channel {
     /// Room geometry.
     pub room: Room,
@@ -178,13 +186,14 @@ impl Channel {
     /// torso. This lets callers pass the full room population without
     /// manually excluding each receiver.
     fn segment_blocked(&self, a: Vec3, b: Vec3, blockers: &[Blocker]) -> bool {
-        let Some(ray) = Ray::between(a, b) else { return false };
+        let Some(ray) = Ray::between(a, b) else {
+            return false;
+        };
         let dist = a.distance(b);
         blockers.iter().any(|bl| {
             // Own-body exclusion: axis within the cylinder radius of the
             // receiving endpoint.
-            let horiz =
-                ((bl.center.x - b.x).powi(2) + (bl.center.z - b.z).powi(2)).sqrt();
+            let horiz = ((bl.center.x - b.x).powi(2) + (bl.center.z - b.z).powi(2)).sqrt();
             if horiz <= bl.radius + 1e-6 {
                 return false;
             }
@@ -257,6 +266,26 @@ impl Channel {
     }
 }
 
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(Room {
+    width,
+    height,
+    depth,
+    floor_reflection
+});
+volcast_util::impl_json_struct!(Blocker {
+    center,
+    radius,
+    height
+});
+volcast_util::impl_json_struct!(Path {
+    via,
+    length,
+    extra_loss_db,
+    is_los
+});
+volcast_util::impl_json_struct!(Channel { room, array });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,9 +333,11 @@ mod tests {
         let ch = setup();
         let user_a = Vec3::new(-2.5, 1.6, 0.0);
         let user_b = Vec3::new(2.5, 1.6, 0.0);
-        let beam_a = ch
-            .array
-            .beam_toward(ch.array.local_direction(user_a - ch.array.position).unwrap());
+        let beam_a = ch.array.beam_toward(
+            ch.array
+                .local_direction(user_a - ch.array.position)
+                .unwrap(),
+        );
         let rss_at_a = ch.rss_dbm(&beam_a, user_a, &[]);
         let rss_at_b = ch.rss_dbm(&beam_a, user_b, &[]);
         assert!(
@@ -403,6 +434,9 @@ mod reflected_beam_tests {
         let los = ch.rss_dedicated_beam(user, &[]);
         let best = ch.rss_best_beam(user, &[]);
         assert!(best >= los - 1e-9);
-        assert!(best < los + 3.0, "clear link should prefer LoS: {best} vs {los}");
+        assert!(
+            best < los + 3.0,
+            "clear link should prefer LoS: {best} vs {los}"
+        );
     }
 }

@@ -6,11 +6,10 @@
 //! one sector rarely covers two spread-out users with high RSS.
 
 use crate::array::{AntennaWeights, PlanarArray};
-use serde::{Deserialize, Serialize};
 use volcast_geom::Spherical;
 
 /// A set of sector beams over the array's field of view.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Codebook {
     /// Sector beams (unit transmit power each).
     pub sectors: Vec<AntennaWeights>,
@@ -44,7 +43,10 @@ impl Codebook {
                 directions.push(dir);
             }
         }
-        Codebook { sectors, directions }
+        Codebook {
+            sectors,
+            directions,
+        }
     }
 
     /// The standard commercial configuration for the 8x4 array: 16 azimuth
@@ -73,6 +75,12 @@ impl Codebook {
         })
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(Codebook {
+    sectors,
+    directions
+});
 
 #[cfg(test)]
 mod tests {
@@ -142,8 +150,16 @@ mod tests {
     #[test]
     fn directions_span_requested_range() {
         let (_, cb) = setup();
-        let max_az = cb.directions.iter().map(|d| d.azimuth).fold(f64::MIN, f64::max);
-        let min_az = cb.directions.iter().map(|d| d.azimuth).fold(f64::MAX, f64::min);
+        let max_az = cb
+            .directions
+            .iter()
+            .map(|d| d.azimuth)
+            .fold(f64::MIN, f64::max);
+        let min_az = cb
+            .directions
+            .iter()
+            .map(|d| d.azimuth)
+            .fold(f64::MAX, f64::min);
         assert!((max_az - 60f64.to_radians()).abs() < 1e-9);
         assert!((min_az + 60f64.to_radians()).abs() < 1e-9);
     }

@@ -21,6 +21,17 @@
 //!
 //! All calibration constants live in [`calib`] with the paper anchor they
 //! reproduce.
+//!
+//! ```
+//! use volcast_geom::Vec3;
+//! use volcast_mmwave::{Channel, Codebook};
+//!
+//! // Received signal strength for one codebook sector at a user position.
+//! let channel = Channel::default_setup();
+//! let codebook = Codebook::default_for(&channel.array);
+//! let rss = channel.rss_dbm(&codebook.sectors[0], Vec3::new(1.0, 1.5, -1.0), &[]);
+//! assert!(rss.is_finite() && rss < 0.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

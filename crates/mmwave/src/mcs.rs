@@ -12,10 +12,8 @@
 //! A multicast group's rate is the minimum MCS across members (the paper's
 //! `r^m` constraint).
 
-use serde::{Deserialize, Serialize};
-
 /// One MCS level.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct McsEntry {
     /// MCS index (per the respective standard).
     pub index: u8,
@@ -26,7 +24,7 @@ pub struct McsEntry {
 }
 
 /// An ordered MCS table (ascending rate).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct McsTable {
     /// Entries sorted by ascending `phy_mbps`.
     pub entries: Vec<McsEntry>,
@@ -55,7 +53,11 @@ impl McsTable {
         McsTable {
             entries: raw
                 .iter()
-                .map(|&(index, phy_mbps, min_rss_dbm)| McsEntry { index, phy_mbps, min_rss_dbm })
+                .map(|&(index, phy_mbps, min_rss_dbm)| McsEntry {
+                    index,
+                    phy_mbps,
+                    min_rss_dbm,
+                })
                 .collect(),
         }
     }
@@ -80,7 +82,11 @@ impl McsTable {
         McsTable {
             entries: raw
                 .iter()
-                .map(|&(index, phy_mbps, min_rss_dbm)| McsEntry { index, phy_mbps, min_rss_dbm })
+                .map(|&(index, phy_mbps, min_rss_dbm)| McsEntry {
+                    index,
+                    phy_mbps,
+                    min_rss_dbm,
+                })
                 .collect(),
         }
     }
@@ -110,6 +116,14 @@ impl McsTable {
         }
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(McsEntry {
+    index,
+    phy_mbps,
+    min_rss_dbm
+});
+volcast_util::impl_json_struct!(McsTable { entries });
 
 #[cfg(test)]
 mod tests {

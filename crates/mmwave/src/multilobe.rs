@@ -40,7 +40,9 @@ pub fn combine_weights(
 pub fn combine_weights_multi(beams: &[(AntennaWeights, f64)]) -> AntennaWeights {
     assert!(!beams.is_empty(), "need at least one beam");
     let n = beams[0].0.len();
-    let mut acc = AntennaWeights { w: vec![volcast_geom::Complex::ZERO; n] };
+    let mut acc = AntennaWeights {
+        w: vec![volcast_geom::Complex::ZERO; n],
+    };
     for (w, rss_mw) in beams {
         assert_eq!(w.len(), n, "mismatched element counts");
         let coeff = 1.0 / rss_mw.max(1e-15);
@@ -106,11 +108,7 @@ impl<'a> MultiLobeDesigner<'a> {
 
     /// Best *default-codebook* sector for the group: maximizes the minimum
     /// member RSS. Returns (weights index, per-member RSS).
-    pub fn best_common_sector(
-        &self,
-        members: &[Vec3],
-        blockers: &[Blocker],
-    ) -> (usize, Vec<f64>) {
+    pub fn best_common_sector(&self, members: &[Vec3], blockers: &[Blocker]) -> (usize, Vec<f64>) {
         let mut best_idx = 0usize;
         let mut best_min = f64::NEG_INFINITY;
         let mut best_rss = vec![f64::NEG_INFINITY; members.len()];
@@ -139,8 +137,7 @@ impl<'a> MultiLobeDesigner<'a> {
                 // from the sector sweep / predicted 6DoF motion).
                 let (idx, _) = self.best_common_sector(&[m], blockers);
                 let w = self.codebook.sectors[idx].clone();
-                let rss_mw =
-                    crate::calib::dbm_to_mw(self.channel.rss_dbm(&w, m, blockers));
+                let rss_mw = crate::calib::dbm_to_mw(self.channel.rss_dbm(&w, m, blockers));
                 (w, rss_mw)
             })
             .collect();
@@ -170,7 +167,11 @@ impl<'a> MultiLobeDesigner<'a> {
         let custom_min = custom_rss.iter().copied().fold(f64::INFINITY, f64::min);
 
         if custom_min > default_min {
-            GroupBeam { weights: custom, member_rss_dbm: custom_rss, customized: true }
+            GroupBeam {
+                weights: custom,
+                member_rss_dbm: custom_rss,
+                customized: true,
+            }
         } else {
             GroupBeam {
                 weights: self.codebook.sectors[idx].clone(),
@@ -206,8 +207,12 @@ mod tests {
     fn two_user_formula_matches_paper() {
         // Manual check: with Δ1 = 1, Δ2 = 3 the coefficients must be in
         // ratio Δ2 : Δ1 = 3 : 1 before normalization.
-        let w1 = AntennaWeights { w: vec![Complex::ONE, Complex::ZERO] };
-        let w2 = AntennaWeights { w: vec![Complex::ZERO, Complex::ONE] };
+        let w1 = AntennaWeights {
+            w: vec![Complex::ONE, Complex::ZERO],
+        };
+        let w2 = AntennaWeights {
+            w: vec![Complex::ZERO, Complex::ONE],
+        };
         let c = combine_weights(&w1, 1.0, &w2, 3.0);
         let ratio = c.w[0].abs() / c.w[1].abs();
         assert!((ratio - 3.0).abs() < 1e-9, "ratio {ratio}");
@@ -224,7 +229,10 @@ mod tests {
         let c = combine_weights(&w1, 0.1e-6, &w2, 1e-6);
         let g1 = array.gain(&c, dir1);
         let g2 = array.gain(&c, dir2);
-        assert!(g1 > g2, "weak user's lobe {g1} should exceed strong user's {g2}");
+        assert!(
+            g1 > g2,
+            "weak user's lobe {g1} should exceed strong user's {g2}"
+        );
     }
 
     #[test]
@@ -264,7 +272,10 @@ mod tests {
         let users = [Vec3::new(-2.5, 1.5, 0.0), Vec3::new(2.5, 1.5, 0.0)];
         let d = MultiLobeDesigner::new(&ch, &cb);
         let beam = d.design(&users, &[]);
-        assert!(beam.customized, "spread users should trigger the custom beam");
+        assert!(
+            beam.customized,
+            "spread users should trigger the custom beam"
+        );
         assert_eq!(beam.member_rss_dbm.len(), 2);
     }
 

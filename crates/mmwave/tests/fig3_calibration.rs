@@ -9,14 +9,13 @@
 //! - 3e's mechanism: multicast with default beams can be *worse* than
 //!   unicast for some geometries (unbalanced RSS), custom beams fix it.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use volcast_geom::Vec3;
 use volcast_mmwave::{Channel, Codebook, McsTable, MultiLobeDesigner};
+use volcast_util::rng::Rng;
 
 /// Samples a plausible standing viewer position in the default room
 /// (around the subject at the room center, 1-2.5 m away).
-fn sample_position(rng: &mut StdRng) -> Vec3 {
+fn sample_position(rng: &mut Rng) -> Vec3 {
     let theta = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
     let r = rng.gen_range(1.0..2.6);
     Vec3::new(r * theta.sin(), rng.gen_range(1.3..1.8), r * theta.cos())
@@ -31,10 +30,10 @@ fn fig3b_default_codebook_degrades_with_group_size() {
     let ch = Channel::default_setup();
     let cb = Codebook::default_for(&ch.array);
     let designer = MultiLobeDesigner::new(&ch, &cb);
-    let mut rng = StdRng::seed_from_u64(3101);
+    let mut rng = Rng::seed_from_u64(3101);
 
     let trials = 150;
-    let mut best_common = |k: usize, rng: &mut StdRng| -> Vec<f64> {
+    let best_common = |k: usize, rng: &mut Rng| -> Vec<f64> {
         (0..trials)
             .map(|_| {
                 let users: Vec<Vec3> = (0..k).map(|_| sample_position(rng)).collect();
@@ -64,7 +63,7 @@ fn fig3d_custom_beams_raise_common_rss() {
     let ch = Channel::default_setup();
     let cb = Codebook::default_for(&ch.array);
     let designer = MultiLobeDesigner::new(&ch, &cb);
-    let mut rng = StdRng::seed_from_u64(3102);
+    let mut rng = Rng::seed_from_u64(3102);
 
     let trials = 100;
     let mut default_wins = 0usize;
@@ -104,7 +103,7 @@ fn fig3e_mechanism_unbalanced_multicast_can_lose_to_unicast() {
     let cb = Codebook::default_for(&ch.array);
     let designer = MultiLobeDesigner::new(&ch, &cb);
     let mcs = McsTable::dmg();
-    let mut rng = StdRng::seed_from_u64(3103);
+    let mut rng = Rng::seed_from_u64(3103);
 
     let mut found_pathology = false;
     let mut custom_fixes = false;
@@ -135,6 +134,9 @@ fn fig3e_mechanism_unbalanced_multicast_can_lose_to_unicast() {
             }
         }
     }
-    assert!(found_pathology, "no geometry showed the unbalanced-RSS pathology");
+    assert!(
+        found_pathology,
+        "no geometry showed the unbalanced-RSS pathology"
+    );
     assert!(custom_fixes, "custom beams never repaired the pathology");
 }

@@ -1,10 +1,10 @@
 //! Property tests for the mmWave substrate.
 
-use proptest::prelude::*;
 use volcast_geom::{Spherical, Vec3};
 use volcast_mmwave::{
     combine_weights_multi, Channel, Codebook, McsTable, MultiLobeDesigner, PlanarArray,
 };
+use volcast_util::prop::prelude::*;
 
 fn arb_dir() -> impl Strategy<Value = Spherical> {
     (-1.2f64..1.2, -0.8f64..0.8).prop_map(|(az, el)| Spherical::new(az, el))

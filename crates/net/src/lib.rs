@@ -13,6 +13,17 @@
 //!   unicast items, executed on the MAC models,
 //! - [`LinkState`]: per-user link tracker (RSS/MCS EWMA, outage detection)
 //!   feeding the cross-layer rate adaptation.
+//!
+//! ```
+//! use volcast_net::{EventQueue, SimTime};
+//!
+//! // Events pop in time order regardless of insertion order.
+//! let mut q = EventQueue::new();
+//! q.schedule(SimTime::from_millis(2.0), "later");
+//! q.schedule(SimTime::from_millis(1.0), "sooner");
+//! assert_eq!(q.pop(), Some((SimTime::from_millis(1.0), "sooner")));
+//! assert_eq!(q.pop(), Some((SimTime::from_millis(2.0), "later")));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -5,10 +5,8 @@
 //! PHY half: it tracks RSS with an EWMA, estimates the short-term trend,
 //! and flags outages.
 
-use serde::{Deserialize, Serialize};
-
 /// EWMA-tracked link quality for one station.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkState {
     /// Smoothed RSS (dBm); `None` until the first sample.
     ewma_rss: Option<f64>,
@@ -89,6 +87,16 @@ impl LinkState {
             .map(|r| (r + self.trend_db() * horizon as f64).clamp(-100.0, -20.0))
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(LinkState {
+    ewma_rss,
+    prev_ewma,
+    alpha,
+    outage_run,
+    outage_threshold_dbm,
+    samples
+});
 
 #[cfg(test)]
 mod tests {

@@ -11,8 +11,6 @@
 //!   3 users ≈ 112 Mbps/user (aggregate ≈ 336 Mbps), the gentle aggregate
 //!   decline coming from contention collisions.
 
-use serde::{Deserialize, Serialize};
-
 /// Common MAC-model interface used by the streaming scheduler.
 pub trait MacModel {
     /// Goodput (application-layer Mbps) of a single transmission running at
@@ -32,7 +30,7 @@ pub trait MacModel {
 }
 
 /// 802.11ad DMG service-period MAC.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AdMac {
     /// PHY-to-MAC efficiency for a single flow (aggregation, ACKs, TCP).
     pub base_efficiency: f64,
@@ -46,7 +44,11 @@ pub struct AdMac {
 
 impl Default for AdMac {
     fn default() -> Self {
-        AdMac { base_efficiency: 0.55, bhi_fraction: 0.08, per_sta_overhead: 0.035 }
+        AdMac {
+            base_efficiency: 0.55,
+            bhi_fraction: 0.08,
+            per_sta_overhead: 0.035,
+        }
     }
 }
 
@@ -79,7 +81,7 @@ impl AdMac {
 }
 
 /// 802.11ac EDCA contention MAC.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AcMac {
     /// PHY-to-MAC efficiency for a single flow.
     pub base_efficiency: f64,
@@ -90,7 +92,10 @@ pub struct AcMac {
 
 impl Default for AcMac {
     fn default() -> Self {
-        AcMac { base_efficiency: 0.431, contention_overhead: 0.05 }
+        AcMac {
+            base_efficiency: 0.431,
+            contention_overhead: 0.05,
+        }
     }
 }
 
@@ -99,8 +104,7 @@ impl MacModel for AcMac {
         if n_active == 0 {
             return 0.0;
         }
-        let share =
-            (1.0 - self.contention_overhead * (n_active as f64 - 1.0)).max(0.05);
+        let share = (1.0 - self.contention_overhead * (n_active as f64 - 1.0)).max(0.05);
         phy_mbps * self.base_efficiency * share
     }
 }
@@ -115,6 +119,17 @@ impl AcMac {
         }
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(AdMac {
+    base_efficiency,
+    bhi_fraction,
+    per_sta_overhead
+});
+volcast_util::impl_json_struct!(AcMac {
+    base_efficiency,
+    contention_overhead
+});
 
 #[cfg(test)]
 mod tests {

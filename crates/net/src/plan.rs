@@ -9,10 +9,9 @@
 //! switching overhead.
 
 use crate::mac::MacModel;
-use serde::{Deserialize, Serialize};
 
 /// Who a transmission item is for.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TxKind {
     /// One receiver.
     Unicast {
@@ -27,7 +26,7 @@ pub enum TxKind {
 }
 
 /// One scheduled burst.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TxItem {
     /// Receiver(s).
     pub kind: TxKind,
@@ -42,12 +41,22 @@ pub struct TxItem {
 impl TxItem {
     /// A unicast burst.
     pub fn unicast(user: usize, bytes: f64, phy_mbps: f64) -> Self {
-        TxItem { kind: TxKind::Unicast { user }, bytes, phy_mbps, beam_switch_s: 0.0 }
+        TxItem {
+            kind: TxKind::Unicast { user },
+            bytes,
+            phy_mbps,
+            beam_switch_s: 0.0,
+        }
     }
 
     /// A multicast burst.
     pub fn multicast(members: Vec<usize>, bytes: f64, phy_mbps: f64) -> Self {
-        TxItem { kind: TxKind::Multicast { members }, bytes, phy_mbps, beam_switch_s: 0.0 }
+        TxItem {
+            kind: TxKind::Multicast { members },
+            bytes,
+            phy_mbps,
+            beam_switch_s: 0.0,
+        }
     }
 
     /// The users that receive this item.
@@ -74,14 +83,14 @@ impl TxItem {
 /// // User 0 finishes with their residual; user 1 last.
 /// assert!(timing.user_completion_s[1] > timing.user_completion_s[0]);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TransmissionPlan {
     /// Items executed in order.
     pub items: Vec<TxItem>,
 }
 
 /// The timing outcome of executing a plan.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlanTiming {
     /// Completion time (seconds from plan start) of each item.
     pub item_completion_s: Vec<f64>,
@@ -120,9 +129,28 @@ impl TransmissionPlan {
                 }
             }
         }
-        PlanTiming { item_completion_s, user_completion_s, total_s: t }
+        PlanTiming {
+            item_completion_s,
+            user_completion_s,
+            total_s: t,
+        }
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_enum!(TxKind { Unicast { user }, Multicast { members } });
+volcast_util::impl_json_struct!(TxItem {
+    kind,
+    bytes,
+    phy_mbps,
+    beam_switch_s
+});
+volcast_util::impl_json_struct!(TransmissionPlan { items });
+volcast_util::impl_json_struct!(PlanTiming {
+    item_completion_s,
+    user_completion_s,
+    total_s
+});
 
 #[cfg(test)]
 mod tests {
@@ -131,7 +159,11 @@ mod tests {
 
     fn mac() -> AdMac {
         // Idealized MAC for exact arithmetic: no overheads, efficiency 1.
-        AdMac { base_efficiency: 1.0, bhi_fraction: 0.0, per_sta_overhead: 0.0 }
+        AdMac {
+            base_efficiency: 1.0,
+            bhi_fraction: 0.0,
+            per_sta_overhead: 0.0,
+        }
     }
 
     #[test]
@@ -172,15 +204,17 @@ mod tests {
         plan.items.push(TxItem::unicast(0, s_1 - s_m, r_1));
         plan.items.push(TxItem::unicast(1, s_2 - s_m, r_2));
         let t = plan.execute(&mac(), 2, 2);
-        let expect =
-            s_m * 8.0 / (r_m * 1e6) + (s_1 - s_m) * 8.0 / (r_1 * 1e6) + (s_2 - s_m) * 8.0 / (r_2 * 1e6);
+        let expect = s_m * 8.0 / (r_m * 1e6)
+            + (s_1 - s_m) * 8.0 / (r_1 * 1e6)
+            + (s_2 - s_m) * 8.0 / (r_2 * 1e6);
         assert!((t.total_s - expect).abs() < 1e-12);
     }
 
     #[test]
     fn multicast_completes_all_members_at_once() {
         let mut plan = TransmissionPlan::new();
-        plan.items.push(TxItem::multicast(vec![0, 1, 2], 1e5, 1000.0));
+        plan.items
+            .push(TxItem::multicast(vec![0, 1, 2], 1e5, 1000.0));
         let t = plan.execute(&mac(), 3, 4);
         assert_eq!(t.user_completion_s[0], t.user_completion_s[1]);
         assert_eq!(t.user_completion_s[1], t.user_completion_s[2]);

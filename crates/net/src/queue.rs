@@ -46,7 +46,11 @@ impl<E> Default for EventQueue<E> {
 impl<E> EventQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// Current simulation time (the timestamp of the last popped event).
@@ -58,8 +62,16 @@ impl<E> EventQueue<E> {
     ///
     /// Panics if `at` is in the past — the simulation must never rewind.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
-        self.heap.push(Reverse(Entry { at, seq: self.seq, event }));
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
+        self.heap.push(Reverse(Entry {
+            at,
+            seq: self.seq,
+            event,
+        }));
         self.seq += 1;
     }
 

@@ -18,10 +18,9 @@ use crate::mac::MacModel;
 use crate::plan::TransmissionPlan;
 use crate::queue::EventQueue;
 use crate::time::SimTime;
-use serde::{Deserialize, Serialize};
 
 /// What happens to unfinished items at a frame boundary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BacklogPolicy {
     /// Keep transmitting old frames' items before newer ones.
     Queue,
@@ -30,7 +29,7 @@ pub enum BacklogPolicy {
 }
 
 /// Per-frame outcome of a simulated run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FrameOutcome {
     /// Frame index.
     pub frame: usize,
@@ -94,7 +93,13 @@ impl<'a, M: MacModel> Simulator<'a, M> {
         interval: SimTime,
         policy: BacklogPolicy,
     ) -> Self {
-        Simulator { mac, n_active, n_users, interval, policy }
+        Simulator {
+            mac,
+            n_active,
+            n_users,
+            interval,
+            policy,
+        }
     }
 
     /// Runs one plan per frame, frame `f` released at `f * interval`.
@@ -179,6 +184,15 @@ impl<'a, M: MacModel> Simulator<'a, M> {
     }
 }
 
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_enum!(BacklogPolicy { Queue, Drop });
+volcast_util::impl_json_struct!(FrameOutcome {
+    frame,
+    start,
+    user_completion,
+    dropped_items
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,7 +200,11 @@ mod tests {
     use crate::plan::TxItem;
 
     fn ideal_mac() -> AdMac {
-        AdMac { base_efficiency: 1.0, bhi_fraction: 0.0, per_sta_overhead: 0.0 }
+        AdMac {
+            base_efficiency: 1.0,
+            bhi_fraction: 0.0,
+            per_sta_overhead: 0.0,
+        }
     }
 
     /// A plan with one unicast item of `ms` milliseconds at 1000 Mbps.
@@ -211,7 +229,11 @@ mod tests {
         for o in &outcomes {
             let t = o.user_completion[0].unwrap();
             let offset = (t - o.start).as_millis();
-            assert!((offset - 10.0).abs() < 0.01, "frame {} offset {offset}", o.frame);
+            assert!(
+                (offset - 10.0).abs() < 0.01,
+                "frame {} offset {offset}",
+                o.frame
+            );
             assert!(o.on_time(0, SimTime::from_millis(33.333)));
         }
     }
@@ -225,8 +247,7 @@ mod tests {
         let outcomes = s.run(&plans);
         let mut prev_lateness = -1.0;
         for o in &outcomes {
-            let lateness =
-                (o.user_completion[0].unwrap() - o.start).as_millis();
+            let lateness = (o.user_completion[0].unwrap() - o.start).as_millis();
             assert!(lateness > prev_lateness, "backlog must grow");
             prev_lateness = lateness;
         }
@@ -245,12 +266,9 @@ mod tests {
         let mut completed = 0;
         let mut dropped = 0;
         for o in &outcomes {
-            match o.user_completion[0] {
-                Some(t) => {
-                    completed += 1;
-                    assert!((t - o.start).as_millis() < 100.0);
-                }
-                None => {}
+            if let Some(t) = o.user_completion[0] {
+                completed += 1;
+                assert!((t - o.start).as_millis() < 100.0);
             }
             dropped += o.dropped_items;
         }
@@ -263,7 +281,8 @@ mod tests {
         let mac = ideal_mac();
         let s = sim(&mac, BacklogPolicy::Queue);
         let mut p = TransmissionPlan::new();
-        p.items.push(TxItem::multicast(vec![0, 1], 1e6 / 8.0, 1000.0));
+        p.items
+            .push(TxItem::multicast(vec![0, 1], 1e6 / 8.0, 1000.0));
         let outcomes = s.run(&[p]);
         let t0 = outcomes[0].user_completion[0].unwrap();
         let t1 = outcomes[0].user_completion[1].unwrap();
@@ -291,7 +310,9 @@ mod tests {
         let s = sim(&mac, BacklogPolicy::Queue);
         let outcomes = s.run(&[TransmissionPlan::new(), TransmissionPlan::new()]);
         assert_eq!(outcomes.len(), 2);
-        assert!(outcomes.iter().all(|o| o.user_completion.iter().all(|c| c.is_none())));
+        assert!(outcomes
+            .iter()
+            .all(|o| o.user_completion.iter().all(|c| c.is_none())));
     }
 
     #[test]

@@ -1,14 +1,25 @@
 //! Simulation time: integer nanoseconds since simulation start.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Sub};
+use volcast_util::json::{FromJson, JsonError, JsonValue, ToJson};
 
 /// A point in simulated time. Integer nanoseconds: exact, total-ordered,
 /// overflow-checked in debug builds; no floating-point drift.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct SimTime(pub u64);
+
+// Serializes transparently as its nanosecond count, like a serde newtype.
+impl ToJson for SimTime {
+    fn to_json(&self) -> JsonValue {
+        self.0.to_json()
+    }
+}
+
+impl FromJson for SimTime {
+    fn from_json(v: &JsonValue) -> Result<Self, JsonError> {
+        u64::from_json(v).map(SimTime)
+    }
+}
 
 impl SimTime {
     /// Time zero.

@@ -7,10 +7,8 @@
 //! GCR, group-addressed frames go out at a fixed legacy basic rate, which
 //! is why the paper's multicast design targets mmWave in the first place.
 
-use serde::{Deserialize, Serialize};
-
 /// Log-distance path-loss channel at 5 GHz.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Wifi5Channel {
     /// Transmit power + antenna gains, dBm.
     pub tx_power_dbm: f64,
@@ -49,6 +47,15 @@ impl Wifi5Channel {
             - self.body_shadow_db * bodies_in_path as f64
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(Wifi5Channel {
+    tx_power_dbm,
+    ref_loss_db,
+    exponent,
+    body_shadow_db,
+    multicast_basic_rate_mbps
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,9 +1,9 @@
 //! Property tests for the network substrate.
 
-use proptest::prelude::*;
 use volcast_net::{
     AdMac, BacklogPolicy, EventQueue, MacModel, SimTime, Simulator, TransmissionPlan, TxItem,
 };
+use volcast_util::prop::prelude::*;
 
 fn arb_plan(max_items: usize) -> impl Strategy<Value = TransmissionPlan> {
     prop::collection::vec(

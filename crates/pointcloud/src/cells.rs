@@ -7,12 +7,11 @@
 //! visibility maps) is computed.
 
 use crate::point::PointCloud;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use volcast_geom::{Aabb, Vec3};
 
 /// Identifier of a cell: integer grid coordinates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CellId {
     /// Grid x index.
     pub x: i32,
@@ -30,7 +29,7 @@ impl CellId {
 }
 
 /// Per-cell statistics from a partition.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellInfo {
     /// Cell id.
     pub id: CellId,
@@ -44,7 +43,7 @@ pub struct CellInfo {
 ///
 /// The grid is unbounded: cells exist wherever points fall. Cell `(i,j,k)`
 /// covers `[origin + i*s, origin + (i+1)*s)` per axis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CellGrid {
     /// Grid anchor (world coordinates of cell (0,0,0)'s min corner).
     pub origin: Vec3,
@@ -56,7 +55,10 @@ impl CellGrid {
     /// Creates a grid with the given cell size anchored at the origin.
     pub fn new(cell_size: f64) -> Self {
         assert!(cell_size > 0.0, "cell size must be positive");
-        CellGrid { origin: Vec3::ZERO, cell_size }
+        CellGrid {
+            origin: Vec3::ZERO,
+            cell_size,
+        }
     }
 
     /// Creates a grid anchored at `origin`.
@@ -77,8 +79,7 @@ impl CellGrid {
 
     /// World-space bounds of a cell.
     pub fn cell_bounds(&self, id: CellId) -> Aabb {
-        let min = self.origin
-            + Vec3::new(id.x as f64, id.y as f64, id.z as f64) * self.cell_size;
+        let min = self.origin + Vec3::new(id.x as f64, id.y as f64, id.z as f64) * self.cell_size;
         Aabb::new(min, min + Vec3::splat(self.cell_size))
     }
 
@@ -92,7 +93,9 @@ impl CellGrid {
     pub fn partition(&self, cloud: &PointCloud) -> Vec<CellInfo> {
         let mut map: BTreeMap<CellId, Vec<u32>> = BTreeMap::new();
         for (i, p) in cloud.points.iter().enumerate() {
-            map.entry(self.cell_of(p.position())).or_default().push(i as u32);
+            map.entry(self.cell_of(p.position()))
+                .or_default()
+                .push(i as u32);
         }
         map.into_iter()
             .map(|(id, point_indices)| CellInfo {
@@ -113,6 +116,15 @@ impl CellGrid {
         )
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(CellId { x, y, z });
+volcast_util::impl_json_struct!(CellInfo {
+    id,
+    point_count,
+    point_indices
+});
+volcast_util::impl_json_struct!(CellGrid { origin, cell_size });
 
 #[cfg(test)]
 mod tests {

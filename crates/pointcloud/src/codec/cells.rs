@@ -14,10 +14,9 @@
 use crate::cells::{CellGrid, CellId};
 use crate::codec::octree::{decode, encode, CodecConfig, CodecError, CodecStats, EncodedCloud};
 use crate::point::PointCloud;
-use serde::{Deserialize, Serialize};
 
 /// One independently decodable cell bitstream.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EncodedCell {
     /// Which cell this is.
     pub id: CellId,
@@ -28,17 +27,17 @@ pub struct EncodedCell {
 }
 
 /// Encodes a frame as independent per-cell bitstreams (sorted by cell id).
-pub fn encode_cells(
-    cloud: &PointCloud,
-    grid: &CellGrid,
-    cfg: &CodecConfig,
-) -> Vec<EncodedCell> {
+pub fn encode_cells(cloud: &PointCloud, grid: &CellGrid, cfg: &CodecConfig) -> Vec<EncodedCell> {
     grid.partition(cloud)
         .iter()
         .map(|info| {
             let sub = grid.extract(cloud, info);
             let (data, stats) = encode(&sub, cfg);
-            EncodedCell { id: info.id, data, stats }
+            EncodedCell {
+                id: info.id,
+                data,
+                stats,
+            }
         })
         .collect()
 }
@@ -61,6 +60,9 @@ pub fn total_bytes(cells: &[EncodedCell]) -> usize {
     cells.iter().map(|c| c.data.size_bytes()).sum()
 }
 
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(EncodedCell { id, data, stats });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,7 +72,14 @@ mod tests {
     fn setup() -> (PointCloud, CellGrid, Vec<EncodedCell>) {
         let cloud = SyntheticBody::default().frame(0, 12_000);
         let grid = CellGrid::new(0.5);
-        let cells = encode_cells(&cloud, &grid, &CodecConfig { depth: 8, color_bits: 6 });
+        let cells = encode_cells(
+            &cloud,
+            &grid,
+            &CodecConfig {
+                depth: 8,
+                color_bits: 6,
+            },
+        );
         (cloud, grid, cells)
     }
 
@@ -98,9 +107,9 @@ mod tests {
         // (within quantization slack of the cell boundary).
         for p in merged.points.iter().step_by(17) {
             let pos = p.position();
-            let near_some_cell = subset.iter().any(|c| {
-                grid.cell_bounds(c.id).distance_to_point(pos) < 0.02
-            });
+            let near_some_cell = subset
+                .iter()
+                .any(|c| grid.cell_bounds(c.id).distance_to_point(pos) < 0.02);
             assert!(near_some_cell, "decoded point {pos} outside subset cells");
         }
     }
@@ -123,12 +132,19 @@ mod tests {
     #[test]
     fn independence_overhead_is_bounded() {
         let (cloud, _, cells) = setup();
-        let cfg = CodecConfig { depth: 8, color_bits: 6 };
+        let cfg = CodecConfig {
+            depth: 8,
+            color_bits: 6,
+        };
         let (whole, _) = crate::codec::octree::encode(&cloud, &cfg);
         let split = total_bytes(&cells);
         let overhead = split as f64 / whole.size_bytes() as f64;
         // Random access costs something, but must stay sane.
-        assert!(overhead > 1.0, "split {split} vs whole {}", whole.size_bytes());
+        assert!(
+            overhead > 1.0,
+            "split {split} vs whole {}",
+            whole.size_bytes()
+        );
         assert!(overhead < 2.5, "per-cell overhead {overhead:.2}x too high");
     }
 

@@ -5,11 +5,10 @@
 
 use super::range::{BitModel, RangeDecoder, RangeEncoder};
 use crate::point::{Point, PointCloud};
-use serde::{Deserialize, Serialize};
 use volcast_geom::{Aabb, Vec3};
 
 /// Codec parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CodecConfig {
     /// Geometry quantization: bits per axis (octree depth). The paper-scale
     /// human body at depth 10 gives ~2 mm voxels.
@@ -20,7 +19,10 @@ pub struct CodecConfig {
 
 impl Default for CodecConfig {
     fn default() -> Self {
-        CodecConfig { depth: 10, color_bits: 6 }
+        CodecConfig {
+            depth: 10,
+            color_bits: 6,
+        }
     }
 }
 
@@ -48,7 +50,7 @@ impl std::fmt::Display for CodecError {
 impl std::error::Error for CodecError {}
 
 /// An encoded cloud: header + entropy-coded payload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EncodedCloud {
     /// Serialized bitstream (header + payload).
     pub data: Vec<u8>,
@@ -62,7 +64,7 @@ impl EncodedCloud {
 }
 
 /// Compression statistics for instrumentation and the bench harness.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CodecStats {
     /// Points in the input cloud.
     pub input_points: usize,
@@ -120,8 +122,14 @@ impl Contexts {
 
 /// Encodes a cloud. Returns the bitstream and compression statistics.
 pub fn encode(cloud: &PointCloud, cfg: &CodecConfig) -> (EncodedCloud, CodecStats) {
-    assert!(cfg.depth >= 1 && cfg.depth <= MAX_DEPTH, "depth must be in 1..=16");
-    assert!(cfg.color_bits >= 1 && cfg.color_bits <= 8, "color_bits must be in 1..=8");
+    assert!(
+        cfg.depth >= 1 && cfg.depth <= MAX_DEPTH,
+        "depth must be in 1..=16"
+    );
+    assert!(
+        cfg.color_bits >= 1 && cfg.color_bits <= 8,
+        "color_bits must be in 1..=8"
+    );
 
     let bounds = if cloud.is_empty() {
         Aabb::new(Vec3::ZERO, Vec3::ZERO)
@@ -233,7 +241,10 @@ fn encode_node(
     // Emit occupancy bits.
     for child in 0..8usize {
         let occupied = ranges[child].1 > ranges[child].0;
-        enc.encode_bit(&mut ctx.occupancy[depth_from_root as usize][child], occupied);
+        enc.encode_bit(
+            &mut ctx.occupancy[depth_from_root as usize][child],
+            occupied,
+        );
     }
     // Recurse.
     if depth_from_root + 1 < total_depth {
@@ -264,9 +275,8 @@ pub fn decode(encoded: &EncodedCloud) -> Result<PointCloud, CodecError> {
         return Err(CodecError::InvalidHeader("color_bits out of range"));
     }
     let count = u32::from_le_bytes(data[6..10].try_into().unwrap()) as usize;
-    let f32_at = |off: usize| -> f64 {
-        f32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as f64
-    };
+    let f32_at =
+        |off: usize| -> f64 { f32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as f64 };
     let min = Vec3::new(f32_at(10), f32_at(14), f32_at(18));
     let extent = f32_at(22);
     if !(extent.is_finite() && extent > 0.0) && count > 0 {
@@ -340,6 +350,16 @@ fn decode_node(
     }
 }
 
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(CodecConfig { depth, color_bits });
+volcast_util::impl_json_struct!(EncodedCloud { data });
+volcast_util::impl_json_struct!(CodecStats {
+    input_points,
+    voxels,
+    bytes,
+    bits_per_point
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -389,7 +409,10 @@ mod tests {
     #[test]
     fn body_round_trip_geometry_error_bounded() {
         let cloud = SyntheticBody::default().frame(0, 20_000);
-        let cfg = CodecConfig { depth: 9, color_bits: 6 };
+        let cfg = CodecConfig {
+            depth: 9,
+            color_bits: 6,
+        };
         let (enc, stats) = encode(&cloud, &cfg);
         let dec = decode(&enc).unwrap();
         assert_eq!(dec.len(), stats.voxels);
@@ -405,7 +428,10 @@ mod tests {
                 .iter()
                 .map(|o| o.position().distance(dp))
                 .fold(f64::INFINITY, f64::min);
-            assert!(best <= max_err, "decoded point {dp} off by {best} > {max_err}");
+            assert!(
+                best <= max_err,
+                "decoded point {dp} off by {best} > {max_err}"
+            );
         }
     }
 
@@ -425,8 +451,20 @@ mod tests {
     #[test]
     fn deeper_quantization_costs_more_bits() {
         let cloud = SyntheticBody::default().frame(0, 20_000);
-        let (_, s8) = encode(&cloud, &CodecConfig { depth: 8, color_bits: 6 });
-        let (_, s11) = encode(&cloud, &CodecConfig { depth: 11, color_bits: 6 });
+        let (_, s8) = encode(
+            &cloud,
+            &CodecConfig {
+                depth: 8,
+                color_bits: 6,
+            },
+        );
+        let (_, s11) = encode(
+            &cloud,
+            &CodecConfig {
+                depth: 11,
+                color_bits: 6,
+            },
+        );
         assert!(s11.bytes > s8.bytes);
     }
 
@@ -436,7 +474,10 @@ mod tests {
             Point::new([0.0, 0.0, 0.0], [255, 0, 128]),
             Point::new([1.0, 1.0, 1.0], [0, 255, 64]),
         ]);
-        let cfg = CodecConfig { depth: 8, color_bits: 6 };
+        let cfg = CodecConfig {
+            depth: 8,
+            color_bits: 6,
+        };
         let (enc, _) = encode(&cloud, &cfg);
         let dec = decode(&enc).unwrap();
         assert_eq!(dec.len(), 2);
@@ -461,7 +502,9 @@ mod tests {
     #[test]
     fn decode_rejects_bad_inputs() {
         assert_eq!(
-            decode(&EncodedCloud { data: vec![1, 2, 3] }),
+            decode(&EncodedCloud {
+                data: vec![1, 2, 3]
+            }),
             Err(CodecError::TruncatedHeader)
         );
         let mut bad_magic = vec![0u8; HEADER_LEN + 8];

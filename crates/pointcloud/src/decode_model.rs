@@ -6,10 +6,8 @@
 //! small per-frame overhead), which reproduces exactly that ceiling without
 //! depending on this machine's speed.
 
-use serde::{Deserialize, Serialize};
-
 /// Decode-rate model: points/second budget with per-frame fixed cost.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DecodeModel {
     /// Sustained decode throughput in points per second.
     pub points_per_sec: f64,
@@ -44,6 +42,12 @@ impl DecodeModel {
         self.max_fps(points).min(cap)
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(DecodeModel {
+    points_per_sec,
+    per_frame_overhead_s
+});
 
 #[cfg(test)]
 mod tests {

@@ -15,6 +15,16 @@
 //! - [`DecodeModel`]: the client-side decode-throughput ceiling (the paper's
 //!   "550K points is the highest density decodable at 30 FPS"),
 //! - [`QualityLadder`]: the three-version quality ladder with bitrates.
+//!
+//! ```
+//! use volcast_pointcloud::{CellGrid, SyntheticBody};
+//!
+//! // A synthetic frame at an exact density, partitioned into 50 cm cells.
+//! let cloud = SyntheticBody::default().frame(0, 2_000);
+//! assert_eq!(cloud.len(), 2_000);
+//! let cells = CellGrid::new(0.5).partition(&cloud);
+//! assert_eq!(cells.iter().map(|c| c.point_count).sum::<usize>(), 2_000);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

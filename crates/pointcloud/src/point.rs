@@ -1,6 +1,5 @@
 //! Points and point clouds.
 
-use serde::{Deserialize, Serialize};
 use volcast_geom::{Aabb, Vec3};
 
 /// A single colored point.
@@ -8,7 +7,7 @@ use volcast_geom::{Aabb, Vec3};
 /// Positions are `f32` (sub-millimeter precision over room scale) because a
 /// frame holds hundreds of thousands of points and memory bandwidth matters;
 /// all analytical math upstream uses `f64`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Point {
     /// Position in meters.
     pub pos: [f32; 3],
@@ -29,7 +28,7 @@ impl Point {
 }
 
 /// One frame of volumetric content: an unordered set of colored points.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct PointCloud {
     /// The points.
     pub points: Vec<Point>,
@@ -97,6 +96,10 @@ impl PointCloud {
         PointCloud::from_points(pts)
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(Point { pos, color });
+volcast_util::impl_json_struct!(PointCloud { points });
 
 #[cfg(test)]
 mod tests {

@@ -6,10 +6,8 @@
 //! experiments can compute frame sizes without generating geometry, while
 //! [`QualityLadder`] ties the levels to an actual synthetic video.
 
-use serde::{Deserialize, Serialize};
-
 /// One of the paper's three quality versions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum QualityLevel {
     /// 330K points/frame.
     Low,
@@ -54,7 +52,7 @@ impl QualityLevel {
 }
 
 /// Calibrated per-level streaming parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Quality {
     /// Level identifier.
     pub level: QualityLevel,
@@ -102,7 +100,7 @@ impl Quality {
 }
 
 /// The full ladder: the three levels of one video.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QualityLadder {
     /// The three calibrated levels, lowest first.
     pub levels: [Quality; 3],
@@ -141,6 +139,15 @@ impl QualityLadder {
     }
 }
 
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_enum!(QualityLevel { Low, Medium, High });
+volcast_util::impl_json_struct!(Quality {
+    level,
+    points_per_frame,
+    full_frame_mbps
+});
+volcast_util::impl_json_struct!(QualityLadder { levels });
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,12 +155,17 @@ mod tests {
     #[test]
     fn ladder_is_monotone() {
         let l = QualityLadder::default();
-        assert!(l.get(QualityLevel::Low).points_per_frame
-            < l.get(QualityLevel::Medium).points_per_frame);
-        assert!(l.get(QualityLevel::Medium).points_per_frame
-            < l.get(QualityLevel::High).points_per_frame);
-        assert!(l.get(QualityLevel::Low).full_frame_mbps
-            < l.get(QualityLevel::High).full_frame_mbps);
+        assert!(
+            l.get(QualityLevel::Low).points_per_frame
+                < l.get(QualityLevel::Medium).points_per_frame
+        );
+        assert!(
+            l.get(QualityLevel::Medium).points_per_frame
+                < l.get(QualityLevel::High).points_per_frame
+        );
+        assert!(
+            l.get(QualityLevel::Low).full_frame_mbps < l.get(QualityLevel::High).full_frame_mbps
+        );
     }
 
     #[test]

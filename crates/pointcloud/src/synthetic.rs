@@ -12,10 +12,8 @@
 //! an exact target point count, and temporal coherence across frames.
 
 use crate::point::{Point, PointCloud};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use volcast_geom::Vec3;
+use volcast_util::rng::Rng;
 
 /// A capsule: segment from `a` to `b` with radius `r`.
 #[derive(Debug, Clone, Copy)]
@@ -35,7 +33,7 @@ impl Capsule {
     }
 
     /// Samples one point uniformly-ish on the capsule surface.
-    fn sample(&self, rng: &mut StdRng) -> Vec3 {
+    fn sample(&self, rng: &mut Rng) -> Vec3 {
         let h = (self.b - self.a).norm();
         let axis = (self.b - self.a).normalized_or(Vec3::Y);
         // Build an orthonormal frame around the axis.
@@ -75,7 +73,7 @@ impl Capsule {
 /// consecutive frames overlap heavily (temporal coherence) while the overall
 /// silhouette sweeps through the room over a few hundred frames — the same
 /// qualitative behaviour as the 8i soldier sequence.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SyntheticBody {
     /// Base seed; combined with the frame index for deterministic frames.
     pub seed: u64,
@@ -104,7 +102,11 @@ impl Default for SyntheticBody {
 impl SyntheticBody {
     /// Creates a body with the default proportions at `origin`.
     pub fn new(seed: u64, origin: Vec3) -> Self {
-        SyntheticBody { seed, origin, ..Default::default() }
+        SyntheticBody {
+            seed,
+            origin,
+            ..Default::default()
+        }
     }
 
     /// The skeleton posed at time `t` seconds.
@@ -131,23 +133,42 @@ impl SyntheticBody {
 
         let leg = |side: f64, swing: f64| -> [Capsule; 2] {
             let hip = Vec3::new(side * 0.10, hip_y, 0.0);
-            let knee = hip + Vec3::new(0.0, -0.45, 0.0)
-                + Vec3::new(0.0, 0.0, -0.45 * swing.sin());
-            let foot = knee + Vec3::new(0.0, -0.45, 0.0)
+            let knee = hip + Vec3::new(0.0, -0.45, 0.0) + Vec3::new(0.0, 0.0, -0.45 * swing.sin());
+            let foot = knee
+                + Vec3::new(0.0, -0.45, 0.0)
                 + Vec3::new(0.0, 0.0, -0.2 * swing.sin().max(0.0));
             [
-                Capsule { a: place(hip), b: place(knee), r: 0.075, color: pants },
-                Capsule { a: place(knee), b: place(foot), r: 0.06, color: pants },
+                Capsule {
+                    a: place(hip),
+                    b: place(knee),
+                    r: 0.075,
+                    color: pants,
+                },
+                Capsule {
+                    a: place(knee),
+                    b: place(foot),
+                    r: 0.06,
+                    color: pants,
+                },
             ]
         };
         let arm = |side: f64, swing: f64| -> [Capsule; 2] {
             let shoulder = Vec3::new(side * 0.20, shoulder_y, 0.0);
-            let elbow = shoulder
-                + Vec3::new(side * 0.02, -0.28, -0.28 * swing.sin());
+            let elbow = shoulder + Vec3::new(side * 0.02, -0.28, -0.28 * swing.sin());
             let hand = elbow + Vec3::new(0.0, -0.26, -0.1 * swing.sin());
             [
-                Capsule { a: place(shoulder), b: place(elbow), r: 0.05, color: shirt },
-                Capsule { a: place(elbow), b: place(hand), r: 0.04, color: skin },
+                Capsule {
+                    a: place(shoulder),
+                    b: place(elbow),
+                    r: 0.05,
+                    color: shirt,
+                },
+                Capsule {
+                    a: place(elbow),
+                    b: place(hand),
+                    r: 0.04,
+                    color: skin,
+                },
             ]
         };
 
@@ -178,7 +199,7 @@ impl SyntheticBody {
         let t = frame_idx as f64 / self.fps;
         let caps = self.capsules_at(t);
         let total_area: f64 = caps.iter().map(|c| c.area()).sum();
-        let mut rng = StdRng::seed_from_u64(self.seed ^ frame_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = Rng::seed_from_u64(self.seed ^ frame_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
         let mut points = Vec::with_capacity(target_points);
         // Allocate points proportionally to area; round-robin remainder.
@@ -199,15 +220,21 @@ impl SyntheticBody {
                     (cap.color[1] as i16 + jitter).clamp(0, 255) as u8,
                     (cap.color[2] as i16 + jitter).clamp(0, 255) as u8,
                 ];
-                points.push(Point::new(
-                    [p.x as f32, p.y as f32, p.z as f32],
-                    col,
-                ));
+                points.push(Point::new([p.x as f32, p.y as f32, p.z as f32], col));
             }
         }
         PointCloud::from_points(points)
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(SyntheticBody {
+    seed,
+    fps,
+    origin,
+    gait_hz,
+    turn_rate
+});
 
 #[cfg(test)]
 mod tests {
@@ -267,8 +294,10 @@ mod tests {
 
     #[test]
     fn body_turns_over_time() {
-        let mut body = SyntheticBody::default();
-        body.turn_rate = 0.5;
+        let body = SyntheticBody {
+            turn_rate: 0.5,
+            ..Default::default()
+        };
         // After ~6 s (180 frames) the body turned by ~3 rad: the points
         // distribution around the vertical axis must have shifted.
         let a = body.frame(0, 5_000);
@@ -276,8 +305,12 @@ mod tests {
         let mean_z_a: f64 = a.points.iter().map(|p| p.pos[2] as f64).sum::<f64>() / 5_000.0;
         let mean_z_b: f64 = b.points.iter().map(|p| p.pos[2] as f64).sum::<f64>() / 5_000.0;
         // Not a strong assertion, but turning changes the z spread of arms.
-        let var =
-            |c: &PointCloud, m: f64| c.points.iter().map(|p| (p.pos[2] as f64 - m).powi(2)).sum::<f64>();
+        let var = |c: &PointCloud, m: f64| {
+            c.points
+                .iter()
+                .map(|p| (p.pos[2] as f64 - m).powi(2))
+                .sum::<f64>()
+        };
         let _ = (mean_z_a, mean_z_b);
         assert!(var(&a, mean_z_a) > 0.0 && var(&b, mean_z_b) > 0.0);
     }

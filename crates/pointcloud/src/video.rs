@@ -5,14 +5,13 @@ use crate::codec::{encode, CodecConfig, CodecStats, EncodedCloud};
 use crate::point::PointCloud;
 use crate::quality::{Quality, QualityLadder, QualityLevel};
 use crate::synthetic::SyntheticBody;
-use serde::{Deserialize, Serialize};
 
 /// A volumetric video: a synthetic body animated over `num_frames` frames,
 /// generable at any of the ladder's quality levels.
 ///
 /// Frames are generated on demand and deterministically, so experiments can
 /// sweep hundreds of frames without holding them in memory.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct VideoSequence {
     /// The animated subject.
     pub body: SyntheticBody,
@@ -39,7 +38,10 @@ impl VideoSequence {
     /// Creates a sequence with the given seed and length.
     pub fn new(seed: u64, num_frames: u64) -> Self {
         VideoSequence {
-            body: SyntheticBody { seed, ..Default::default() },
+            body: SyntheticBody {
+                seed,
+                ..Default::default()
+            },
             num_frames,
             ..Default::default()
         }
@@ -48,7 +50,8 @@ impl VideoSequence {
     /// Generates frame `idx` at `level` quality.
     pub fn frame(&self, idx: u64, level: QualityLevel) -> PointCloud {
         let q = self.ladder.get(level);
-        self.body.frame(idx % self.num_frames.max(1), q.points_per_frame)
+        self.body
+            .frame(idx % self.num_frames.max(1), q.points_per_frame)
     }
 
     /// Generates a reduced-density frame for fast analytical experiments
@@ -93,6 +96,14 @@ impl VideoSequence {
         self.ladder.get(level)
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(VideoSequence {
+    body,
+    ladder,
+    num_frames,
+    fps
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,9 +1,9 @@
 //! Property tests for the point-cloud substrate: codec round-trip fidelity,
 //! cell-partition invariants and subsampling behaviour.
 
-use proptest::prelude::*;
 use volcast_pointcloud::codec::{decode, encode, CodecConfig};
 use volcast_pointcloud::{CellGrid, Point, PointCloud};
+use volcast_util::prop::prelude::*;
 
 fn arb_point(extent: f32) -> impl Strategy<Value = Point> {
     (
@@ -91,7 +91,7 @@ proptest! {
     #[test]
     fn subsample_never_exceeds_target(cloud in arb_cloud(300), target in 0usize..400) {
         let s = cloud.subsample(target);
-        prop_assert!(s.len() <= target.min(cloud.len()).max(0));
+        prop_assert!(s.len() <= target.min(cloud.len()));
         if target >= cloud.len() {
             prop_assert_eq!(s.len(), cloud.len());
         } else {

@@ -1,0 +1,60 @@
+//! # volcast-util
+//!
+//! The dependency-free substrate that keeps the volcast workspace building
+//! hermetically: no registry access, no vendored crates, `CARGO_NET_OFFLINE=true`
+//! always works. Every external crate the workspace once pulled in (`rand`,
+//! `serde`/`serde_json`, `proptest`, `criterion`) is replaced by a small,
+//! deterministic, in-tree equivalent:
+//!
+//! - [`rng`] — a SplitMix64-seeded xoshiro256++ PRNG with the handful of
+//!   sampling methods the workspace actually uses (`gen_range`, `gen`,
+//!   `gen_bool`, `shuffle`, `normal`). Same seed ⇒ same stream, on every
+//!   platform, forever.
+//! - [`json`] — a [`json::JsonValue`] tree with a compact writer and a
+//!   recursive-descent parser, plus [`json::ToJson`] / [`json::FromJson`]
+//!   traits and the [`impl_json_struct!`] / [`impl_json_enum!`] macros that
+//!   replace `#[derive(Serialize, Deserialize)]`.
+//! - [`prop`] — a `proptest`-lite property runner: the [`proptest!`] macro,
+//!   composable [`prop::Strategy`] values (ranges, tuples,
+//!   `prop::collection::vec`, [`prop::any`]), deterministic per-case seeds
+//!   and failure-seed reporting.
+//! - [`timing`] — a plain wall-clock benchmark harness standing in for
+//!   `criterion` (warm-up, fixed sample count, min/median/mean report).
+//!
+//! ## Determinism guarantees
+//!
+//! Everything in this crate is deterministic by construction: the PRNG is a
+//! pure integer recurrence, JSON objects preserve insertion order, and the
+//! property runner derives each case's seed from the test name and case
+//! index. Two runs of any seeded volcast experiment produce byte-identical
+//! output.
+//!
+//! ```
+//! use volcast_util::rng::Rng;
+//!
+//! let mut a = Rng::seed_from_u64(42);
+//! let mut b = Rng::seed_from_u64(42);
+//! let xs: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+//! let ys: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+//! assert_eq!(xs, ys);
+//! ```
+//!
+//! ```
+//! use volcast_util::json::{JsonValue, ToJson, FromJson};
+//!
+//! let v = JsonValue::parse(r#"{"name": "volcast", "users": [1, 2, 3]}"#).unwrap();
+//! let users: Vec<u64> = FromJson::from_json(v.get("users").unwrap()).unwrap();
+//! assert_eq!(users, vec![1, 2, 3]);
+//! assert_eq!(users.to_json().to_json_string(), "[1,2,3]");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The `prop` docs show `proptest! { #[test] fn ... }` exactly as callers
+// write it; those examples are compile-checked, not run, which is intended.
+#![allow(clippy::test_attr_in_doctest)]
+
+pub mod json;
+pub mod prop;
+pub mod rng;
+pub mod timing;

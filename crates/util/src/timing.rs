@@ -1,0 +1,152 @@
+//! A plain wall-clock benchmark harness (the in-tree `criterion` stand-in).
+//!
+//! Keeps criterion's calling shape so bench files port mechanically: a
+//! [`Harness`] with [`Harness::bench_function`], a [`Bencher`] passed to the
+//! closure with [`Bencher::iter`] / [`Bencher::iter_batched`], and
+//! `std::hint::black_box` at the call sites. Instead of statistics over a
+//! sampling plan it reports min / median / mean over a fixed number of
+//! timed samples — enough to rank kernels and spot regressions while
+//! staying dependency-free and fast.
+//!
+//! Environment knobs: `VOLCAST_BENCH_SAMPLES` (default 20 timed samples per
+//! benchmark) and `VOLCAST_BENCH_MIN_ITERS` (default 1; inner iterations
+//! per sample are auto-scaled so one sample takes at least ~5 ms).
+//!
+//! ```
+//! use volcast_util::timing::Harness;
+//!
+//! let mut h = Harness::new();
+//! h.bench_function("sum_1k", |b| {
+//!     b.iter(|| (0..1000u64).sum::<u64>())
+//! });
+//! ```
+
+use std::time::{Duration, Instant};
+
+/// Target wall time for one timed sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(5);
+
+/// Collects and prints benchmark results.
+#[derive(Debug, Default)]
+pub struct Harness {
+    samples: usize,
+}
+
+impl Harness {
+    /// Creates a harness (reads `VOLCAST_BENCH_SAMPLES`).
+    pub fn new() -> Self {
+        let samples = std::env::var("VOLCAST_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20);
+        Harness { samples }
+    }
+
+    /// Times `f`, printing one result line: min / median / mean per
+    /// iteration.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            iters: 1,
+            total: Duration::ZERO,
+        };
+
+        // Calibrate: grow the inner iteration count until one sample takes
+        // at least TARGET_SAMPLE.
+        loop {
+            b.total = Duration::ZERO;
+            f(&mut b);
+            if b.total >= TARGET_SAMPLE || b.iters >= 1 << 24 {
+                break;
+            }
+            b.iters *= 2;
+        }
+
+        // Timed samples.
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            b.total = Duration::ZERO;
+            f(&mut b);
+            per_iter.push(b.total.as_secs_f64() / b.iters as f64);
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{name:<36} min {:>10}  median {:>10}  mean {:>10}  ({} iters x {} samples)",
+            fmt_time(min),
+            fmt_time(median),
+            fmt_time(mean),
+            b.iters,
+            self.samples,
+        );
+    }
+}
+
+/// Formats seconds with an adaptive unit.
+fn fmt_time(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the measured code.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over this sample's iterations.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.total += start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, T, S: FnMut() -> I, F: FnMut(I) -> T>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += start.elapsed();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        std::env::set_var("VOLCAST_BENCH_SAMPLES", "2");
+        let mut h = Harness::new();
+        h.bench_function("noop", |b| b.iter(|| 1 + 1));
+        h.bench_function("batched", |b| b.iter_batched(|| vec![1u8; 16], |v| v.len()));
+        std::env::remove_var("VOLCAST_BENCH_SAMPLES");
+    }
+
+    #[test]
+    fn time_formatting() {
+        assert!(fmt_time(2.0).ends_with(" s"));
+        assert!(fmt_time(2e-3).ends_with(" ms"));
+        assert!(fmt_time(2e-6).ends_with(" µs"));
+        assert!(fmt_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -10,11 +10,10 @@
 //! tests every AP→user line of sight against every *other* user's predicted
 //! body cylinder.
 
-use serde::{Deserialize, Serialize};
 use volcast_geom::{Pose, Ray, Vec3};
 
 /// A forecast blockage of one user's link.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlockageEvent {
     /// The user whose AP link is blocked.
     pub victim: usize,
@@ -25,7 +24,7 @@ pub struct BlockageEvent {
 }
 
 /// Forecasts human-body blockages from predicted poses.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BlockageForecaster {
     /// AP (antenna) position.
     pub ap: Vec3,
@@ -40,7 +39,12 @@ pub struct BlockageForecaster {
 impl BlockageForecaster {
     /// Creates a forecaster for an AP mounted at `ap`.
     pub fn new(ap: Vec3) -> Self {
-        BlockageForecaster { ap, body_radius: 0.25, body_height: 1.8, floor_y: 0.0 }
+        BlockageForecaster {
+            ap,
+            body_radius: 0.25,
+            body_height: 1.8,
+            floor_y: 0.0,
+        }
     }
 
     /// `true` when the straight path from the AP to `victim_head` passes
@@ -80,7 +84,11 @@ impl BlockageForecaster {
                         continue;
                     }
                     if self.is_blocked(vp.position, bp.position) {
-                        events.push(BlockageEvent { victim, blocker, onset_frames: f });
+                        events.push(BlockageEvent {
+                            victim,
+                            blocker,
+                            onset_frames: f,
+                        });
                         seen.push((victim, blocker));
                     }
                 }
@@ -95,6 +103,19 @@ impl BlockageForecaster {
         self.forecast(std::slice::from_ref(&poses.to_vec()))
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(BlockageEvent {
+    victim,
+    blocker,
+    onset_frames
+});
+volcast_util::impl_json_struct!(BlockageForecaster {
+    ap,
+    body_radius,
+    body_height,
+    floor_y
+});
 
 #[cfg(test)]
 mod tests {
@@ -161,7 +182,14 @@ mod tests {
         ];
         let events = f.forecast(&frames);
         assert_eq!(events.len(), 1);
-        assert_eq!(events[0], BlockageEvent { victim: 0, blocker: 1, onset_frames: 2 });
+        assert_eq!(
+            events[0],
+            BlockageEvent {
+                victim: 0,
+                blocker: 1,
+                onset_frames: 2
+            }
+        );
     }
 
     #[test]

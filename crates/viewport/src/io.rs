@@ -6,20 +6,26 @@
 //! collected traces can be dropped into every experiment in place of the
 //! synthetic generator, and synthetic studies can be exported for other
 //! tools.
+//!
+//! Serialization goes through the in-tree JSON layer (`volcast_util::json`)
+//! rather than an external crate; the on-disk format is unchanged:
+//! `{"version": 1, "traces": [...]}` with structs keyed by field name.
 
 use crate::traces::{Trace, UserStudy};
-use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use std::path::Path;
+use volcast_util::json::{FromJson, JsonError, JsonValue, ToJson};
 
 /// Versioned on-disk container.
-#[derive(Debug, Serialize, Deserialize)]
+#[derive(Debug)]
 struct StudyFile {
     /// Format version for forward compatibility.
     version: u32,
     /// The traces.
     traces: Vec<Trace>,
 }
+
+volcast_util::impl_json_struct!(StudyFile { version, traces });
 
 const VERSION: u32 = 1;
 
@@ -29,7 +35,7 @@ pub enum IoError {
     /// Filesystem error.
     Io(std::io::Error),
     /// Malformed JSON or wrong schema.
-    Format(serde_json::Error),
+    Format(JsonError),
     /// A known-incompatible format version.
     Version(u32),
 }
@@ -52,16 +58,19 @@ impl From<std::io::Error> for IoError {
     }
 }
 
-impl From<serde_json::Error> for IoError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<JsonError> for IoError {
+    fn from(e: JsonError) -> Self {
         IoError::Format(e)
     }
 }
 
 /// Writes a study to a JSON writer.
 pub fn write_study<W: Write>(study: &UserStudy, mut w: W) -> Result<(), IoError> {
-    let file = StudyFile { version: VERSION, traces: study.traces.clone() };
-    let json = serde_json::to_string(&file)?;
+    let file = StudyFile {
+        version: VERSION,
+        traces: study.traces.clone(),
+    };
+    let json = file.to_json().to_json_string();
     w.write_all(json.as_bytes())?;
     Ok(())
 }
@@ -70,11 +79,13 @@ pub fn write_study<W: Write>(study: &UserStudy, mut w: W) -> Result<(), IoError>
 pub fn read_study<R: Read>(mut r: R) -> Result<UserStudy, IoError> {
     let mut buf = String::new();
     r.read_to_string(&mut buf)?;
-    let file: StudyFile = serde_json::from_str(&buf)?;
+    let file = StudyFile::from_json(&JsonValue::parse(&buf)?)?;
     if file.version != VERSION {
         return Err(IoError::Version(file.version));
     }
-    Ok(UserStudy { traces: file.traces })
+    Ok(UserStudy {
+        traces: file.traces,
+    })
 }
 
 /// Saves a study to a file path.
@@ -120,6 +131,16 @@ mod tests {
         let loaded = load_study(&path).unwrap();
         assert_eq!(loaded.len(), 2);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writes_are_byte_identical() {
+        let study = UserStudy::generate_with(9, 5, 1, 1);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        write_study(&study, &mut a).unwrap();
+        write_study(&study, &mut b).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -16,11 +16,10 @@
 //!    group-viewing).
 
 use crate::predict::{LinearPredictor, Predictor};
-use serde::{Deserialize, Serialize};
 use volcast_geom::{normalize_angle, Pose, SixDof, Vec3};
 
 /// Configuration for the interaction corrections.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JointConfig {
     /// Personal-space radius in meters; predictions closer than this are
     /// damped.
@@ -88,11 +87,9 @@ impl JointPredictor {
     /// Predicts every user's pose `horizon` frames ahead, with interaction
     /// corrections. Returns `None` until all users have enough history.
     pub fn predict_frame(&self, horizon: usize) -> Option<Vec<Pose>> {
-        let raw: Option<Vec<SixDof>> =
-            self.bases.iter().map(|b| b.predict(horizon)).collect();
+        let raw: Option<Vec<SixDof>> = self.bases.iter().map(|b| b.predict(horizon)).collect();
         let mut preds = raw?;
-        let current: Vec<SixDof> = self.last.iter().map(|l| l.unwrap())
-            .collect();
+        let current: Vec<SixDof> = self.last.iter().map(|l| l.unwrap()).collect();
 
         // 1. Proximity damping: pull conflicting predictions back toward
         //    the users' current positions.
@@ -104,8 +101,7 @@ impl JointPredictor {
                 let pj = pos(&preds[j]);
                 // Compare horizontal distance only; heads at different
                 // heights still collide bodily.
-                let horiz =
-                    ((pi.x - pj.x).powi(2) + (pi.z - pj.z).powi(2)).sqrt();
+                let horiz = ((pi.x - pj.x).powi(2) + (pi.z - pj.z).powi(2)).sqrt();
                 if horiz < self.config.comfort_radius {
                     for (idx, cur) in [(i, current[i]), (j, current[j])] {
                         for d in 0..3 {
@@ -144,8 +140,7 @@ impl JointPredictor {
                     // Peek toward the side the blocker is NOT on.
                     let side = dir.cross(Vec3::Y);
                     let sign = if lateral.dot(side) >= 0.0 { -1.0 } else { 1.0 };
-                    preds[i].v[3] =
-                        normalize_angle(preds[i].v[3] + sign * self.config.peek_bias);
+                    preds[i].v[3] = normalize_angle(preds[i].v[3] + sign * self.config.peek_bias);
                 }
             }
         }
@@ -170,6 +165,15 @@ impl JointPredictor {
         self.last.iter_mut().for_each(|l| *l = None);
     }
 }
+
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(JointConfig {
+    comfort_radius,
+    damping,
+    body_radius,
+    peek_bias,
+    subject
+});
 
 #[cfg(test)]
 mod tests {
@@ -228,7 +232,10 @@ mod tests {
 
     #[test]
     fn occluder_biases_view_yaw() {
-        let cfg = JointConfig { subject: Vec3::new(0.0, 1.1, 0.0), ..Default::default() };
+        let cfg = JointConfig {
+            subject: Vec3::new(0.0, 1.1, 0.0),
+            ..Default::default()
+        };
         let mut jp = JointPredictor::new(2, 10, cfg);
         // User 0 stands at z=3 looking at subject; user 1 stands directly
         // on the line at z=1.5, stationary.

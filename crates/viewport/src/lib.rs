@@ -17,6 +17,17 @@
 //!   proximity/occlusion awareness (§4.1),
 //! - [`blockage`]: viewport-prediction-driven mmWave blockage forecasting
 //!   (§4.1, "viewport prediction for proactive blockage mitigation").
+//!
+//! ```
+//! use volcast_viewport::UserStudy;
+//!
+//! // Seeded studies are deterministic: same seed, same poses.
+//! let a = UserStudy::generate_with(42, 10, 1, 1);
+//! let b = UserStudy::generate_with(42, 10, 1, 1);
+//! assert_eq!(a.len(), 2);
+//! let (pa, pb) = (a.traces[0].pose(5), b.traces[0].pose(5));
+//! assert_eq!(pa.position, pb.position);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,4 +46,4 @@ pub use joint::JointPredictor;
 pub use predict::{LinearPredictor, MlpPredictor, Predictor};
 pub use similarity::{group_iou, iou, overlap_bytes};
 pub use traces::{DeviceClass, Trace, TraceGenerator, UserStudy};
-pub use visibility::{VisibilityMap, VisibilityOptions, VisibilityComputer};
+pub use visibility::{VisibilityComputer, VisibilityMap, VisibilityOptions};

@@ -17,10 +17,9 @@
 // clearer than iterator chains in this module.
 #![allow(clippy::needless_range_loop)]
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use volcast_geom::{normalize_angle, SixDof};
+use volcast_util::rng::Rng;
 
 /// A streaming 6DoF pose predictor.
 pub trait Predictor {
@@ -66,7 +65,10 @@ impl LinearPredictor {
     /// (ViVo uses on the order of 10-30 samples at 30 Hz).
     pub fn new(window: usize) -> Self {
         assert!(window >= 2, "window must hold at least 2 samples");
-        LinearPredictor { window, history: VecDeque::with_capacity(window) }
+        LinearPredictor {
+            window,
+            history: VecDeque::with_capacity(window),
+        }
     }
 }
 
@@ -126,9 +128,9 @@ struct Mlp {
 
 impl Mlp {
     fn new(inputs: usize, hidden: usize, outputs: usize, lr: f64, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let scale = (1.0 / inputs as f64).sqrt();
-        let mat = |r: usize, c: usize, rng: &mut StdRng| -> Vec<Vec<f64>> {
+        let mat = |r: usize, c: usize, rng: &mut Rng| -> Vec<Vec<f64>> {
             (0..r)
                 .map(|_| (0..c).map(|_| rng.gen_range(-scale..scale)).collect())
                 .collect()

@@ -87,8 +87,22 @@ mod tests {
     fn paper_figure1_example() {
         // User 1 sees cells {1, 3, 5, 6, 7, 8}; user 2 sees {1, 2, 3, 4, 5, 7}.
         // Intersection {1, 3, 5, 7} (4 cells), union (8 cells) => IoU 0.5.
-        let u1 = map_of(&[(1, 0, 0), (3, 0, 0), (5, 0, 0), (6, 0, 0), (7, 0, 0), (8, 0, 0)]);
-        let u2 = map_of(&[(1, 0, 0), (2, 0, 0), (3, 0, 0), (4, 0, 0), (5, 0, 0), (7, 0, 0)]);
+        let u1 = map_of(&[
+            (1, 0, 0),
+            (3, 0, 0),
+            (5, 0, 0),
+            (6, 0, 0),
+            (7, 0, 0),
+            (8, 0, 0),
+        ]);
+        let u2 = map_of(&[
+            (1, 0, 0),
+            (2, 0, 0),
+            (3, 0, 0),
+            (4, 0, 0),
+            (5, 0, 0),
+            (7, 0, 0),
+        ]);
         assert!((iou(&u1, &u2) - 0.5).abs() < 1e-12);
     }
 

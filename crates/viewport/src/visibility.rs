@@ -11,14 +11,13 @@
 //! 3. **Occlusion culling** — cells completely hidden behind dense closer
 //!    cells are dropped, using a 3D-DDA walk through the cell grid.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
 use volcast_geom::{CameraIntrinsics, Frustum, Pose, Ray, Vec3};
 use volcast_pointcloud::{CellGrid, CellId, CellInfo};
 
 /// The set of cells visible to one user at one frame, with per-cell fetch
 /// density factors in `(0, 1]`.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct VisibilityMap {
     /// Visible cells mapped to their LOD density factor (1.0 = full
     /// density). Deterministically ordered.
@@ -64,7 +63,7 @@ impl VisibilityMap {
 }
 
 /// Which ViVo optimizations to apply.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct VisibilityOptions {
     /// Frustum culling.
     pub viewport: bool,
@@ -156,9 +155,7 @@ impl VisibilityComputer {
             if self.options.viewport && !frustum.intersects_aabb(&bounds) {
                 continue;
             }
-            if self.options.occlusion
-                && self.occluded(pose.position, cell.id, grid, &dense)
-            {
+            if self.options.occlusion && self.occluded(pose.position, cell.id, grid, &dense) {
                 continue;
             }
             let lod = if self.options.distance {
@@ -291,6 +288,20 @@ fn axis_component(axis: usize) -> usize {
     axis
 }
 
+// JSON serialization (replaces the former serde derives; see volcast-util).
+volcast_util::impl_json_struct!(VisibilityMap { cells });
+volcast_util::impl_json_struct!(VisibilityOptions {
+    viewport,
+    distance,
+    occlusion,
+    intrinsics,
+    lod_near,
+    lod_far,
+    lod_min,
+    occluder_min_points,
+    occluder_depth
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,7 +326,11 @@ mod tests {
         // Target points behind the wall.
         for i in 0..200 {
             pts.push(Point::new(
-                [((i % 10) as f32) * 0.04 - 0.2, 1.0 + (i / 10) as f32 * 0.02, target_z],
+                [
+                    ((i % 10) as f32) * 0.04 - 0.2,
+                    1.0 + (i / 10) as f32 * 0.02,
+                    target_z,
+                ],
                 [255, 0, 0],
             ));
         }
@@ -395,7 +410,7 @@ mod tests {
         let map = vc.compute(&viewer_at(3.0), &grid, &partition);
         let wall_cell = grid.cell_of(Vec3::new(0.0, 1.2, -1.0));
         let lod = map.cells.get(&wall_cell).copied().unwrap();
-        assert!(lod < 1.0 && lod >= 0.35, "lod {lod}");
+        assert!((0.35..1.0).contains(&lod), "lod {lod}");
     }
 
     #[test]
@@ -413,13 +428,22 @@ mod tests {
     fn required_bytes_scales_with_visibility() {
         let (grid, cloud) = wall_and_target(-1.0, -3.0);
         let partition = grid.partition(&cloud);
-        let sizes: Vec<f64> = partition.iter().map(|c| c.point_count as f64 * 3.0).collect();
+        let sizes: Vec<f64> = partition
+            .iter()
+            .map(|c| c.point_count as f64 * 3.0)
+            .collect();
         let full: f64 = sizes.iter().sum();
-        let vanilla = VisibilityComputer::new(VisibilityOptions::vanilla())
-            .compute(&viewer_at(3.0), &grid, &partition);
+        let vanilla = VisibilityComputer::new(VisibilityOptions::vanilla()).compute(
+            &viewer_at(3.0),
+            &grid,
+            &partition,
+        );
         assert!((vanilla.required_bytes(&partition, &sizes) - full).abs() < 1e-9);
-        let vivo = VisibilityComputer::new(VisibilityOptions::vivo())
-            .compute(&viewer_at(3.0), &grid, &partition);
+        let vivo = VisibilityComputer::new(VisibilityOptions::vivo()).compute(
+            &viewer_at(3.0),
+            &grid,
+            &partition,
+        );
         assert!(vivo.required_bytes(&partition, &sizes) < full);
     }
 

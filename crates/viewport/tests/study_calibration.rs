@@ -8,9 +8,7 @@
 //! 4. triples (HM(3)) yield lower IoU than pairs (HM(2)).
 
 use volcast_pointcloud::{CellGrid, SyntheticBody};
-use volcast_viewport::{
-    group_iou, DeviceClass, UserStudy, VisibilityComputer, VisibilityOptions,
-};
+use volcast_viewport::{group_iou, DeviceClass, UserStudy, VisibilityComputer, VisibilityOptions};
 
 /// Computes mean group IoU over sampled frames for all combinations of
 /// `group_size` users from `users`, at the given cell size.
@@ -90,8 +88,16 @@ fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
 fn figure2_orderings_hold() {
     let frames_total = 240;
     let study = UserStudy::generate(42, frames_total);
-    let ph: Vec<usize> = study.users_of(DeviceClass::Phone).into_iter().take(8).collect();
-    let hm: Vec<usize> = study.users_of(DeviceClass::Headset).into_iter().take(8).collect();
+    let ph: Vec<usize> = study
+        .users_of(DeviceClass::Phone)
+        .into_iter()
+        .take(8)
+        .collect();
+    let hm: Vec<usize> = study
+        .users_of(DeviceClass::Headset)
+        .into_iter()
+        .take(8)
+        .collect();
     let sample_frames: Vec<usize> = (0..frames_total).step_by(30).collect();
 
     let hm2_50 = mean_iou(&study, &hm, 2, 0.5, &sample_frames);
@@ -156,11 +162,31 @@ fn some_pairs_converge_to_full_overlap() {
 fn print_iou_means() {
     let frames_total = 240;
     let study = UserStudy::generate(42, frames_total);
-    let ph: Vec<usize> = study.users_of(DeviceClass::Phone).into_iter().take(8).collect();
-    let hm: Vec<usize> = study.users_of(DeviceClass::Headset).into_iter().take(8).collect();
+    let ph: Vec<usize> = study
+        .users_of(DeviceClass::Phone)
+        .into_iter()
+        .take(8)
+        .collect();
+    let hm: Vec<usize> = study
+        .users_of(DeviceClass::Headset)
+        .into_iter()
+        .take(8)
+        .collect();
     let sample_frames: Vec<usize> = (0..frames_total).step_by(30).collect();
-    println!("HM(2)-50cm  {:.3}", mean_iou(&study, &hm, 2, 0.5, &sample_frames));
-    println!("HM(2)-100cm {:.3}", mean_iou(&study, &hm, 2, 1.0, &sample_frames));
-    println!("PH(2)-50cm  {:.3}", mean_iou(&study, &ph, 2, 0.5, &sample_frames));
-    println!("HM(3)-50cm  {:.3}", mean_iou(&study, &hm, 3, 0.5, &sample_frames));
+    println!(
+        "HM(2)-50cm  {:.3}",
+        mean_iou(&study, &hm, 2, 0.5, &sample_frames)
+    );
+    println!(
+        "HM(2)-100cm {:.3}",
+        mean_iou(&study, &hm, 2, 1.0, &sample_frames)
+    );
+    println!(
+        "PH(2)-50cm  {:.3}",
+        mean_iou(&study, &ph, 2, 0.5, &sample_frames)
+    );
+    println!(
+        "HM(3)-50cm  {:.3}",
+        mean_iou(&study, &hm, 3, 0.5, &sample_frames)
+    );
 }

@@ -48,7 +48,11 @@ fn main() {
     let beam = designer.design(&[u1, u2], &[]);
     println!(
         "\ncustomized beam ({}): per-user RSS {:.1} / {:.1} dBm",
-        if beam.customized { "multi-lobe" } else { "default kept" },
+        if beam.customized {
+            "multi-lobe"
+        } else {
+            "default kept"
+        },
         beam.member_rss_dbm[0],
         beam.member_rss_dbm[1]
     );
@@ -60,7 +64,10 @@ fn main() {
 
     // Sweep user 2 across the room.
     println!("\nsweep: user 2 moves along x (z=-0.5); multicast rate (Mbps):");
-    println!("{:>6} {:>16} {:>16} {:>12}", "x", "default sector", "custom beam", "customized?");
+    println!(
+        "{:>6} {:>16} {:>16} {:>12}",
+        "x", "default sector", "custom beam", "customized?"
+    );
     let mut x = -3.0;
     while x <= 3.01 {
         let v2 = Vec3::new(x, 1.5, -0.5);

@@ -23,8 +23,7 @@ fn main() {
         let fps: Vec<f64> = [PlayerKind::Vanilla, PlayerKind::Vivo, PlayerKind::Volcast]
             .into_iter()
             .map(|player| {
-                let mut s =
-                    quick_session_with_device(player, n, 90, 42, DeviceClass::Phone);
+                let mut s = quick_session_with_device(player, n, 90, 42, DeviceClass::Phone);
                 s.params.fixed_quality = Some(QualityLevel::High);
                 s.params.analysis_points = 10_000;
                 s.run().qoe.mean_fps()

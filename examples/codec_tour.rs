@@ -21,7 +21,10 @@ fn main() {
     let cloud = body.frame(0, 100_000);
     let extent = cloud.bounds().extent().max_component();
     for depth in [7u32, 8, 9, 10, 11] {
-        let cfg = CodecConfig { depth, color_bits: 6 };
+        let cfg = CodecConfig {
+            depth,
+            color_bits: 6,
+        };
         let (enc, stats) = encode(&cloud, &cfg);
         let dec = decode(&enc).expect("round trip");
         assert_eq!(dec.len(), stats.voxels);

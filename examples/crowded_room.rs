@@ -7,9 +7,7 @@
 //!
 //! Run: `cargo run --release --example crowded_room`
 
-use volcast::core::{
-    quick_session_with_device, BlockageMitigator, MitigationMode, PlayerKind,
-};
+use volcast::core::{quick_session_with_device, BlockageMitigator, MitigationMode, PlayerKind};
 use volcast::geom::{Pose, Vec3};
 use volcast::pointcloud::QualityLevel;
 use volcast::viewport::{BlockageForecaster, DeviceClass, JointPredictor, Trace};
@@ -19,11 +17,20 @@ fn walker(frames: usize) -> Trace {
         .map(|f| {
             let t = f as f64 / 30.0;
             let phase = (t * 1.2 / 12.0).fract();
-            let x = if phase < 0.5 { -3.0 + 12.0 * phase } else { 9.0 - 12.0 * phase };
+            let x = if phase < 0.5 {
+                -3.0 + 12.0 * phase
+            } else {
+                9.0 - 12.0 * phase
+            };
             Pose::new(Vec3::new(x, 1.7, 2.0), Default::default())
         })
         .collect();
-    Trace { user_id: usize::MAX, device: DeviceClass::Headset, rate_hz: 30.0, poses }
+    Trace {
+        user_id: usize::MAX,
+        device: DeviceClass::Headset,
+        rate_hz: 30.0,
+        poses,
+    }
 }
 
 fn main() {
@@ -31,7 +38,8 @@ fn main() {
     let users = 3usize;
 
     // --- 1. forecast demo: who gets blocked, and when ------------------
-    let session = quick_session_with_device(PlayerKind::Volcast, users, frames, 42, DeviceClass::Phone);
+    let session =
+        quick_session_with_device(PlayerKind::Volcast, users, frames, 42, DeviceClass::Phone);
     let forecaster = BlockageForecaster::new(session.channel.array.position);
     let mitigator = BlockageMitigator::new(MitigationMode::Proactive);
     let w = walker(frames);
@@ -41,8 +49,7 @@ fn main() {
     // One report per victim per crossing (15-frame cooldown).
     let mut last_report = vec![-100i64; users];
     for f in 0..frames {
-        let poses: Vec<Pose> =
-            (0..users).map(|u| session.traces[u].pose(f)).collect();
+        let poses: Vec<Pose> = (0..users).map(|u| session.traces[u].pose(f)).collect();
         joint.observe_frame(&poses);
         // Forecast over the next 10 frames; the walker is extrapolated
         // from its trace (its motion is linear).

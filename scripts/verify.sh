@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Full quality gate for the volcast workspace, run with the network forced
+# off. The workspace has no external dependencies, so an empty registry
+# cache must be enough to pass every step (see DESIGN.md §7).
+#
+# Usage: scripts/verify.sh  (from the repository root)
+
+set -eu
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings denied)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "verify: all checks passed"

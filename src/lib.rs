@@ -53,6 +53,6 @@ pub use volcast_net as net;
 
 /// The streaming system: grouping, adaptation, sessions, QoE.
 pub mod core {
-    pub use volcast_core::*;
     pub use volcast_core::session::{quick_session, quick_session_with_device};
+    pub use volcast_core::*;
 }

@@ -55,7 +55,9 @@ fn get_parse<T: std::str::FromStr>(
 ) -> Result<T, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("bad value for --{key}: '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad value for --{key}: '{v}'")),
     }
 }
 
@@ -113,10 +115,19 @@ fn cmd_session(flags: HashMap<String, String>) -> Result<(), String> {
     );
     println!("  mean FPS          {:>8.1}", out.qoe.mean_fps());
     println!("  stall ratio       {:>8.3}", out.qoe.mean_stall_ratio());
-    println!("  mean quality      {:>8.2}  (0=Low .. 2=High)", out.qoe.mean_quality_score());
+    println!(
+        "  mean quality      {:>8.2}  (0=Low .. 2=High)",
+        out.qoe.mean_quality_score()
+    );
     println!("  fairness (FPS)    {:>8.3}", out.qoe.fps_fairness());
-    println!("  frame airtime     {:>8.2} ms", out.mean_frame_time_s * 1e3);
-    println!("  multicast bytes   {:>7.0}%", out.multicast_byte_fraction * 100.0);
+    println!(
+        "  frame airtime     {:>8.2} ms",
+        out.mean_frame_time_s * 1e3
+    );
+    println!(
+        "  multicast bytes   {:>7.0}%",
+        out.multicast_byte_fraction * 100.0
+    );
     println!("  mean group size   {:>8.2}", out.mean_group_size);
     println!("  blocked frames    {:>8}", out.blocked_user_frames);
     println!("  pred. error       {:>8.3} m", out.mean_prediction_error_m);
@@ -133,12 +144,7 @@ fn cmd_study(flags: HashMap<String, String>) -> Result<(), String> {
         .ok_or_else(|| "--out FILE.json is required".to_string())?;
     let study = UserStudy::generate_with(seed, frames, phones, headsets);
     save_study(&study, out).map_err(|e| e.to_string())?;
-    println!(
-        "wrote {} users x {} frames to {}",
-        study.len(),
-        frames,
-        out
-    );
+    println!("wrote {} users x {} frames to {}", study.len(), frames, out);
     Ok(())
 }
 

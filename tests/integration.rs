@@ -7,12 +7,8 @@ use volcast::core::{
 use volcast::geom::Vec3;
 use volcast::mmwave::{Channel, Codebook, McsTable, MultiLobeDesigner};
 use volcast::net::{AdMac, MacModel};
-use volcast::pointcloud::{
-    codec, CellGrid, DecodeModel, Quality, QualityLevel, SyntheticBody,
-};
-use volcast::viewport::{
-    iou, DeviceClass, UserStudy, VisibilityComputer, VisibilityOptions,
-};
+use volcast::pointcloud::{codec, CellGrid, DecodeModel, Quality, QualityLevel, SyntheticBody};
+use volcast::viewport::{iou, DeviceClass, UserStudy, VisibilityComputer, VisibilityOptions};
 
 /// The full data path: generate geometry -> encode -> decode -> partition
 /// -> visibility -> similarity, all through the facade.
@@ -81,8 +77,13 @@ fn table1_model_reproduces_anchor_rows() {
     // ad, 7 users, high quality vanilla: ~11-12 FPS in the paper.
     let rate7 = ad.per_user_rate_mbps(2502.5, 7);
     let q = Quality::of(QualityLevel::High);
-    let fps7 =
-        max_sustainable_fps(rate7, q.full_frame_bytes(), q.points_per_frame, &decode, 30.0);
+    let fps7 = max_sustainable_fps(
+        rate7,
+        q.full_frame_bytes(),
+        q.points_per_frame,
+        &decode,
+        30.0,
+    );
     assert!((9.0..15.0).contains(&fps7), "7-user high fps {fps7}");
 }
 
@@ -99,7 +100,11 @@ fn grouping_api_is_usable_standalone() {
         m2.cells.insert(CellId::new(x + 1, 0, 0), 1.0);
     }
     let partition: Vec<CellInfo> = (0..5)
-        .map(|x| CellInfo { id: CellId::new(x, 0, 0), point_count: 10, point_indices: vec![] })
+        .map(|x| CellInfo {
+            id: CellId::new(x, 0, 0),
+            point_count: 10,
+            point_indices: vec![],
+        })
         .collect();
     let sizes = vec![50_000.0; 5];
     let maps = vec![m1, m2];
@@ -112,7 +117,11 @@ fn grouping_api_is_usable_standalone() {
         unicast_rate_mbps: &rates,
         multicast_rate_mbps: &mc,
     });
-    assert_eq!(plan.groups.len(), 1, "3/5 overlap at high rate should merge");
+    assert_eq!(
+        plan.groups.len(),
+        1,
+        "3/5 overlap at high rate should merge"
+    );
     assert!(plan.feasible);
 }
 
@@ -120,8 +129,7 @@ fn grouping_api_is_usable_standalone() {
 #[test]
 fn sessions_rank_players_correctly() {
     let run = |player: PlayerKind| {
-        let mut s =
-            quick_session_with_device(player, 4, 45, 42, DeviceClass::Phone);
+        let mut s = quick_session_with_device(player, 4, 45, 42, DeviceClass::Phone);
         s.params.analysis_points = 6_000;
         s.params.fixed_quality = Some(QualityLevel::High);
         s.run()
@@ -141,7 +149,11 @@ fn sessions_rank_players_correctly() {
 /// ABR policies are all runnable and adaptive sessions pick qualities.
 #[test]
 fn abr_policies_run() {
-    for abr in [AbrPolicy::BufferOnly, AbrPolicy::ThroughputOnly, AbrPolicy::CrossLayer] {
+    for abr in [
+        AbrPolicy::BufferOnly,
+        AbrPolicy::ThroughputOnly,
+        AbrPolicy::CrossLayer,
+    ] {
         let mut s = quick_session(PlayerKind::Volcast, 2, 30, 5);
         s.params.abr = abr;
         s.params.analysis_points = 4_000;
@@ -162,18 +174,15 @@ fn mitigation_modes_run_with_walker() {
         rate_hz: 30.0,
         poses: (0..45)
             .map(|f| {
-                Pose::new(Vec3::new(-3.0 + f as f64 * 0.15, 1.7, 2.0), Default::default())
+                Pose::new(
+                    Vec3::new(-3.0 + f as f64 * 0.15, 1.7, 2.0),
+                    Default::default(),
+                )
             })
             .collect(),
     };
     for mode in [MitigationMode::Reactive, MitigationMode::Proactive] {
-        let mut s = quick_session_with_device(
-            PlayerKind::Volcast,
-            3,
-            45,
-            42,
-            DeviceClass::Phone,
-        );
+        let mut s = quick_session_with_device(PlayerKind::Volcast, 3, 45, 42, DeviceClass::Phone);
         s.params.mitigation = mode;
         s.params.analysis_points = 4_000;
         s.params.fixed_quality = Some(QualityLevel::Low);
