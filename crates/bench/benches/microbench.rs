@@ -8,6 +8,12 @@
 //!
 //! Run: `cargo bench -p volcast-bench`
 //! (knobs: `VOLCAST_BENCH_SAMPLES`, default 20)
+//!
+//! `cargo bench -p volcast-bench -- --json` runs only the parallel-kernel
+//! benches (visibility fan-out, codebook sweep) and writes
+//! `BENCH_visibility.json` / `BENCH_codebook.json` machine-readable
+//! reports (median ns per iteration, thread counts, git revision) for the
+//! perf trajectory tracked by `scripts/bench_baseline.sh`.
 
 use std::hint::black_box;
 use volcast_core::{GroupPlanner, GroupingInputs, SystemConfig};
@@ -16,6 +22,8 @@ use volcast_mmwave::{Channel, Codebook, McsTable, MultiLobeDesigner};
 use volcast_net::{EventQueue, SimTime};
 use volcast_pointcloud::codec::{decode, encode, CodecConfig};
 use volcast_pointcloud::{CellGrid, SyntheticBody};
+use volcast_util::json::{JsonValue, ToJson};
+use volcast_util::par;
 use volcast_util::timing::Harness;
 use volcast_viewport::{iou, DeviceClass, UserStudy, VisibilityComputer, VisibilityOptions};
 
@@ -141,7 +149,109 @@ fn bench_synthetic(h: &mut Harness) {
     });
 }
 
+/// Per-user visibility fan-out at 1 and 4 worker threads — the session
+/// hot loop this PR parallelizes. Same seeded inputs, bit-identical maps
+/// at both thread counts (the determinism property tests enforce that);
+/// only the wall clock differs.
+fn bench_visibility_scaling(h: &mut Harness) {
+    let cloud = SyntheticBody::default().frame(0, 30_000);
+    let grid = CellGrid::new(0.5);
+    let partition = grid.partition(&cloud);
+    let study = UserStudy::generate(1, 30);
+    let vc = VisibilityComputer::new(VisibilityOptions {
+        intrinsics: DeviceClass::Headset.intrinsics(),
+        ..VisibilityOptions::vivo()
+    });
+    let poses: Vec<_> = (0..8).map(|u| study.traces[u].pose(10)).collect();
+    let orig = par::thread_count();
+    for threads in [1usize, 4] {
+        par::set_thread_count(threads);
+        h.bench_function(&format!("visibility/maps_8_users_t{threads}"), |b| {
+            b.iter(|| par::par_map(&poses, |p| vc.compute(black_box(p), &grid, &partition)))
+        });
+    }
+    par::set_thread_count(orig);
+}
+
+/// Full 48-sector codebook sweep for a 3-user group: the naive per-call
+/// path (re-deriving rays, blockage and steering vectors for every
+/// (sector, member) pair) vs the prepared-receiver path (geometry cached
+/// once per member, each sector costing one dot product per member), at
+/// 1 and 4 threads. Both return the same best sector and RSS values.
+fn bench_codebook_caching(h: &mut Harness) {
+    let channel = Channel::default_setup();
+    let codebook = Codebook::default_for(&channel.array);
+    let designer = MultiLobeDesigner::new(&channel, &codebook);
+    let members = [
+        Vec3::new(-2.0, 1.5, 0.0),
+        Vec3::new(2.0, 1.5, 0.0),
+        Vec3::new(0.5, 1.6, -1.5),
+    ];
+    h.bench_function("codebook/sweep48_naive", |b| {
+        b.iter(|| {
+            let mut best = (0usize, f64::NEG_INFINITY);
+            for (si, sector) in codebook.sectors.iter().enumerate() {
+                let min = members
+                    .iter()
+                    .map(|&m| channel.rss_dbm(black_box(sector), m, &[]))
+                    .fold(f64::INFINITY, f64::min);
+                if min > best.1 {
+                    best = (si, min);
+                }
+            }
+            best
+        })
+    });
+    let orig = par::thread_count();
+    for threads in [1usize, 4] {
+        par::set_thread_count(threads);
+        h.bench_function(&format!("codebook/sweep48_prepared_t{threads}"), |b| {
+            b.iter(|| designer.best_common_sector(black_box(&members), &[]))
+        });
+    }
+    par::set_thread_count(orig);
+}
+
+/// Writes one `BENCH_<name>.json` report at the workspace root: the
+/// harness records plus the git revision and host thread budget, for the
+/// perf trajectory. (Cargo runs bench binaries from the package dir, so
+/// the path is anchored to the manifest.)
+fn write_report(name: &str, h: &Harness) {
+    let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+    let rev = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".into());
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1) as u64;
+    let report = JsonValue::Obj(vec![
+        ("git_rev".into(), rev.to_json()),
+        ("host_threads".into(), host_threads.to_json()),
+        ("benches".into(), h.json_report()),
+    ]);
+    std::fs::write(&path, report.to_json_string() + "\n")
+        .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    println!("wrote {name}");
+}
+
 fn main() {
+    // `--json`: only the parallel-kernel benches, with machine-readable
+    // reports (fast enough for scripts/bench_baseline.sh to run per
+    // commit). Default: the full suite, human-readable.
+    if std::env::args().any(|a| a == "--json") {
+        let mut hv = Harness::new();
+        bench_visibility_scaling(&mut hv);
+        write_report("BENCH_visibility.json", &hv);
+        let mut hc = Harness::new();
+        bench_codebook_caching(&mut hc);
+        write_report("BENCH_codebook.json", &hc);
+        return;
+    }
     let mut h = Harness::new();
     bench_codec(&mut h);
     bench_geometry(&mut h);
@@ -149,4 +259,6 @@ fn main() {
     bench_grouping(&mut h);
     bench_event_queue(&mut h);
     bench_synthetic(&mut h);
+    bench_visibility_scaling(&mut h);
+    bench_codebook_caching(&mut h);
 }

@@ -23,21 +23,27 @@ fn main() {
         "cell size", "mean FPS", "stall ratio", "mcast bytes", "frame ms"
     );
     println!("{}", "-".repeat(60));
-    for cell in [0.25f64, 0.5, 1.0] {
+    // Each cell size is an independent seeded session; run them across
+    // threads and print rows in config order.
+    let cells = [0.25f64, 0.5, 1.0];
+    let cell_rows: Vec<String> = volcast_util::par::par_map(&cells, |&cell| {
         let mut s =
             quick_session_with_device(PlayerKind::Volcast, users, frames, 42, DeviceClass::Phone);
         s.params.config.cell_size = cell;
         s.params.fixed_quality = Some(QualityLevel::High);
         s.params.analysis_points = 10_000;
         let out = s.run();
-        println!(
+        format!(
             "{:<10} {:>9.1} {:>12.3} {:>11.0}% {:>12.2}",
             format!("{} cm", (cell * 100.0) as u32),
             out.qoe.mean_fps(),
             out.qoe.mean_stall_ratio(),
             out.multicast_byte_fraction * 100.0,
             out.mean_frame_time_s * 1e3,
-        );
+        )
+    });
+    for row in &cell_rows {
+        println!("{row}");
     }
 
     println!("\nExt F2: prediction sensitivity (same workload)\n");
@@ -46,26 +52,36 @@ fn main() {
         "planning poses", "mean FPS", "stall ratio", "pred err (m)"
     );
     println!("{}", "-".repeat(64));
-    for (label, use_prediction, horizon) in [
+    let settings = [
         ("oracle (current poses)", false, 10usize),
         ("predicted, horizon 5", true, 5),
         ("predicted, horizon 10", true, 10),
         ("predicted, horizon 20", true, 20),
-    ] {
-        let mut s =
-            quick_session_with_device(PlayerKind::Volcast, users, frames, 42, DeviceClass::Phone);
-        s.params.use_prediction = use_prediction;
-        s.params.config.prediction_horizon = horizon;
-        s.params.fixed_quality = Some(QualityLevel::High);
-        s.params.analysis_points = 10_000;
-        let out = s.run();
-        println!(
-            "{:<26} {:>9.1} {:>12.3} {:>14.3}",
-            label,
-            out.qoe.mean_fps(),
-            out.qoe.mean_stall_ratio(),
-            out.mean_prediction_error_m,
-        );
+    ];
+    let pred_rows: Vec<String> =
+        volcast_util::par::par_map(&settings, |&(label, use_prediction, horizon)| {
+            let mut s = quick_session_with_device(
+                PlayerKind::Volcast,
+                users,
+                frames,
+                42,
+                DeviceClass::Phone,
+            );
+            s.params.use_prediction = use_prediction;
+            s.params.config.prediction_horizon = horizon;
+            s.params.fixed_quality = Some(QualityLevel::High);
+            s.params.analysis_points = 10_000;
+            let out = s.run();
+            format!(
+                "{:<26} {:>9.1} {:>12.3} {:>14.3}",
+                label,
+                out.qoe.mean_fps(),
+                out.qoe.mean_stall_ratio(),
+                out.mean_prediction_error_m,
+            )
+        });
+    for row in &pred_rows {
+        println!("{row}");
     }
 
     println!("\nexpected shape: 50 cm cells balance overlap against precision;");

@@ -26,20 +26,29 @@ fn main() {
         ..VisibilityOptions::default()
     });
 
-    // IoU series for every HM pair, sampled every 5 frames.
+    // IoU series for every HM pair, sampled every 5 frames. Frames are
+    // independent (pure geometry per frame), so they fan out across
+    // threads; per-frame results come back in frame order, keeping the
+    // output identical at any VOLCAST_THREADS.
     let step = 5usize;
     let sample_frames: Vec<usize> = (0..frames).step_by(step).collect();
     let pairs = combinations(hm.len(), 2);
-    let mut series: Vec<Vec<f64>> = vec![Vec::new(); pairs.len()];
-    for &f in &sample_frames {
+    let per_frame: Vec<Vec<f64>> = volcast_util::par::par_map(&sample_frames, |&f| {
         let cloud = body.frame(f as u64, 20_000);
         let partition = grid.partition(&cloud);
         let maps: Vec<_> = hm
             .iter()
             .map(|&u| vc.compute(&ctx.study.traces[u].pose(f), &grid, &partition))
             .collect();
-        for (pi, pair) in pairs.iter().enumerate() {
-            series[pi].push(iou(&maps[pair[0]], &maps[pair[1]]));
+        pairs
+            .iter()
+            .map(|pair| iou(&maps[pair[0]], &maps[pair[1]]))
+            .collect()
+    });
+    let mut series: Vec<Vec<f64>> = vec![Vec::with_capacity(sample_frames.len()); pairs.len()];
+    for frame_ious in &per_frame {
+        for (pi, &v) in frame_ious.iter().enumerate() {
+            series[pi].push(v);
         }
     }
 

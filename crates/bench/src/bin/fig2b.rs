@@ -17,8 +17,10 @@ fn iou_samples(
 ) -> Vec<f64> {
     let body = SyntheticBody::default();
     let grid = CellGrid::new(cell_size);
-    let mut out = Vec::new();
-    for &f in frames {
+    let combos = combinations(users.len(), group_size);
+    // Frames are independent; fan them out and flatten in frame order so
+    // the sample sequence is identical at any VOLCAST_THREADS.
+    let per_frame: Vec<Vec<f64>> = volcast_util::par::par_map(frames, |&f| {
         let cloud = body.frame(f as u64, 20_000);
         let partition = grid.partition(&cloud);
         let maps: Vec<_> = users
@@ -34,12 +36,15 @@ fn iou_samples(
                 vc.compute(&trace.pose(f), &grid, &partition)
             })
             .collect();
-        for combo in combinations(users.len(), group_size) {
-            let group: Vec<_> = combo.iter().map(|&i| &maps[i]).collect();
-            out.push(group_iou(&group));
-        }
-    }
-    out
+        combos
+            .iter()
+            .map(|combo| {
+                let group: Vec<_> = combo.iter().map(|&i| &maps[i]).collect();
+                group_iou(&group)
+            })
+            .collect()
+    });
+    per_frame.into_iter().flatten().collect()
 }
 
 fn main() {

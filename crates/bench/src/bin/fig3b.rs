@@ -23,7 +23,10 @@ fn main() {
     println!("Fig. 3b: CDF of max common RSS under the default codebook\n");
     let mut results = Vec::new();
     for k in 1..=3usize {
-        let samples: Vec<f64> = (0..trials)
+        // Draw every trial's frame and user set sequentially (same RNG
+        // stream as the serial version), then evaluate the pure codebook
+        // sweeps in parallel; results come back in trial order.
+        let trial_positions: Vec<Vec<_>> = (0..trials)
             .map(|_| {
                 // Draw k distinct users at a random trace frame.
                 let f = rng.gen_range(0..frames);
@@ -34,14 +37,16 @@ fn main() {
                         users.push(u);
                     }
                 }
-                let positions: Vec<_> = users
+                users
                     .iter()
                     .map(|&u| ctx.study.traces[u].pose(f).position)
-                    .collect();
-                let (_, rss) = designer.best_common_sector(&positions, &[]);
-                rss.into_iter().fold(f64::INFINITY, f64::min)
+                    .collect()
             })
             .collect();
+        let samples: Vec<f64> = volcast_util::par::par_map(&trial_positions, |positions| {
+            let (_, rss) = designer.best_common_sector(positions, &[]);
+            rss.into_iter().fold(f64::INFINITY, f64::min)
+        });
         print_cdf(&format!("{k} user(s)"), &samples);
         results.push((k, samples));
     }

@@ -20,28 +20,38 @@ fn main() {
     let mut rng = Rng::seed_from_u64(1004);
 
     let trials = 300usize;
+    // Draw every trial's pair sequentially (same RNG stream as the serial
+    // version), then run the pure beam designs in parallel; results come
+    // back in trial order.
+    let trial_positions: Vec<[volcast_geom::Vec3; 2]> = (0..trials)
+        .map(|_| {
+            let f = rng.gen_range(0..frames);
+            let a = rng.gen_range(0..ctx.study.len());
+            let b = loop {
+                let b = rng.gen_range(0..ctx.study.len());
+                if b != a {
+                    break b;
+                }
+            };
+            [
+                ctx.study.traces[a].pose(f).position,
+                ctx.study.traces[b].pose(f).position,
+            ]
+        })
+        .collect();
+    let evaluated: Vec<(f64, f64, bool)> =
+        volcast_util::par::par_map(&trial_positions, |positions| {
+            let (_, rss) = designer.best_common_sector(positions, &[]);
+            let d_min = rss.into_iter().fold(f64::INFINITY, f64::min);
+            let beam = designer.design(positions, &[]);
+            (d_min, beam.common_rss_dbm(), beam.customized)
+        });
     let mut default_rss = Vec::with_capacity(trials);
     let mut custom_rss = Vec::with_capacity(trials);
     let mut improvements = Vec::with_capacity(trials);
     let mut customized = 0usize;
-    for _ in 0..trials {
-        let f = rng.gen_range(0..frames);
-        let a = rng.gen_range(0..ctx.study.len());
-        let b = loop {
-            let b = rng.gen_range(0..ctx.study.len());
-            if b != a {
-                break b;
-            }
-        };
-        let positions = [
-            ctx.study.traces[a].pose(f).position,
-            ctx.study.traces[b].pose(f).position,
-        ];
-        let (_, rss) = designer.best_common_sector(&positions, &[]);
-        let d_min = rss.into_iter().fold(f64::INFINITY, f64::min);
-        let beam = designer.design(&positions, &[]);
-        let c_min = beam.common_rss_dbm();
-        if beam.customized {
+    for (d_min, c_min, was_custom) in evaluated {
+        if was_custom {
             customized += 1;
         }
         default_rss.push(d_min);

@@ -20,7 +20,8 @@
 
 use crate::config::SystemConfig;
 use volcast_pointcloud::CellInfo;
-use volcast_viewport::{group_iou, overlap_bytes, VisibilityMap};
+use volcast_util::par;
+use volcast_viewport::{group_iou, overlap_bytes_indexed, size_index, VisibilityMap};
 
 /// A multicast group in a plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -154,11 +155,13 @@ impl GroupPlanner {
             "rates must cover all users"
         );
 
-        // Per-user total requested bytes S_i.
+        // Per-user total requested bytes S_i, via a cell-id size index so
+        // each map costs O(|map|) instead of a full partition rescan.
+        let sizes_by_id = size_index(inputs.partition, inputs.cell_sizes);
         let member_bytes: Vec<f64> = inputs
             .maps
             .iter()
-            .map(|m| m.required_bytes(inputs.partition, inputs.cell_sizes))
+            .map(|m| m.required_bytes_indexed(&sizes_by_id))
             .collect();
 
         // Start from singletons.
@@ -171,54 +174,70 @@ impl GroupPlanner {
             })
             .collect();
 
-        // Greedy merging.
+        // Greedy merging. Each round scores the pure similarity/overlap of
+        // every candidate pair in parallel (maps and the size index are
+        // Sync), then walks the candidates serially — the multicast-rate
+        // callback is a plain `&dyn Fn` (typically memoized through a
+        // RefCell, so not Sync) and the first-best selection must follow
+        // the original (i, j) order for determinism.
+        let all_maps = inputs.maps;
+        let min_iou = self.config.min_merge_iou;
         loop {
             let current_time = Self::plan_time_s(&groups, &member_bytes, inputs.unicast_rate_mbps);
-            let mut best: Option<(usize, usize, Group, f64)> = None;
 
-            for i in 0..groups.len() {
-                for j in (i + 1)..groups.len() {
-                    let mut members: Vec<usize> = groups[i]
-                        .members
-                        .iter()
-                        .chain(&groups[j].members)
-                        .copied()
-                        .collect();
-                    members.sort_unstable();
-                    let maps: Vec<&VisibilityMap> =
-                        members.iter().map(|&u| &inputs.maps[u]).collect();
-                    let iou = group_iou(&maps);
-                    if iou < self.config.min_merge_iou {
-                        continue;
-                    }
-                    let s_m = overlap_bytes(&maps, inputs.partition, inputs.cell_sizes);
-                    if s_m <= 0.0 {
-                        continue;
-                    }
-                    let r_m = (inputs.multicast_rate_mbps)(&members);
-                    if r_m <= 0.0 {
-                        continue;
-                    }
-                    let candidate = Group {
-                        members,
-                        multicast_bytes: s_m,
-                        multicast_rate_mbps: r_m,
-                        iou,
-                    };
-                    // Build the hypothetical plan.
-                    let mut trial: Vec<Group> = groups
-                        .iter()
-                        .enumerate()
-                        .filter(|&(k, _)| k != i && k != j)
-                        .map(|(_, g)| g.clone())
-                        .collect();
-                    trial.push(candidate.clone());
-                    let t = Self::plan_time_s(&trial, &member_bytes, inputs.unicast_rate_mbps);
-                    if t < current_time {
-                        match &best {
-                            Some((_, _, _, bt)) if *bt <= t => {}
-                            _ => best = Some((i, j, candidate, t)),
-                        }
+            let pairs: Vec<(usize, usize)> = (0..groups.len())
+                .flat_map(|i| ((i + 1)..groups.len()).map(move |j| (i, j)))
+                .collect();
+            let groups_ref = &groups;
+            let sizes_ref = &sizes_by_id;
+            // (members, iou, S_m) per pair; S_m is 0 when the pair fails
+            // the similarity gate (the serial pass skips it either way).
+            let scored: Vec<(Vec<usize>, f64, f64)> = par::par_map(&pairs, |&(i, j)| {
+                let mut members: Vec<usize> = groups_ref[i]
+                    .members
+                    .iter()
+                    .chain(&groups_ref[j].members)
+                    .copied()
+                    .collect();
+                members.sort_unstable();
+                let maps: Vec<&VisibilityMap> = members.iter().map(|&u| &all_maps[u]).collect();
+                let iou = group_iou(&maps);
+                let s_m = if iou < min_iou {
+                    0.0
+                } else {
+                    overlap_bytes_indexed(&maps, sizes_ref)
+                };
+                (members, iou, s_m)
+            });
+
+            let mut best: Option<(usize, usize, Group, f64)> = None;
+            for (&(i, j), (members, iou, s_m)) in pairs.iter().zip(scored) {
+                if iou < min_iou || s_m <= 0.0 {
+                    continue;
+                }
+                let r_m = (inputs.multicast_rate_mbps)(&members);
+                if r_m <= 0.0 {
+                    continue;
+                }
+                let candidate = Group {
+                    members,
+                    multicast_bytes: s_m,
+                    multicast_rate_mbps: r_m,
+                    iou,
+                };
+                // Build the hypothetical plan.
+                let mut trial: Vec<Group> = groups
+                    .iter()
+                    .enumerate()
+                    .filter(|&(k, _)| k != i && k != j)
+                    .map(|(_, g)| g.clone())
+                    .collect();
+                trial.push(candidate.clone());
+                let t = Self::plan_time_s(&trial, &member_bytes, inputs.unicast_rate_mbps);
+                if t < current_time {
+                    match &best {
+                        Some((_, _, _, bt)) if *bt <= t => {}
+                        _ => best = Some((i, j, candidate, t)),
                     }
                 }
             }

@@ -34,9 +34,10 @@ use volcast_net::{
     Wifi5Channel,
 };
 use volcast_pointcloud::{CellGrid, DecodeModel, QualityLevel, VideoSequence};
+use volcast_util::par;
 use volcast_viewport::{
-    BlockageForecaster, DeviceClass, JointPredictor, Trace, TraceGenerator, VisibilityComputer,
-    VisibilityOptions,
+    size_index, BlockageForecaster, DeviceClass, JointPredictor, Trace, TraceGenerator,
+    VisibilityComputer, VisibilityOptions,
 };
 
 /// Which radio the session runs over.
@@ -314,8 +315,10 @@ impl StreamingSession {
             // The serving beam's RSS per user. Proactive users are already
             // on the best surviving path; reactive users spend the first
             // blocked frame on the stale LoS beam before re-searching.
-            let rss: Vec<f64> = (0..n)
-                .map(|u| {
+            // Links are independent given the frame's poses and blockers,
+            // so they are evaluated in parallel (input order preserved).
+            let rss: Vec<f64> = par::par_map_indexed(&poses, |u, _| {
+                {
                     if is_wifi5 {
                         // Log-distance 5 GHz link; bodies shadow mildly.
                         let d = self.channel.array.position.distance(poses[u].position);
@@ -349,8 +352,8 @@ impl StreamingSession {
                     } else {
                         self.channel.rss_dedicated_beam(poses[u].position, &bl)
                     }
-                })
-                .collect();
+                }
+            });
             let blocked_prev_abr = blocked_prev.clone();
             blocked_prev = blocked_now.clone();
 
@@ -362,21 +365,26 @@ impl StreamingSession {
                 .video
                 .frame_with_density(f as u64, self.params.analysis_points);
             let partition = grid.partition(&cloud);
-            let maps: Vec<_> = (0..n)
-                .map(|u| {
-                    let options = match self.params.player {
-                        PlayerKind::Vanilla => VisibilityOptions::vanilla(),
-                        _ => VisibilityOptions {
-                            intrinsics: self.traces[u].device.intrinsics(),
-                            ..VisibilityOptions::vivo()
-                        },
-                    };
-                    VisibilityComputer::new(options).compute(&planning_poses[u], &grid, &partition)
-                })
-                .collect();
+            // Per-user maps are independent; the fan-out is the frame
+            // step's biggest cost at scale (one frustum + occlusion pass
+            // per user over the whole partition).
+            let maps: Vec<_> = par::par_map_indexed(&planning_poses, |u, pose| {
+                let options = match self.params.player {
+                    PlayerKind::Vanilla => VisibilityOptions::vanilla(),
+                    _ => VisibilityOptions {
+                        intrinsics: self.traces[u].device.intrinsics(),
+                        ..VisibilityOptions::vivo()
+                    },
+                };
+                VisibilityComputer::new(options).compute(pose, &grid, &partition)
+            });
 
             // --- 4. quality decisions ----------------------------------
-            let total_points: f64 = partition.iter().map(|c| c.point_count as f64).sum();
+            // Unit (analysis-density) sizes: one per partition cell, plus
+            // the id-keyed index shared by every per-user byte query below.
+            let unit_sizes: Vec<f64> = partition.iter().map(|c| c.point_count as f64).collect();
+            let unit_index = size_index(&partition, &unit_sizes);
+            let total_points: f64 = unit_sizes.iter().sum();
             let needed_fraction: Vec<f64> = (0..n)
                 .map(|u| match self.params.player {
                     PlayerKind::Vanilla => 1.0,
@@ -384,16 +392,7 @@ impl StreamingSession {
                         if total_points <= 0.0 {
                             1.0
                         } else {
-                            partition
-                                .iter()
-                                .filter_map(|c| {
-                                    maps[u]
-                                        .cells
-                                        .get(&c.id)
-                                        .map(|lod| c.point_count as f64 * lod)
-                                })
-                                .sum::<f64>()
-                                / total_points
+                            maps[u].required_bytes_indexed(&unit_index) / total_points
                         }
                     }
                 })
@@ -431,7 +430,6 @@ impl StreamingSession {
                 quality.points_per_frame as f64 / self.params.analysis_points as f64
                     * quality.bytes_per_point()
             };
-            let unit_sizes: Vec<f64> = partition.iter().map(|c| c.point_count as f64).collect();
             // Grouping plans with cell sizes at the lowest active quality;
             // each formed group is then re-priced at its own members'
             // minimum quality (shared cells must be decodable by all
@@ -490,8 +488,8 @@ impl StreamingSession {
                 }
                 PlayerKind::Vivo => {
                     for u in 0..n {
-                        needed_bytes[u] = maps[u].required_bytes(&partition, &unit_sizes)
-                            * scale_for(qualities[u]);
+                        needed_bytes[u] =
+                            maps[u].required_bytes_indexed(&unit_index) * scale_for(qualities[u]);
                         if !admit(needed_bytes[u], unicast_phy[u]) {
                             unserved[u] = needed_bytes[u] > 0.0;
                             continue;
@@ -546,7 +544,7 @@ impl StreamingSession {
                     // Unit (analysis-density) byte needs per member.
                     let member_unit: Vec<f64> = maps
                         .iter()
-                        .map(|m| m.required_bytes(&partition, &unit_sizes))
+                        .map(|m| m.required_bytes_indexed(&unit_index))
                         .collect();
                     let mut outage_pending = beam_outage.clone();
                     for g in &gp.groups {

@@ -47,6 +47,36 @@ impl AntennaWeights {
     }
 }
 
+/// A steering vector sampled toward one fixed array-local direction, for
+/// evaluating many candidate weight vectors against the same direction
+/// (codebook sweeps, multi-lobe design).
+///
+/// [`SteeringSample::gain`] reproduces [`PlanarArray::gain`] exactly — same
+/// floating-point operations in the same order — but skips re-deriving the
+/// per-element phases on every call, leaving one complex dot product per
+/// evaluation.
+#[derive(Debug, Clone)]
+pub struct SteeringSample {
+    /// `a(dir)`: the unit-magnitude phase vector toward the direction.
+    steering: AntennaWeights,
+    /// Cosine element-pattern factor at the direction (floored backlobe).
+    element: f64,
+}
+
+impl SteeringSample {
+    /// Far-field power gain of `weights` toward the sampled direction:
+    /// `|w^T a|^2` times the element pattern, identical to calling
+    /// [`PlanarArray::gain`] with the direction this sample was built from.
+    pub fn gain(&self, weights: &AntennaWeights) -> f64 {
+        debug_assert_eq!(weights.len(), self.steering.len());
+        let mut acc = Complex::ZERO;
+        for (wi, ai) in weights.w.iter().zip(&self.steering.w) {
+            acc += *wi * *ai;
+        }
+        acc.norm_sq() * self.element
+    }
+}
+
 /// A uniform planar array of isotropic-ish elements at λ/2 spacing.
 ///
 /// The array lies in its local XY plane; its boresight is local `-Z`
@@ -121,6 +151,19 @@ impl PlanarArray {
         .normalized()
     }
 
+    /// Samples the steering vector and element pattern toward `dir` once,
+    /// so repeated [`SteeringSample::gain`] calls against different weight
+    /// vectors (a codebook sweep) cost one dot product each.
+    pub fn steering_sample(&self, dir: Spherical) -> SteeringSample {
+        SteeringSample {
+            steering: self.steering(dir),
+            // Element pattern: cosine roll-off away from boresight, floored
+            // to a -20 dB backlobe so reflections behind the array stay
+            // finite.
+            element: (dir.azimuth.cos() * dir.elevation.cos()).max(0.01),
+        }
+    }
+
     /// Far-field power gain (linear) of `weights` toward an array-local
     /// direction: `|w^T a(dir)|^2`, including a cosine element pattern.
     ///
@@ -128,15 +171,7 @@ impl PlanarArray {
     /// count (e.g. 32 -> ~15 dB).
     pub fn gain(&self, weights: &AntennaWeights, dir: Spherical) -> f64 {
         debug_assert_eq!(weights.len(), self.elements());
-        let a = self.steering(dir);
-        let mut acc = Complex::ZERO;
-        for (wi, ai) in weights.w.iter().zip(&a.w) {
-            acc += *wi * *ai;
-        }
-        // Element pattern: cosine roll-off away from boresight, floored to
-        // a -20 dB backlobe so reflections behind the array stay finite.
-        let element = (dir.azimuth.cos() * dir.elevation.cos()).max(0.01);
-        acc.norm_sq() * element
+        self.steering_sample(dir).gain(weights)
     }
 
     /// Samples the far-field pattern along an azimuth cut at fixed

@@ -10,7 +10,7 @@
 //! RSS for a beam is the non-coherent power sum over paths weighted by the
 //! beam's gain toward each path's departure direction.
 
-use crate::array::{AntennaWeights, PlanarArray};
+use crate::array::{AntennaWeights, PlanarArray, SteeringSample};
 use crate::calib;
 use volcast_geom::{Ray, Vec3};
 
@@ -73,6 +73,39 @@ pub struct Path {
     pub extra_loss_db: f64,
     /// `true` for the direct path.
     pub is_los: bool,
+}
+
+/// A receiver prepared for repeated beam evaluations: paths enumerated,
+/// blockage resolved, and the steering vector toward each path sampled —
+/// all hoisted out of the per-beam loop. [`PreparedRx::rss_dbm`] then costs
+/// one complex dot product per path.
+///
+/// Built by [`Channel::prepare_rx`] for a fixed `(receiver, blockers)`
+/// pair; it reproduces [`Channel::rss_dbm`] bit-for-bit for that pair. A
+/// codebook sweep (48 sectors × 6 paths) goes from 48 path enumerations and
+/// blockage tests to one of each.
+#[derive(Debug, Clone)]
+pub struct PreparedRx {
+    /// Per usable path: steering toward its departure point and the total
+    /// loss in dB (propagation + reflection + blockage).
+    paths: Vec<(SteeringSample, f64)>,
+}
+
+impl PreparedRx {
+    /// RSS (dBm) for transmit beam `weights` — identical to
+    /// [`Channel::rss_dbm`] at the prepared receiver and blocker set.
+    pub fn rss_dbm(&self, weights: &AntennaWeights) -> f64 {
+        let mut total_mw = 0.0f64;
+        for (sample, loss_db) in &self.paths {
+            let gain = sample.gain(weights);
+            if gain <= 0.0 {
+                continue;
+            }
+            let rx_dbm = calib::TX_POWER_DBM + 10.0 * gain.log10() + calib::RX_GAIN_DBI - loss_db;
+            total_mw += calib::dbm_to_mw(rx_dbm);
+        }
+        calib::mw_to_dbm(total_mw)
+    }
 }
 
 /// The channel: a room plus the AP's planar array.
@@ -213,30 +246,42 @@ impl Channel {
     /// Received signal strength (dBm) at `rx` for transmit beam `weights`,
     /// with the given blockers. Non-coherent power sum over paths.
     pub fn rss_dbm(&self, weights: &AntennaWeights, rx: Vec3, blockers: &[Blocker]) -> f64 {
-        let mut total_mw = 0.0f64;
-        for path in self.paths(rx) {
-            let gain = self.array.gain_toward_point(weights, path.via);
-            if gain <= 0.0 {
-                continue;
-            }
-            let mut loss_db = calib::fspl_db(path.length)
-                + calib::O2_ABSORPTION_DB_PER_M * path.length
-                + path.extra_loss_db
-                + calib::IMPLEMENTATION_LOSS_DB;
-            // Blockage: check both legs of the path.
-            let blocked = if path.is_los {
-                self.segment_blocked(self.array.position, rx, blockers)
-            } else {
-                self.segment_blocked(self.array.position, path.via, blockers)
-                    || self.segment_blocked(path.via, rx, blockers)
-            };
-            if blocked {
-                loss_db += calib::BODY_BLOCKAGE_DB;
-            }
-            let rx_dbm = calib::TX_POWER_DBM + 10.0 * gain.log10() + calib::RX_GAIN_DBI - loss_db;
-            total_mw += calib::dbm_to_mw(rx_dbm);
-        }
-        calib::mw_to_dbm(total_mw)
+        self.prepare_rx(rx, blockers).rss_dbm(weights)
+    }
+
+    /// Prepares `rx` for repeated beam evaluations (see [`PreparedRx`]).
+    pub fn prepare_rx(&self, rx: Vec3, blockers: &[Blocker]) -> PreparedRx {
+        self.prepare_rx_paths(&self.paths(rx), rx, blockers)
+    }
+
+    /// [`Channel::prepare_rx`] over an already-enumerated path list, for
+    /// callers that memoize [`Channel::paths`] per receiver position (path
+    /// geometry is independent of the blocker population).
+    pub fn prepare_rx_paths(&self, paths: &[Path], rx: Vec3, blockers: &[Blocker]) -> PreparedRx {
+        let paths = paths
+            .iter()
+            .filter_map(|path| {
+                // A path whose departure direction is degenerate contributes
+                // zero gain in rss_dbm; dropping it here is equivalent.
+                let dir = self.array.local_direction(path.via - self.array.position)?;
+                let mut loss_db = calib::fspl_db(path.length)
+                    + calib::O2_ABSORPTION_DB_PER_M * path.length
+                    + path.extra_loss_db
+                    + calib::IMPLEMENTATION_LOSS_DB;
+                // Blockage: check both legs of the path.
+                let blocked = if path.is_los {
+                    self.segment_blocked(self.array.position, rx, blockers)
+                } else {
+                    self.segment_blocked(self.array.position, path.via, blockers)
+                        || self.segment_blocked(path.via, rx, blockers)
+                };
+                if blocked {
+                    loss_db += calib::BODY_BLOCKAGE_DB;
+                }
+                Some((self.array.steering_sample(dir), loss_db))
+            })
+            .collect();
+        PreparedRx { paths }
     }
 
     /// RSS using the best dedicated (conjugate) beam toward `rx` — the
@@ -255,12 +300,19 @@ impl Channel {
     /// body blockage (paper §4.1: "adapt its beam to the user with a
     /// reflection path").
     pub fn rss_best_beam(&self, rx: Vec3, blockers: &[Blocker]) -> f64 {
-        self.paths(rx)
+        // One path enumeration + blockage resolution shared by every
+        // candidate beam, instead of re-deriving them per candidate.
+        // Stays serial: after preparation the sweep is a handful of dot
+        // products (one per path), far below thread-spawn cost — the
+        // parallel codebook sweeps live in `MultiLobeDesigner`.
+        let paths = self.paths(rx);
+        let prepared = self.prepare_rx_paths(&paths, rx, blockers);
+        paths
             .iter()
             .filter_map(|p| {
                 self.array
                     .local_direction(p.via - self.array.position)
-                    .map(|dir| self.rss_dbm(&self.array.beam_toward(dir), rx, blockers))
+                    .map(|dir| prepared.rss_dbm(&self.array.beam_toward(dir)))
             })
             .fold(f64::NEG_INFINITY, f64::max)
     }
@@ -393,6 +445,26 @@ mod tests {
         ch.room.floor_reflection = true;
         let with = ch.paths(rx).len();
         assert_eq!(with, without + 1);
+    }
+
+    #[test]
+    fn prepared_rx_matches_direct_rss_exactly() {
+        let ch = setup();
+        let rx = Vec3::new(-1.7, 1.4, -2.2);
+        let blockers = [
+            Blocker::person(Vec3::new(-1.0, 0.0, -0.5)),
+            Blocker::person(Vec3::new(2.0, 0.0, 1.0)),
+        ];
+        let prepared = ch.prepare_rx(rx, &blockers);
+        for dir in [
+            Vec3::new(0.1, -0.4, -1.0),
+            rx - ch.array.position,
+            Vec3::new(-1.0, 0.0, -0.2),
+        ] {
+            let beam = ch.array.beam_toward(ch.array.local_direction(dir).unwrap());
+            // Bit-for-bit: prepared evaluation is the same float program.
+            assert_eq!(prepared.rss_dbm(&beam), ch.rss_dbm(&beam, rx, &blockers));
+        }
     }
 
     #[test]

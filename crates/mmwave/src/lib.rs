@@ -44,9 +44,9 @@ pub mod codebook;
 pub mod mcs;
 pub mod multilobe;
 
-pub use array::{AntennaWeights, PlanarArray};
+pub use array::{AntennaWeights, PlanarArray, SteeringSample};
 pub use beamsearch::BeamSearch;
-pub use channel::{Blocker, Channel, Path, Room};
+pub use channel::{Blocker, Channel, Path, PreparedRx, Room};
 pub use codebook::Codebook;
 pub use mcs::{McsEntry, McsTable};
 pub use multilobe::{combine_weights, combine_weights_multi, MultiLobeDesigner};

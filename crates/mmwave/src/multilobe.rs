@@ -15,9 +15,12 @@
 //! weights each user's beam by the inverse of their RSS share.
 
 use crate::array::AntennaWeights;
-use crate::channel::{Blocker, Channel};
+use crate::channel::{Blocker, Channel, Path, PreparedRx};
 use crate::codebook::Codebook;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 use volcast_geom::Vec3;
+use volcast_util::par;
 
 /// The paper's two-user combination: `w = (Δ2·w1 + Δ1·w2)/(Δ1+Δ2)`,
 /// normalized to unit transmit power. `rss1`/`rss2` are linear powers
@@ -71,12 +74,28 @@ pub fn combine_weights_multi(beams: &[(AntennaWeights, f64)]) -> AntennaWeights 
 /// assert!(beam.customized);
 /// assert!(beam.common_rss_dbm() > -68.0); // multicast-capable
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct MultiLobeDesigner<'a> {
     /// The propagation channel (owns the array geometry).
     pub channel: &'a Channel,
     /// The default sector codebook swept by the hardware.
     pub codebook: &'a Codebook,
+    /// Memoized [`Channel::paths`] per receiver position. Path enumeration
+    /// is pure room geometry, and the shared borrow of `channel` keeps that
+    /// geometry frozen for the designer's whole lifetime, so entries can
+    /// never go stale. Keyed by the position's raw f64 bits; `Mutex` so a
+    /// shared designer can serve parallel trials.
+    path_cache: Mutex<HashMap<[u64; 3], Arc<Vec<Path>>>>,
+}
+
+impl Clone for MultiLobeDesigner<'_> {
+    fn clone(&self) -> Self {
+        MultiLobeDesigner {
+            channel: self.channel,
+            codebook: self.codebook,
+            path_cache: Mutex::new(self.path_cache.lock().unwrap().clone()),
+        }
+    }
 }
 
 /// The outcome of a group beam design.
@@ -103,20 +122,42 @@ impl GroupBeam {
 impl<'a> MultiLobeDesigner<'a> {
     /// Creates a designer over a channel and codebook.
     pub fn new(channel: &'a Channel, codebook: &'a Codebook) -> Self {
-        MultiLobeDesigner { channel, codebook }
+        MultiLobeDesigner {
+            channel,
+            codebook,
+            path_cache: Mutex::new(HashMap::new()),
+        }
     }
 
-    /// Best *default-codebook* sector for the group: maximizes the minimum
-    /// member RSS. Returns (weights index, per-member RSS).
-    pub fn best_common_sector(&self, members: &[Vec3], blockers: &[Blocker]) -> (usize, Vec<f64>) {
+    /// Propagation paths to `rx`, memoized per position.
+    fn cached_paths(&self, rx: Vec3) -> Arc<Vec<Path>> {
+        let key = [rx.x.to_bits(), rx.y.to_bits(), rx.z.to_bits()];
+        let mut cache = self.path_cache.lock().unwrap();
+        cache
+            .entry(key)
+            .or_insert_with(|| Arc::new(self.channel.paths(rx)))
+            .clone()
+    }
+
+    /// One member prepared for codebook sweeps: memoized paths, blockage
+    /// and steering resolved once instead of once per sector.
+    fn prepare_member(&self, m: Vec3, blockers: &[Blocker]) -> PreparedRx {
+        self.channel
+            .prepare_rx_paths(&self.cached_paths(m), m, blockers)
+    }
+
+    /// The sector sweep over prepared members. Sectors are evaluated in
+    /// parallel; the argmax runs serially in sector order afterwards, so
+    /// the strict `>` keeps the first-best sector exactly as the serial
+    /// sweep did.
+    fn best_sector_prepared(&self, prepared: &[PreparedRx]) -> (usize, Vec<f64>) {
+        let per_sector: Vec<Vec<f64>> = par::par_map(&self.codebook.sectors, |sector| {
+            prepared.iter().map(|p| p.rss_dbm(sector)).collect()
+        });
         let mut best_idx = 0usize;
         let mut best_min = f64::NEG_INFINITY;
-        let mut best_rss = vec![f64::NEG_INFINITY; members.len()];
-        for (i, sector) in self.codebook.sectors.iter().enumerate() {
-            let rss: Vec<f64> = members
-                .iter()
-                .map(|&m| self.channel.rss_dbm(sector, m, blockers))
-                .collect();
+        let mut best_rss = vec![f64::NEG_INFINITY; prepared.len()];
+        for (i, rss) in per_sector.into_iter().enumerate() {
             let min = rss.iter().copied().fold(f64::INFINITY, f64::min);
             if min > best_min {
                 best_min = min;
@@ -127,28 +168,50 @@ impl<'a> MultiLobeDesigner<'a> {
         (best_idx, best_rss)
     }
 
-    /// Designs the custom multi-lobe beam for the group: combine each
-    /// member's individually-best sector, weighted by measured RSS.
-    pub fn custom_beam(&self, members: &[Vec3], blockers: &[Blocker]) -> AntennaWeights {
-        let per_user: Vec<(AntennaWeights, f64)> = members
+    /// Best *default-codebook* sector for the group: maximizes the minimum
+    /// member RSS. Returns (weights index, per-member RSS).
+    pub fn best_common_sector(&self, members: &[Vec3], blockers: &[Blocker]) -> (usize, Vec<f64>) {
+        let prepared: Vec<PreparedRx> = members
             .iter()
-            .map(|&m| {
+            .map(|&m| self.prepare_member(m, blockers))
+            .collect();
+        self.best_sector_prepared(&prepared)
+    }
+
+    /// The custom combination over already-prepared members.
+    fn custom_beam_prepared(&self, prepared: &[PreparedRx]) -> AntennaWeights {
+        let per_user: Vec<(AntennaWeights, f64)> = prepared
+            .iter()
+            .map(|p| {
                 // Individually best sector for this member (the AP knows it
                 // from the sector sweep / predicted 6DoF motion).
-                let (idx, _) = self.best_common_sector(&[m], blockers);
+                let (idx, rss) = self.best_sector_prepared(std::slice::from_ref(p));
                 let w = self.codebook.sectors[idx].clone();
-                let rss_mw = crate::calib::dbm_to_mw(self.channel.rss_dbm(&w, m, blockers));
-                (w, rss_mw)
+                (w, crate::calib::dbm_to_mw(rss[0]))
             })
             .collect();
         combine_weights_multi(&per_user)
+    }
+
+    /// Designs the custom multi-lobe beam for the group: combine each
+    /// member's individually-best sector, weighted by measured RSS.
+    pub fn custom_beam(&self, members: &[Vec3], blockers: &[Blocker]) -> AntennaWeights {
+        let prepared: Vec<PreparedRx> = members
+            .iter()
+            .map(|&m| self.prepare_member(m, blockers))
+            .collect();
+        self.custom_beam_prepared(&prepared)
     }
 
     /// Full group beam design: returns whichever of (best common default
     /// sector, customized multi-lobe beam) yields the higher common RSS.
     pub fn design(&self, members: &[Vec3], blockers: &[Blocker]) -> GroupBeam {
         assert!(!members.is_empty());
-        let (idx, default_rss) = self.best_common_sector(members, blockers);
+        let prepared: Vec<PreparedRx> = members
+            .iter()
+            .map(|&m| self.prepare_member(m, blockers))
+            .collect();
+        let (idx, default_rss) = self.best_sector_prepared(&prepared);
         let default_min = default_rss.iter().copied().fold(f64::INFINITY, f64::min);
 
         if members.len() == 1 {
@@ -159,11 +222,8 @@ impl<'a> MultiLobeDesigner<'a> {
             };
         }
 
-        let custom = self.custom_beam(members, blockers);
-        let custom_rss: Vec<f64> = members
-            .iter()
-            .map(|&m| self.channel.rss_dbm(&custom, m, blockers))
-            .collect();
+        let custom = self.custom_beam_prepared(&prepared);
+        let custom_rss: Vec<f64> = prepared.iter().map(|p| p.rss_dbm(&custom)).collect();
         let custom_min = custom_rss.iter().copied().fold(f64::INFINITY, f64::min);
 
         if custom_min > default_min {

@@ -27,19 +27,20 @@ pub struct EncodedCell {
 }
 
 /// Encodes a frame as independent per-cell bitstreams (sorted by cell id).
+///
+/// Cells are encoded in parallel (they share no codec state by design);
+/// the output order is the partition's cell-id order regardless of the
+/// thread count.
 pub fn encode_cells(cloud: &PointCloud, grid: &CellGrid, cfg: &CodecConfig) -> Vec<EncodedCell> {
-    grid.partition(cloud)
-        .iter()
-        .map(|info| {
-            let sub = grid.extract(cloud, info);
-            let (data, stats) = encode(&sub, cfg);
-            EncodedCell {
-                id: info.id,
-                data,
-                stats,
-            }
-        })
-        .collect()
+    volcast_util::par::par_map(&grid.partition(cloud), |info| {
+        let sub = grid.extract(cloud, info);
+        let (data, stats) = encode(&sub, cfg);
+        EncodedCell {
+            id: info.id,
+            data,
+            stats,
+        }
+    })
 }
 
 /// Decodes any subset of cells and merges them into one cloud.

@@ -19,7 +19,11 @@
 //!   `prop::collection::vec`, [`prop::any`]), deterministic per-case seeds
 //!   and failure-seed reporting.
 //! - [`timing`] — a plain wall-clock benchmark harness standing in for
-//!   `criterion` (warm-up, fixed sample count, min/median/mean report).
+//!   `criterion` (warm-up, fixed sample count, min/median/mean report,
+//!   optional machine-readable JSON records).
+//! - [`par`] — a scoped-thread data-parallel substrate standing in for
+//!   `rayon` (`par_map` / `par_map_indexed` / `chunked`), sized by
+//!   `VOLCAST_THREADS` and bit-for-bit deterministic across thread counts.
 //!
 //! ## Determinism guarantees
 //!
@@ -55,6 +59,7 @@
 #![allow(clippy::test_attr_in_doctest)]
 
 pub mod json;
+pub mod par;
 pub mod prop;
 pub mod rng;
 pub mod timing;

@@ -21,15 +21,48 @@
 //! });
 //! ```
 
+use crate::json::{JsonValue, ToJson};
 use std::time::{Duration, Instant};
 
 /// Target wall time for one timed sample.
 const TARGET_SAMPLE: Duration = Duration::from_millis(5);
 
+/// One benchmark's timing summary, kept by the [`Harness`] for
+/// machine-readable reporting (the `--json` mode of the microbench binary).
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark name as passed to [`Harness::bench_function`].
+    pub name: String,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Median sample, nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Mean over samples, nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Inner iterations per timed sample (after calibration).
+    pub iters: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl ToJson for BenchRecord {
+    fn to_json(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("name".into(), self.name.to_json()),
+            ("min_ns".into(), self.min_ns.to_json()),
+            ("median_ns".into(), self.median_ns.to_json()),
+            ("mean_ns".into(), self.mean_ns.to_json()),
+            ("iters".into(), self.iters.to_json()),
+            ("samples".into(), (self.samples as u64).to_json()),
+        ])
+    }
+}
+
 /// Collects and prints benchmark results.
 #[derive(Debug, Default)]
 pub struct Harness {
     samples: usize,
+    records: Vec<BenchRecord>,
 }
 
 impl Harness {
@@ -39,7 +72,21 @@ impl Harness {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(20);
-        Harness { samples }
+        Harness {
+            samples,
+            records: Vec::new(),
+        }
+    }
+
+    /// All results timed so far, in run order.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// The results as a JSON array (one object per benchmark), for the
+    /// `BENCH_<name>.json` perf-trajectory files.
+    pub fn json_report(&self) -> JsonValue {
+        JsonValue::Arr(self.records.iter().map(|r| r.to_json()).collect())
     }
 
     /// Times `f`, printing one result line: min / median / mean per
@@ -72,6 +119,14 @@ impl Harness {
         let min = per_iter[0];
         let median = per_iter[per_iter.len() / 2];
         let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        self.records.push(BenchRecord {
+            name: name.to_string(),
+            min_ns: min * 1e9,
+            median_ns: median * 1e9,
+            mean_ns: mean * 1e9,
+            iters: b.iters,
+            samples: per_iter.len(),
+        });
         println!(
             "{name:<36} min {:>10}  median {:>10}  mean {:>10}  ({} iters x {} samples)",
             fmt_time(min),
@@ -140,6 +195,14 @@ mod tests {
         h.bench_function("noop", |b| b.iter(|| 1 + 1));
         h.bench_function("batched", |b| b.iter_batched(|| vec![1u8; 16], |v| v.len()));
         std::env::remove_var("VOLCAST_BENCH_SAMPLES");
+
+        assert_eq!(h.records().len(), 2);
+        assert_eq!(h.records()[0].name, "noop");
+        assert!(h.records()[0].median_ns > 0.0);
+        let json = h.json_report().to_json_string();
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"name\":\"batched\""));
+        assert!(json.contains("\"median_ns\":"));
     }
 
     #[test]

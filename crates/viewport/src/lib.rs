@@ -44,6 +44,6 @@ pub use blockage::{BlockageEvent, BlockageForecaster};
 pub use io::{load_study, save_study};
 pub use joint::JointPredictor;
 pub use predict::{LinearPredictor, MlpPredictor, Predictor};
-pub use similarity::{group_iou, iou, overlap_bytes};
+pub use similarity::{group_iou, iou, overlap_bytes, overlap_bytes_indexed};
 pub use traces::{DeviceClass, Trace, TraceGenerator, UserStudy};
-pub use visibility::{VisibilityComputer, VisibilityMap, VisibilityOptions};
+pub use visibility::{size_index, VisibilityComputer, VisibilityMap, VisibilityOptions};

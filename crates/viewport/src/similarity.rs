@@ -19,35 +19,58 @@ pub fn iou(a: &VisibilityMap, b: &VisibilityMap) -> f64 {
 /// IoU across a whole group: `|intersection| / |union|` of all maps.
 ///
 /// An empty group or a group of all-empty maps yields 1.0.
+///
+/// Counts by a k-way merge over the maps' (already sorted) cell keys —
+/// no per-map set allocations, which matters in the pairwise sweeps of
+/// fig2a/fig2b and the grouping planner's candidate scoring.
 pub fn group_iou(maps: &[&VisibilityMap]) -> f64 {
     if maps.is_empty() {
         return 1.0;
     }
-    let mut inter: BTreeSet<CellId> = maps[0].id_set();
-    let mut union: BTreeSet<CellId> = maps[0].id_set();
-    for m in &maps[1..] {
-        let ids = m.id_set();
-        inter = inter.intersection(&ids).copied().collect();
-        union = union.union(&ids).copied().collect();
+    let mut iters: Vec<_> = maps.iter().map(|m| m.cells.keys().peekable()).collect();
+    let mut inter = 0usize;
+    let mut union = 0usize;
+    loop {
+        let mut min: Option<CellId> = None;
+        for it in iters.iter_mut() {
+            if let Some(&&k) = it.peek() {
+                min = Some(match min {
+                    Some(m) if m <= k => m,
+                    _ => k,
+                });
+            }
+        }
+        let Some(min) = min else { break };
+        let mut holders = 0usize;
+        for it in iters.iter_mut() {
+            if it.peek() == Some(&&min) {
+                it.next();
+                holders += 1;
+            }
+        }
+        union += 1;
+        if holders == maps.len() {
+            inter += 1;
+        }
     }
-    if union.is_empty() {
+    if union == 0 {
         1.0
     } else {
-        inter.len() as f64 / union.len() as f64
+        inter as f64 / union as f64
     }
 }
 
 /// The cells needed by *every* user of the group (the multicast payload).
 pub fn intersection_cells(maps: &[&VisibilityMap]) -> BTreeSet<CellId> {
-    if maps.is_empty() {
+    let Some((first, rest)) = maps.split_first() else {
         return BTreeSet::new();
-    }
-    let mut inter = maps[0].id_set();
-    for m in &maps[1..] {
-        let ids = m.id_set();
-        inter = inter.intersection(&ids).copied().collect();
-    }
-    inter
+    };
+    first
+        .cells
+        .keys()
+        .filter(|id| rest.iter().all(|m| m.cells.contains_key(id)))
+        .copied()
+        .collect()
 }
 
 /// Size in bytes of the overlapped cells of a group (the paper's `S^m_k`),
@@ -67,6 +90,29 @@ pub fn overlap_bytes(maps: &[&VisibilityMap], partition: &[CellInfo], sizes: &[f
                 .filter_map(|m| m.cells.get(&c.id))
                 .fold(0.0f64, |acc, &l| acc.max(l));
             s * lod
+        })
+        .sum()
+}
+
+/// [`overlap_bytes`] against a prebuilt
+/// [`size_index`](crate::visibility::size_index), skipping the partition
+/// rescan. Same value: both variants visit the group intersection in
+/// ascending cell-id order.
+pub fn overlap_bytes_indexed(
+    maps: &[&VisibilityMap],
+    sizes_by_id: &std::collections::BTreeMap<CellId, f64>,
+) -> f64 {
+    let inter = intersection_cells(maps);
+    inter
+        .iter()
+        .filter_map(|id| {
+            sizes_by_id.get(id).map(|&s| {
+                let lod = maps
+                    .iter()
+                    .filter_map(|m| m.cells.get(id))
+                    .fold(0.0f64, |acc, &l| acc.max(l));
+                s * lod
+            })
         })
         .sum()
 }
@@ -160,6 +206,67 @@ mod tests {
         assert_eq!(i.len(), 1);
         assert!(i.contains(&CellId::new(1, 0, 0)));
         assert!(intersection_cells(&[]).is_empty());
+    }
+
+    #[test]
+    fn merge_counting_matches_set_based_iou() {
+        // Reference implementation: the original set-allocation version.
+        let set_iou = |maps: &[&VisibilityMap]| -> f64 {
+            let mut inter = maps[0].id_set();
+            let mut union = maps[0].id_set();
+            for m in &maps[1..] {
+                let ids = m.id_set();
+                inter = inter.intersection(&ids).copied().collect();
+                union = union.union(&ids).copied().collect();
+            }
+            if union.is_empty() {
+                1.0
+            } else {
+                inter.len() as f64 / union.len() as f64
+            }
+        };
+        let a = map_of(&[(0, 0, 0), (1, 2, 3), (4, 5, 6), (-1, 0, 2)]);
+        let b = map_of(&[(1, 2, 3), (4, 5, 6), (7, 8, 9)]);
+        let c = map_of(&[(4, 5, 6), (7, 8, 9), (0, 0, 0)]);
+        let e = VisibilityMap::new();
+        for group in [
+            vec![&a, &b],
+            vec![&a, &b, &c],
+            vec![&a, &e],
+            vec![&e, &e],
+            vec![&c, &b, &a, &c],
+        ] {
+            assert_eq!(group_iou(&group), set_iou(&group));
+        }
+    }
+
+    #[test]
+    fn indexed_overlap_bytes_matches_scan_exactly() {
+        use crate::visibility::size_index;
+        let mut a = VisibilityMap::new();
+        let mut b = VisibilityMap::new();
+        for i in 0..20 {
+            a.cells.insert(CellId::new(i, 0, 0), 0.4 + 0.03 * i as f64);
+            if i % 2 == 0 {
+                b.cells.insert(CellId::new(i, 0, 0), 1.0);
+            }
+        }
+        let partition: Vec<CellInfo> = (0..20)
+            .map(|i| CellInfo {
+                id: CellId::new(i, 0, 0),
+                point_count: (i as usize + 1) * 10,
+                point_indices: vec![],
+            })
+            .collect();
+        let sizes: Vec<f64> = partition
+            .iter()
+            .map(|c| c.point_count as f64 * 2.1)
+            .collect();
+        let index = size_index(&partition, &sizes);
+        assert_eq!(
+            overlap_bytes(&[&a, &b], &partition, &sizes),
+            overlap_bytes_indexed(&[&a, &b], &index),
+        );
     }
 
     #[test]

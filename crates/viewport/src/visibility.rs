@@ -53,6 +53,10 @@ impl VisibilityMap {
     /// Bytes required to fetch this map's cells, given the partition's
     /// per-cell sizes (`sizes[i]` corresponds to `cells[i]` of the
     /// partition). LOD factors scale each cell's cost.
+    ///
+    /// Scans the whole partition; in per-frame loops over many users,
+    /// build a [`size_index`] once and use
+    /// [`VisibilityMap::required_bytes_indexed`] instead.
     pub fn required_bytes(&self, partition: &[CellInfo], sizes: &[f64]) -> f64 {
         partition
             .iter()
@@ -60,6 +64,30 @@ impl VisibilityMap {
             .filter_map(|(c, &s)| self.cells.get(&c.id).map(|lod| s * lod))
             .sum()
     }
+
+    /// [`VisibilityMap::required_bytes`] against a prebuilt [`size_index`],
+    /// in O(|visible cells|) instead of O(|partition|).
+    ///
+    /// Returns the exact same value: the partition is CellId-sorted and so
+    /// is this map, so both variants visit the intersection in ascending id
+    /// order and the float summation order is unchanged.
+    pub fn required_bytes_indexed(&self, sizes_by_id: &BTreeMap<CellId, f64>) -> f64 {
+        self.cells
+            .iter()
+            .filter_map(|(id, lod)| sizes_by_id.get(id).map(|s| s * lod))
+            .sum()
+    }
+}
+
+/// Indexes a partition's per-cell sizes by [`CellId`]: build once per
+/// frame, then share across every per-user
+/// [`VisibilityMap::required_bytes_indexed`] call of that frame.
+pub fn size_index(partition: &[CellInfo], sizes: &[f64]) -> BTreeMap<CellId, f64> {
+    partition
+        .iter()
+        .zip(sizes)
+        .map(|(c, &s)| (c.id, s))
+        .collect()
 }
 
 /// Which ViVo optimizations to apply.
@@ -445,6 +473,24 @@ mod tests {
             &partition,
         );
         assert!(vivo.required_bytes(&partition, &sizes) < full);
+    }
+
+    #[test]
+    fn indexed_required_bytes_matches_scan_exactly() {
+        let (grid, cloud) = wall_and_target(-1.0, -3.0);
+        let partition = grid.partition(&cloud);
+        let sizes: Vec<f64> = partition
+            .iter()
+            .map(|c| c.point_count as f64 * 3.7)
+            .collect();
+        let index = size_index(&partition, &sizes);
+        for opts in [VisibilityOptions::vanilla(), VisibilityOptions::vivo()] {
+            let map = VisibilityComputer::new(opts).compute(&viewer_at(3.0), &grid, &partition);
+            assert_eq!(
+                map.required_bytes(&partition, &sizes),
+                map.required_bytes_indexed(&index),
+            );
+        }
     }
 
     #[test]

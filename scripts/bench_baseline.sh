@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Records the perf trajectory of the parallel/cached hot kernels: runs the
+# microbench suite in --json mode, which writes BENCH_visibility.json and
+# BENCH_codebook.json at the repository root (median ns per iteration at
+# 1 and 4 worker threads, host thread budget, git revision). Commit the
+# refreshed files alongside perf-relevant changes so regressions are
+# visible in review as a plain diff.
+#
+# Usage: scripts/bench_baseline.sh [extra args passed to the bench binary]
+# Knobs: VOLCAST_BENCH_SAMPLES (default 20 timed samples per bench).
+
+set -eu
+
+export CARGO_NET_OFFLINE=true
+
+cd "$(dirname "$0")/.."
+cargo bench -p volcast-bench --bench microbench -- --json "$@"

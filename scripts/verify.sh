@@ -18,7 +18,18 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --workspace --release
 
-echo "==> cargo test"
-cargo test --workspace -q
+echo "==> cargo test (VOLCAST_THREADS=1)"
+VOLCAST_THREADS=1 cargo test --workspace -q
+
+echo "==> cargo test (VOLCAST_THREADS=4)"
+VOLCAST_THREADS=4 cargo test --workspace -q
+
+echo "==> fig2a regenerates byte-identically at both thread counts"
+tmp_fig2a="$(mktemp)"
+trap 'rm -f "$tmp_fig2a"' EXIT
+VOLCAST_THREADS=1 cargo run -q --release -p volcast-bench --bin fig2a > "$tmp_fig2a"
+diff results/fig2a.txt "$tmp_fig2a"
+VOLCAST_THREADS=4 cargo run -q --release -p volcast-bench --bin fig2a > "$tmp_fig2a"
+diff results/fig2a.txt "$tmp_fig2a"
 
 echo "verify: all checks passed"
