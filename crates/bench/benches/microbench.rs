@@ -149,6 +149,26 @@ fn bench_synthetic(h: &mut Harness) {
     });
 }
 
+/// Hardware threads the host offers (1 if unknown).
+fn host_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// True if a `threads`-worker bench is meaningful on this host; warns and
+/// returns false otherwise. Recording a 4-thread datapoint on a 1-core
+/// box would measure oversubscription, not scaling, and the baseline
+/// comparison in `scripts/bench_baseline.sh` would chase that noise.
+fn can_bench_threads(threads: usize, bench: &str) -> bool {
+    let host = host_threads();
+    if threads <= host {
+        return true;
+    }
+    println!("# WARNING: skipping {bench}: requested {threads} threads but host has {host}");
+    false
+}
+
 /// Per-user visibility fan-out at 1 and 4 worker threads — the session
 /// hot loop this PR parallelizes. Same seeded inputs, bit-identical maps
 /// at both thread counts (the determinism property tests enforce that);
@@ -165,8 +185,12 @@ fn bench_visibility_scaling(h: &mut Harness) {
     let poses: Vec<_> = (0..8).map(|u| study.traces[u].pose(10)).collect();
     let orig = par::thread_count();
     for threads in [1usize, 4] {
+        let name = format!("visibility/maps_8_users_t{threads}");
+        if !can_bench_threads(threads, &name) {
+            continue;
+        }
         par::set_thread_count(threads);
-        h.bench_function(&format!("visibility/maps_8_users_t{threads}"), |b| {
+        h.bench_function(&name, |b| {
             b.iter(|| par::par_map(&poses, |p| vc.compute(black_box(p), &grid, &partition)))
         });
     }
@@ -204,8 +228,12 @@ fn bench_codebook_caching(h: &mut Harness) {
     });
     let orig = par::thread_count();
     for threads in [1usize, 4] {
+        let name = format!("codebook/sweep48_prepared_t{threads}");
+        if !can_bench_threads(threads, &name) {
+            continue;
+        }
         par::set_thread_count(threads);
-        h.bench_function(&format!("codebook/sweep48_prepared_t{threads}"), |b| {
+        h.bench_function(&name, |b| {
             b.iter(|| designer.best_common_sector(black_box(&members), &[]))
         });
     }
@@ -236,10 +264,14 @@ fn write_report(name: &str, h: &Harness) {
     ]);
     std::fs::write(&path, report.to_json_string() + "\n")
         .unwrap_or_else(|e| panic!("writing {path}: {e}"));
-    println!("wrote {name}");
+    println!("wrote {name} (host_threads={host_threads})");
 }
 
 fn main() {
+    // Scaling benches compare thread counts, so say up front how many the
+    // host actually has — a reader of the report needs this to judge
+    // whether a _t4 record is missing (skipped) or meaningful.
+    println!("host_threads={}", host_threads());
     // `--json`: only the parallel-kernel benches, with machine-readable
     // reports (fast enough for scripts/bench_baseline.sh to run per
     // commit). Default: the full suite, human-readable.

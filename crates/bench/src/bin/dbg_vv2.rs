@@ -19,4 +19,5 @@ fn main() {
             );
         }
     }
+    volcast_bench::dump_obs("dbg_vv2");
 }

@@ -84,4 +84,5 @@ fn main() {
 
     println!("\nexpected shape: each removal costs FPS and/or quality; losing");
     println!("multicast entirely costs the most at this user count.");
+    volcast_bench::dump_obs("ext_ablation");
 }

@@ -82,4 +82,5 @@ fn main() {
     println!("\nexpected shape: reactive pays a stale-beam frame and a full sweep");
     println!("at every crossing onset; proactive prefetch + pre-steered reflected");
     println!("beams close most of the gap to the no-walker bound.");
+    volcast_bench::dump_obs("ext_blockage");
 }

@@ -96,4 +96,5 @@ fn main() {
     println!("\nexpected shape: two coordinated APs more than double the 8-user");
     println!("multicast capacity (smaller groups -> higher common MCS, plus");
     println!("concurrent service periods), with comfortably positive margins.");
+    volcast_bench::dump_obs("ext_multiap");
 }

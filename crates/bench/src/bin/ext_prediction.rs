@@ -94,4 +94,5 @@ fn main() {
     println!("\nexpected shape: errors grow with horizon; LR is strong at short");
     println!("horizons (cm-scale); the joint predictor matches LR when users are");
     println!("apart and improves on it in crowded scenes (see joint tests).");
+    volcast_bench::dump_obs("ext_prediction");
 }

@@ -56,4 +56,5 @@ fn main() {
     }
     println!("expected shape: volcast sustains 30 FPS for more users than ViVo,");
     println!("which beats vanilla; multicast fraction grows with co-viewing users.");
+    volcast_bench::dump_obs("ext_scaling");
 }

@@ -87,4 +87,5 @@ fn main() {
     println!("\nexpected shape: 50 cm cells balance overlap against precision;");
     println!("longer horizons cost prediction accuracy but the system degrades");
     println!("gracefully (visibility maps absorb centimeter-level pose error).");
+    volcast_bench::dump_obs("ext_sensitivity");
 }

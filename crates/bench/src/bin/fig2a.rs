@@ -83,4 +83,5 @@ fn main() {
         mean(&s[..third]),
         mean(&s[s.len() - third..])
     );
+    volcast_bench::dump_obs("fig2a");
 }

@@ -83,4 +83,5 @@ fn main() {
     }
     println!("\npaper shape: PH(2) most similar, then HM(2)-100cm, then");
     println!("HM(2)-50cm; HM(3) least similar.");
+    volcast_bench::dump_obs("fig2b");
 }

@@ -59,4 +59,5 @@ fn main() {
         );
     }
     println!("\npaper anchors: 96.5% (1 user), 79% (2 users), 60% (3 users).");
+    volcast_bench::dump_obs("fig3b");
 }

@@ -78,4 +78,5 @@ fn main() {
     );
     println!("\npaper shape: customized curve shifted right of the default curve,");
     println!("with the largest gains in the weak-common-RSS regime.");
+    volcast_bench::dump_obs("fig3d");
 }

@@ -142,4 +142,5 @@ fn main() {
     println!("\npaper shape: default-beam multicast sometimes underperforms unicast");
     println!("(unbalanced RSS drags the common MCS down); customized beams restore");
     println!("and extend the multicast gain.");
+    volcast_bench::dump_obs("fig3e");
 }

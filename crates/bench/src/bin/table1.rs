@@ -99,4 +99,5 @@ fn main() {
     println!("Paper anchors: ac/1 user = 374 Mbps & 30 FPS everywhere;");
     println!("ad/1 user = 1270 Mbps; vanilla ad supports 3 users at 30 FPS (550K),");
     println!("ViVo stretches that to ~5; at 7 users vanilla high ~11 FPS, ViVo ~17.");
+    volcast_bench::dump_obs("table1");
 }

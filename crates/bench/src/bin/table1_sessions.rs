@@ -59,4 +59,5 @@ fn main() {
     println!("\nCross-check against `--bin table1` (analytic) and the paper:");
     println!("same 30-FPS crossovers, with session effects (buffers, per-frame");
     println!("scheduling) smoothing the sub-30 rows.");
+    volcast_bench::dump_obs("table1_sessions");
 }

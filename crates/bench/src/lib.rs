@@ -17,6 +17,8 @@
 #![warn(missing_docs)]
 
 use volcast_mmwave::{Channel, Codebook};
+use volcast_util::json::ToJson;
+use volcast_util::obs;
 use volcast_viewport::UserStudy;
 
 /// The standard experiment context used by all figure binaries: the
@@ -46,6 +48,30 @@ impl Context {
             frames,
         }
     }
+}
+
+/// Dumps the deterministic observability snapshot to
+/// `results/obs_<name>.json` when tracing is on; a no-op otherwise.
+///
+/// Every figure binary calls this last, so running any experiment under
+/// `VOLCAST_TRACE=1` leaves a machine-readable record of what the run did
+/// (frames simulated, cells encoded, sweeps performed, ...). Only the
+/// [`obs::MetricsSnapshot::deterministic`] projection is written — the
+/// file is byte-identical across `VOLCAST_THREADS` settings, so CI can
+/// diff it against a committed copy. The output directory is the
+/// workspace `results/` (anchored via `CARGO_MANIFEST_DIR`, as cargo runs
+/// binaries from the package dir); set `VOLCAST_OBS_DIR` to redirect,
+/// e.g. to regenerate into a temp dir for comparison.
+pub fn dump_obs(name: &str) {
+    if !obs::enabled() {
+        return;
+    }
+    let dir = std::env::var("VOLCAST_OBS_DIR")
+        .unwrap_or_else(|_| format!("{}/../../results", env!("CARGO_MANIFEST_DIR")));
+    let path = format!("{dir}/obs_{name}.json");
+    let json = obs::snapshot().deterministic().to_json().to_json_string();
+    std::fs::write(&path, json + "\n").unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    eprintln!("# obs snapshot written to {path}");
 }
 
 /// Empirical CDF: returns sorted samples paired with cumulative fractions.

@@ -1,4 +1,12 @@
 //! Quality-of-experience accounting.
+//!
+//! ## Empty-input contract
+//!
+//! Every aggregate is total and finite: an empty session (zero frames,
+//! zero users, or zero duration) must never poison downstream `results/`
+//! files with NaN. Ratios and means over nothing return `0.0`; the Jain
+//! fairness index over nothing returns `1.0` (vacuously fair). The
+//! `empty_session_aggregates_are_finite` test pins this contract.
 
 use volcast_pointcloud::QualityLevel;
 
@@ -51,7 +59,8 @@ impl UserQoe {
         self.frames_on_time + self.frames_stalled
     }
 
-    /// Fraction of frames that stalled.
+    /// Fraction of frames that stalled; `0.0` when no frames were
+    /// recorded (never NaN).
     pub fn stall_ratio(&self) -> f64 {
         if self.frames() == 0 {
             0.0
@@ -60,7 +69,8 @@ impl UserQoe {
         }
     }
 
-    /// Mean quality as a 0..=2 score (Low=0, Medium=1, High=2).
+    /// Mean quality as a 0..=2 score (Low=0, Medium=1, High=2); `0.0`
+    /// when no frames were recorded.
     pub fn mean_quality_score(&self) -> f64 {
         if self.qualities.is_empty() {
             return 0.0;
@@ -77,7 +87,8 @@ impl UserQoe {
         sum as f64 / self.qualities.len() as f64
     }
 
-    /// Effective frame rate over a session of `duration_s` seconds.
+    /// Effective frame rate over a session of `duration_s` seconds;
+    /// `0.0` for a zero or negative duration (never infinite or NaN).
     pub fn effective_fps(&self, duration_s: f64) -> f64 {
         if duration_s <= 0.0 {
             0.0
@@ -105,7 +116,7 @@ impl QoeReport {
         }
     }
 
-    /// Mean stall ratio across users.
+    /// Mean stall ratio across users; `0.0` for a report with no users.
     pub fn mean_stall_ratio(&self) -> f64 {
         if self.users.is_empty() {
             return 0.0;
@@ -113,7 +124,7 @@ impl QoeReport {
         self.users.iter().map(|u| u.stall_ratio()).sum::<f64>() / self.users.len() as f64
     }
 
-    /// Mean quality score across users.
+    /// Mean quality score across users; `0.0` for a report with no users.
     pub fn mean_quality_score(&self) -> f64 {
         if self.users.is_empty() {
             return 0.0;
@@ -125,7 +136,8 @@ impl QoeReport {
             / self.users.len() as f64
     }
 
-    /// Mean effective FPS across users.
+    /// Mean effective FPS across users; `0.0` for a report with no users
+    /// or a zero-duration session.
     pub fn mean_fps(&self) -> f64 {
         if self.users.is_empty() {
             return 0.0;
@@ -137,7 +149,8 @@ impl QoeReport {
             / self.users.len() as f64
     }
 
-    /// Jain's fairness index over per-user effective FPS.
+    /// Jain's fairness index over per-user effective FPS; `1.0`
+    /// (vacuously fair) when there are no users or all rates are zero.
     pub fn fps_fairness(&self) -> f64 {
         let rates: Vec<f64> = self
             .users
@@ -213,6 +226,37 @@ mod tests {
         assert!((r.mean_stall_ratio() - 0.5).abs() < 1e-12);
         assert!((r.mean_quality_score() - 1.0).abs() < 1e-12);
         assert!((r.mean_fps() - 0.5).abs() < 1e-12);
+    }
+
+    /// Pins the module-level empty-input contract: an empty session must
+    /// yield finite (zero-division-free) aggregates, because these feed
+    /// the `results/*.txt` files verbatim.
+    #[test]
+    fn empty_session_aggregates_are_finite() {
+        // No users at all.
+        let empty = QoeReport::new(0);
+        assert_eq!(empty.mean_stall_ratio(), 0.0);
+        assert_eq!(empty.mean_quality_score(), 0.0);
+        assert_eq!(empty.mean_fps(), 0.0);
+        assert_eq!(empty.fps_fairness(), 1.0);
+
+        // Users present but zero frames and zero duration.
+        let idle = QoeReport::new(3);
+        assert_eq!(idle.mean_stall_ratio(), 0.0);
+        assert_eq!(idle.mean_quality_score(), 0.0);
+        assert_eq!(idle.mean_fps(), 0.0);
+        assert_eq!(idle.fps_fairness(), 1.0);
+        let u = &idle.users[0];
+        assert_eq!(u.stall_ratio(), 0.0);
+        assert_eq!(u.mean_quality_score(), 0.0);
+        assert_eq!(u.effective_fps(0.0), 0.0);
+        assert_eq!(u.effective_fps(-1.0), 0.0);
+
+        // Frames recorded but duration never set: fps paths stay finite.
+        let mut r = QoeReport::new(1);
+        r.users[0].record_frame(true, 0.0, QualityLevel::High);
+        assert!(r.mean_fps().is_finite());
+        assert!(r.fps_fairness().is_finite());
     }
 
     #[test]

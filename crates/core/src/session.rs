@@ -34,7 +34,7 @@ use volcast_net::{
     Wifi5Channel,
 };
 use volcast_pointcloud::{CellGrid, DecodeModel, QualityLevel, VideoSequence};
-use volcast_util::par;
+use volcast_util::{obs, par};
 use volcast_viewport::{
     size_index, BlockageForecaster, DeviceClass, JointPredictor, Trace, TraceGenerator,
     VisibilityComputer, VisibilityOptions,
@@ -226,6 +226,8 @@ impl StreamingSession {
         let mut all_plans: Vec<TransmissionPlan> = Vec::with_capacity(self.params.frames);
 
         for f in 0..self.params.frames {
+            let _frame_span = obs::span("session.frame");
+            obs::inc("session.frames");
             // --- 1. observe current poses ------------------------------
             let poses: Vec<_> = (0..n).map(|u| self.traces[u].pose(f)).collect();
             joint.observe_frame(&poses);
@@ -283,7 +285,9 @@ impl StreamingSession {
                             .any(|&w| forecaster.is_blocked(poses[u].position, w)))
                 })
                 .collect();
-            blocked_user_frames += blocked_now.iter().filter(|&&b| b).count();
+            let blocked_count = blocked_now.iter().filter(|&&b| b).count();
+            blocked_user_frames += blocked_count;
+            obs::add("session.blocked_user_frames", blocked_count as u64);
 
             // Mitigation: charge a beam-switch outage on the clear->blocked
             // transition, sized by the mode (full reactive sweep vs the
@@ -304,9 +308,11 @@ impl StreamingSession {
                     match self.params.mitigation {
                         MitigationMode::Proactive => {
                             extra_prefetch[u] = mitigator.prefetch_frames;
+                            obs::add("session.prefetch_frames", mitigator.prefetch_frames as u64);
                         }
                         MitigationMode::Reactive => {
                             wasted_tx[u] = true;
+                            obs::inc("session.wasted_tx");
                         }
                     }
                 }
@@ -612,6 +618,8 @@ impl StreamingSession {
                                 g.multicast_rate_mbps,
                             ));
                             multicast_bytes += shared_bytes;
+                            obs::add("session.multicast_bytes", shared_bytes.max(0.0) as u64);
+                            obs::record("session.group_size", g.members.len() as u64);
                         }
 
                         for &u in &g.members {
@@ -644,6 +652,17 @@ impl StreamingSession {
 
             // --- 7. execute + account ----------------------------------
             let timing = plan.execute(&mac, n, n);
+            if obs::enabled() {
+                obs::add("session.scheduled_items", plan.items.len() as u64);
+                obs::add("session.planned_bytes", plan.total_bytes().max(0.0) as u64);
+                obs::add(
+                    "session.unserved_user_frames",
+                    unserved.iter().filter(|&&b| b).count() as u64,
+                );
+                if timing.total_s.is_finite() {
+                    obs::record("session.frame_airtime_us", (timing.total_s * 1e6) as u64);
+                }
+            }
             all_plans.push(plan.clone());
             total_bytes += plan.total_bytes();
             frame_time_sum += if timing.total_s.is_finite() {
@@ -712,6 +731,13 @@ impl StreamingSession {
                     }
                 };
                 qoe.users[u].record_frame(on_time, stall_s, q_u);
+                if obs::enabled() {
+                    if !on_time {
+                        obs::inc("session.stalls");
+                        obs::record("session.stall_us", (stall_s * 1e6) as u64);
+                    }
+                    obs::gauge("session.buffer_frames_peak", buffers[u]);
+                }
 
                 // Feed the adapter's cross-layer predictor with this user's
                 // *delivery rate* (bytes over the airtime actually spent on

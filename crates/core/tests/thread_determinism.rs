@@ -78,3 +78,28 @@ fn iou_sweep_is_thread_count_invariant() {
 fn session_outcome_is_thread_count_invariant() {
     assert_thread_invariant(session_json);
 }
+
+/// The observability layer must not weaken the contract: with tracing on,
+/// the *metrics* a session emits (counters, histogram shapes, span
+/// counts — everything `MetricsSnapshot::deterministic` keeps) are also
+/// byte-identical at 1 and 4 workers. Per-thread sinks merge at the
+/// `par_map` join, so totals cannot depend on how work was sharded.
+#[test]
+fn obs_snapshot_is_thread_count_invariant() {
+    use volcast_util::obs;
+    let was_enabled = obs::enabled();
+    obs::set_enabled(true);
+    assert_thread_invariant(|| {
+        obs::reset();
+        let mut s = quick_session_with_device(PlayerKind::Volcast, 4, 12, 42, DeviceClass::Phone);
+        s.params.analysis_points = 4_000;
+        let _ = s.run();
+        let snap = obs::snapshot().deterministic();
+        assert!(
+            !snap.counters.is_empty(),
+            "tracing enabled but session emitted no counters"
+        );
+        snap.to_json().to_json_string()
+    });
+    obs::set_enabled(was_enabled);
+}

@@ -10,6 +10,7 @@
 use crate::channel::{Blocker, Channel};
 use crate::codebook::Codebook;
 use volcast_geom::Vec3;
+use volcast_util::obs;
 
 /// Result of one sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,6 +74,8 @@ impl BeamSearch {
         sectors: &[usize],
     ) -> SweepResult {
         assert!(!sectors.is_empty(), "cannot sweep zero sectors");
+        obs::inc("mmwave.beamsearch.sweeps");
+        obs::add("mmwave.beamsearch.sectors_probed", sectors.len() as u64);
         let mut best = SweepResult {
             sector: sectors[0],
             rss_dbm: f64::NEG_INFINITY,

@@ -20,7 +20,7 @@ use crate::codebook::Codebook;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 use volcast_geom::Vec3;
-use volcast_util::par;
+use volcast_util::{obs, par};
 
 /// The paper's two-user combination: `w = (Δ2·w1 + Δ1·w2)/(Δ1+Δ2)`,
 /// normalized to unit transmit power. `rss1`/`rss2` are linear powers
@@ -132,11 +132,18 @@ impl<'a> MultiLobeDesigner<'a> {
     /// Propagation paths to `rx`, memoized per position.
     fn cached_paths(&self, rx: Vec3) -> Arc<Vec<Path>> {
         let key = [rx.x.to_bits(), rx.y.to_bits(), rx.z.to_bits()];
+        // The lock is held across the compute, so each unique position is
+        // enumerated exactly once — which also makes the hit/miss counters
+        // below independent of the worker budget.
         let mut cache = self.path_cache.lock().unwrap();
-        cache
-            .entry(key)
-            .or_insert_with(|| Arc::new(self.channel.paths(rx)))
-            .clone()
+        if let Some(paths) = cache.get(&key) {
+            obs::inc("mmwave.designer.path_cache_hits");
+            return paths.clone();
+        }
+        obs::inc("mmwave.designer.path_cache_misses");
+        let paths = Arc::new(self.channel.paths(rx));
+        cache.insert(key, paths.clone());
+        paths
     }
 
     /// One member prepared for codebook sweeps: memoized paths, blockage
@@ -151,6 +158,11 @@ impl<'a> MultiLobeDesigner<'a> {
     /// the strict `>` keeps the first-best sector exactly as the serial
     /// sweep did.
     fn best_sector_prepared(&self, prepared: &[PreparedRx]) -> (usize, Vec<f64>) {
+        obs::inc("mmwave.designer.sweeps");
+        obs::add(
+            "mmwave.designer.sectors_swept",
+            self.codebook.sectors.len() as u64,
+        );
         let per_sector: Vec<Vec<f64>> = par::par_map(&self.codebook.sectors, |sector| {
             prepared.iter().map(|p| p.rss_dbm(sector)).collect()
         });
@@ -207,6 +219,8 @@ impl<'a> MultiLobeDesigner<'a> {
     /// sector, customized multi-lobe beam) yields the higher common RSS.
     pub fn design(&self, members: &[Vec3], blockers: &[Blocker]) -> GroupBeam {
         assert!(!members.is_empty());
+        let _span = obs::span("mmwave.designer.design");
+        obs::inc("mmwave.designer.designs");
         let prepared: Vec<PreparedRx> = members
             .iter()
             .map(|&m| self.prepare_member(m, blockers))
@@ -227,6 +241,7 @@ impl<'a> MultiLobeDesigner<'a> {
         let custom_min = custom_rss.iter().copied().fold(f64::INFINITY, f64::min);
 
         if custom_min > default_min {
+            obs::inc("mmwave.designer.customized");
             GroupBeam {
                 weights: custom,
                 member_rss_dbm: custom_rss,

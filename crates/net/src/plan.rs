@@ -9,6 +9,7 @@
 //! switching overhead.
 
 use crate::mac::MacModel;
+use volcast_util::obs;
 
 /// Who a transmission item is for.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -120,8 +121,26 @@ impl TransmissionPlan {
         let mut item_completion_s = Vec::with_capacity(self.items.len());
         let mut user_completion_s = vec![None; n_users];
         for item in &self.items {
+            let air = mac.airtime_s(item.bytes, item.phy_mbps, n_active);
+            if obs::enabled() {
+                match &item.kind {
+                    TxKind::Multicast { .. } => {
+                        obs::inc("net.plan.multicast_items");
+                        obs::add("net.plan.multicast_bytes", item.bytes.max(0.0) as u64);
+                    }
+                    TxKind::Unicast { .. } => obs::inc("net.plan.unicast_items"),
+                }
+                if air.is_finite() {
+                    obs::record("net.plan.airtime_us", (air * 1e6).round() as u64);
+                } else {
+                    obs::inc("net.plan.outage_items");
+                }
+                if item.beam_switch_s > 0.0 {
+                    obs::inc("net.plan.beam_switches");
+                }
+            }
             t += item.beam_switch_s;
-            t += mac.airtime_s(item.bytes, item.phy_mbps, n_active);
+            t += air;
             item_completion_s.push(t);
             for u in item.receivers() {
                 if u < n_users {

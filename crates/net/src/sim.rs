@@ -18,6 +18,7 @@ use crate::mac::MacModel;
 use crate::plan::TransmissionPlan;
 use crate::queue::EventQueue;
 use crate::time::SimTime;
+use volcast_util::obs;
 
 /// What happens to unfinished items at a frame boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,12 +126,15 @@ impl<'a, M: MacModel> Simulator<'a, M> {
         while let Some((now, event)) = queue.pop() {
             match event {
                 Event::FrameStart(f) => {
+                    obs::inc("net.sim.frames");
+                    obs::record("net.sim.queue_depth", pending.len() as u64);
                     if self.policy == BacklogPolicy::Drop {
                         // Abandon unfinished items of older frames (the one
                         // on the air completes; preemption is not modeled).
                         let before = pending.len();
                         pending.retain(|item| item.frame >= f);
                         let dropped = before - pending.len();
+                        obs::add("net.sim.dropped_items", dropped as u64);
                         if dropped > 0 {
                             // Attribution is approximate: count the drops
                             // against the newest stale frame.
@@ -142,6 +146,7 @@ impl<'a, M: MacModel> Simulator<'a, M> {
                             + self.mac.airtime_s(item.bytes, item.phy_mbps, self.n_active);
                         if !airtime_s.is_finite() {
                             outcomes[f].dropped_items += 1;
+                            obs::inc("net.sim.dropped_items");
                             continue;
                         }
                         pending.push(QueuedItem {

@@ -35,6 +35,10 @@ pub fn encode_cells(cloud: &PointCloud, grid: &CellGrid, cfg: &CodecConfig) -> V
     volcast_util::par::par_map(&grid.partition(cloud), |info| {
         let sub = grid.extract(cloud, info);
         let (data, stats) = encode(&sub, cfg);
+        // Recorded inside the worker: per-thread sinks merge at the
+        // par_map join, so totals match the serial run exactly.
+        volcast_util::obs::inc("codec.cells_encoded");
+        volcast_util::obs::record("codec.cell_bytes", stats.bytes as u64);
         EncodedCell {
             id: info.id,
             data,

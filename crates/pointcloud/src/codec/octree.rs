@@ -6,6 +6,7 @@
 use super::range::{BitModel, RangeDecoder, RangeEncoder};
 use crate::point::{Point, PointCloud};
 use volcast_geom::{Aabb, Vec3};
+use volcast_util::obs;
 
 /// Codec parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -212,6 +213,12 @@ pub fn encode(cloud: &PointCloud, cfg: &CodecConfig) -> (EncodedCloud, CodecStat
             data.len() as f64 * 8.0 / cloud.len() as f64
         },
     };
+    if obs::enabled() {
+        obs::inc("codec.clouds_encoded");
+        obs::add("codec.input_points", stats.input_points as u64);
+        obs::add("codec.voxels", stats.voxels as u64);
+        obs::add("codec.bytes", stats.bytes as u64);
+    }
     (EncodedCloud { data }, stats)
 }
 
@@ -317,6 +324,7 @@ pub fn decode(encoded: &EncodedCloud) -> Result<PointCloud, CodecError> {
             [dequant(r), dequant(g), dequant(b)],
         ));
     }
+    obs::inc("codec.clouds_decoded");
     Ok(PointCloud::from_points(points))
 }
 

@@ -24,6 +24,10 @@
 //! - [`par`] — a scoped-thread data-parallel substrate standing in for
 //!   `rayon` (`par_map` / `par_map_indexed` / `chunked`), sized by
 //!   `VOLCAST_THREADS` and bit-for-bit deterministic across thread counts.
+//! - [`obs`] — an observability layer (counters, gauges, log-scale
+//!   histograms, wall-clock spans) gated by `VOLCAST_TRACE`, with
+//!   per-thread sinks that merge deterministically at [`par`] join and a
+//!   JSON-exportable [`obs::MetricsSnapshot`].
 //!
 //! ## Determinism guarantees
 //!
@@ -59,6 +63,7 @@
 #![allow(clippy::test_attr_in_doctest)]
 
 pub mod json;
+pub mod obs;
 pub mod par;
 pub mod prop;
 pub mod rng;

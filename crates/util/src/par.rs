@@ -41,6 +41,11 @@
 //! Nested parallel regions do not oversubscribe: a `par_map` issued from
 //! inside a worker runs serially on that worker.
 //!
+//! Because workers are scoped threads, their thread-local destructors run
+//! before the region's `join()` returns — [`crate::obs`] relies on this
+//! to flush each worker's metric sink into the global registry by the
+//! time `par_map` hands results back to the caller.
+//!
 //! ```
 //! use volcast_util::par;
 //!

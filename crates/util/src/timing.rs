@@ -8,9 +8,9 @@
 //! timed samples — enough to rank kernels and spot regressions while
 //! staying dependency-free and fast.
 //!
-//! Environment knobs: `VOLCAST_BENCH_SAMPLES` (default 20 timed samples per
-//! benchmark) and `VOLCAST_BENCH_MIN_ITERS` (default 1; inner iterations
-//! per sample are auto-scaled so one sample takes at least ~5 ms).
+//! Environment knob: `VOLCAST_BENCH_SAMPLES` (default 20 timed samples per
+//! benchmark, clamped to at least 1). Inner iterations per sample are
+//! auto-scaled so one sample takes at least ~5 ms.
 //!
 //! ```
 //! use volcast_util::timing::Harness;
@@ -66,12 +66,14 @@ pub struct Harness {
 }
 
 impl Harness {
-    /// Creates a harness (reads `VOLCAST_BENCH_SAMPLES`).
+    /// Creates a harness (reads `VOLCAST_BENCH_SAMPLES`, clamped to at
+    /// least 1 — a zero-sample run has no summary to report).
     pub fn new() -> Self {
         let samples = std::env::var("VOLCAST_BENCH_SAMPLES")
             .ok()
             .and_then(|v| v.parse().ok())
-            .unwrap_or(20);
+            .unwrap_or(20usize)
+            .max(1);
         Harness {
             samples,
             records: Vec::new(),
@@ -108,17 +110,16 @@ impl Harness {
             b.iters *= 2;
         }
 
-        // Timed samples.
+        // Timed samples. `samples` was clamped to ≥ 1 in `new()` and
+        // `iters` starts at 1, so the summary below never divides by
+        // zero or indexes an empty vector.
         let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
             b.total = Duration::ZERO;
             f(&mut b);
-            per_iter.push(b.total.as_secs_f64() / b.iters as f64);
+            per_iter.push(b.total.as_secs_f64() / b.iters.max(1) as f64);
         }
-        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let min = per_iter[0];
-        let median = per_iter[per_iter.len() / 2];
-        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let (min, median, mean) = summarize(&mut per_iter);
         self.records.push(BenchRecord {
             name: name.to_string(),
             min_ns: min * 1e9,
@@ -136,6 +137,23 @@ impl Harness {
             self.samples,
         );
     }
+}
+
+/// Sorts samples and returns `(min, median, mean)`.
+///
+/// Uses [`f64::total_cmp`] so a NaN sample (conceivable if a benched
+/// closure misbehaves or the iteration count degenerates) sorts to the
+/// end instead of aborting the whole bench run, and returns all-zero for
+/// an empty slice instead of indexing out of bounds.
+fn summarize(per_iter: &mut [f64]) -> (f64, f64, f64) {
+    if per_iter.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    per_iter.sort_by(f64::total_cmp);
+    let min = per_iter[0];
+    let median = per_iter[per_iter.len() / 2];
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    (min, median, mean)
 }
 
 /// Formats seconds with an adaptive unit.
@@ -188,8 +206,13 @@ impl Bencher {
 mod tests {
     use super::*;
 
+    /// Serializes the tests that mutate `VOLCAST_BENCH_SAMPLES` (process
+    /// environment is shared across the test harness's threads).
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn harness_runs_and_reports() {
+        let _g = ENV_LOCK.lock().unwrap();
         std::env::set_var("VOLCAST_BENCH_SAMPLES", "2");
         let mut h = Harness::new();
         h.bench_function("noop", |b| b.iter(|| 1 + 1));
@@ -203,6 +226,32 @@ mod tests {
         assert!(json.starts_with('['));
         assert!(json.contains("\"name\":\"batched\""));
         assert!(json.contains("\"median_ns\":"));
+    }
+
+    /// Regression: a NaN sample used to abort the run via
+    /// `partial_cmp().unwrap()`; `total_cmp` sorts it to the end.
+    #[test]
+    fn summarize_tolerates_nan_samples() {
+        let mut samples = vec![3.0, f64::NAN, 1.0, 2.0];
+        let (min, median, _mean) = summarize(&mut samples);
+        assert_eq!(min, 1.0);
+        assert_eq!(median, 3.0);
+        // And an empty slice reports zeros instead of panicking.
+        assert_eq!(summarize(&mut []), (0.0, 0.0, 0.0));
+    }
+
+    /// Regression: `VOLCAST_BENCH_SAMPLES=0` used to index `per_iter[0]`
+    /// out of bounds; the sample count is now clamped to ≥ 1.
+    #[test]
+    fn zero_sample_env_is_clamped() {
+        let _g = ENV_LOCK.lock().unwrap();
+        std::env::set_var("VOLCAST_BENCH_SAMPLES", "0");
+        let mut h = Harness::new();
+        h.bench_function("clamped", |b| b.iter(|| 1 + 1));
+        std::env::remove_var("VOLCAST_BENCH_SAMPLES");
+        assert_eq!(h.records().len(), 1);
+        assert_eq!(h.records()[0].samples, 1);
+        assert!(h.records()[0].mean_ns.is_finite());
     }
 
     #[test]

@@ -89,7 +89,9 @@ impl JointPredictor {
     pub fn predict_frame(&self, horizon: usize) -> Option<Vec<Pose>> {
         let raw: Option<Vec<SixDof>> = self.bases.iter().map(|b| b.predict(horizon)).collect();
         let mut preds = raw?;
-        let current: Vec<SixDof> = self.last.iter().map(|l| l.unwrap()).collect();
+        // A user with no observed pose yet means "not enough history" —
+        // report None like the base-predictor path above, never panic.
+        let current: Vec<SixDof> = self.last.iter().copied().collect::<Option<Vec<_>>>()?;
 
         // 1. Proximity damping: pull conflicting predictions back toward
         //    the users' current positions.
@@ -262,6 +264,20 @@ mod tests {
             jp.observe_frame(&[pose_at(0.0, 0.0)]);
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn missing_last_pose_returns_none_instead_of_panicking() {
+        let mut jp = JointPredictor::new(2, 10, JointConfig::default());
+        feed_collision_course(&mut jp, 40);
+        assert!(jp.predict_frame(5).is_some());
+        // A user whose latest pose is missing (e.g. state restored from a
+        // partial snapshot) must surface as "no prediction yet", not a
+        // panic in the correction pass.
+        jp.last[0] = None;
+        assert!(jp.predict_frame(5).is_none());
+        // The naive path never consults `last` and still predicts.
+        assert!(jp.predict_frame_naive(5).is_some());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use volcast_geom::{CameraIntrinsics, Frustum, Pose, Ray, Vec3};
 use volcast_pointcloud::{CellGrid, CellId, CellInfo};
+use volcast_util::obs;
 
 /// The set of cells visible to one user at one frame, with per-cell fetch
 /// density factors in `(0, 1]`.
@@ -192,6 +193,16 @@ impl VisibilityComputer {
                 1.0
             };
             map.cells.insert(cell.id, lod);
+        }
+        if obs::enabled() {
+            // Recorded per compute call — often inside a par worker, where
+            // the per-thread sink merges back at the region's join.
+            obs::inc("viewport.visibility.maps");
+            obs::add("viewport.visibility.visible_cells", map.len() as u64);
+            obs::add(
+                "viewport.visibility.culled_cells",
+                (partition.len() - map.len()) as u64,
+            );
         }
         map
     }

@@ -14,4 +14,16 @@ set -eu
 export CARGO_NET_OFFLINE=true
 
 cd "$(dirname "$0")/.."
+
+# The scaling benches need >= 4 hardware threads for their _t4 records;
+# on smaller hosts the binary skips those records (a 4-worker run on a
+# 1-core box measures oversubscription, not scaling). Warn here too so the
+# skip is visible even if the bench output scrolls by.
+host_threads=$(nproc 2>/dev/null || echo 1)
+echo "host_threads=${host_threads}"
+if [ "${host_threads}" -lt 4 ]; then
+    echo "WARNING: host has ${host_threads} thread(s) < 4; _t4 bench records will be skipped." >&2
+    echo "WARNING: do not commit BENCH_*.json from this host over baselines that have _t4 rows." >&2
+fi
+
 cargo bench -p volcast-bench --bench microbench -- --json "$@"

@@ -24,12 +24,28 @@ VOLCAST_THREADS=1 cargo test --workspace -q
 echo "==> cargo test (VOLCAST_THREADS=4)"
 VOLCAST_THREADS=4 cargo test --workspace -q
 
+echo "==> cargo test (VOLCAST_TRACE=1: suite passes with tracing on)"
+VOLCAST_TRACE=1 cargo test --workspace -q
+
 echo "==> fig2a regenerates byte-identically at both thread counts"
 tmp_fig2a="$(mktemp)"
-trap 'rm -f "$tmp_fig2a"' EXIT
+tmp_obs="$(mktemp -d)"
+trap 'rm -rf "$tmp_fig2a" "$tmp_obs"' EXIT
 VOLCAST_THREADS=1 cargo run -q --release -p volcast-bench --bin fig2a > "$tmp_fig2a"
 diff results/fig2a.txt "$tmp_fig2a"
 VOLCAST_THREADS=4 cargo run -q --release -p volcast-bench --bin fig2a > "$tmp_fig2a"
 diff results/fig2a.txt "$tmp_fig2a"
+
+echo "==> fig2a obs snapshot matches the committed copy at both thread counts"
+# With tracing on, fig2a dumps its deterministic metrics snapshot; it must
+# be byte-identical to results/obs_fig2a.json regardless of the worker
+# count (VOLCAST_OBS_DIR redirects the dump so the committed file is the
+# untouched reference).
+VOLCAST_TRACE=1 VOLCAST_OBS_DIR="$tmp_obs" VOLCAST_THREADS=1 \
+    cargo run -q --release -p volcast-bench --bin fig2a > /dev/null
+diff results/obs_fig2a.json "$tmp_obs/obs_fig2a.json"
+VOLCAST_TRACE=1 VOLCAST_OBS_DIR="$tmp_obs" VOLCAST_THREADS=4 \
+    cargo run -q --release -p volcast-bench --bin fig2a > /dev/null
+diff results/obs_fig2a.json "$tmp_obs/obs_fig2a.json"
 
 echo "verify: all checks passed"
