@@ -213,6 +213,28 @@ impl StreamingSession {
         let mut buffers = vec![2.0f64; n]; // frames of startup buffer
         let mut blocked_prev = vec![false; n];
 
+        // Double-buffered / reusable per-frame state: allocated once here,
+        // cleared (never freed) every frame, so the steady-state loop does
+        // not churn the allocator. `blocked_prev`/`blocked_now` swap roles
+        // at the end of each frame's quality decisions.
+        let mut poses: Vec<volcast_geom::Pose> = Vec::with_capacity(n);
+        let mut planning_poses: Vec<volcast_geom::Pose> = Vec::with_capacity(n);
+        let mut walker_pos: Vec<volcast_geom::Vec3> = Vec::with_capacity(self.walkers.len());
+        let mut all_blockers: Vec<Blocker> = Vec::new();
+        let mut blocked_now: Vec<bool> = Vec::with_capacity(n);
+        let mut beam_outage = vec![0.0f64; n];
+        let mut extra_prefetch = vec![0usize; n];
+        let mut wasted_tx = vec![false; n];
+        let mut unicast_phy: Vec<f64> = Vec::with_capacity(n);
+        let mut unit_sizes: Vec<f64> = Vec::new();
+        let mut needed_fraction: Vec<f64> = Vec::with_capacity(n);
+        let mut qualities: Vec<QualityLevel> = Vec::with_capacity(n);
+        let mut effective_quality: Vec<QualityLevel> = Vec::with_capacity(n);
+        let mut unserved = vec![false; n];
+        let mut needed_bytes = vec![0.0f64; n];
+        let mut outage_pending: Vec<f64> = Vec::with_capacity(n);
+        let mut analysis_cloud = volcast_pointcloud::PointCloud::new();
+
         let mut total_bytes = 0.0f64;
         let mut multicast_bytes = 0.0f64;
         let mut frame_time_sum = 0.0f64;
@@ -229,21 +251,23 @@ impl StreamingSession {
             let _frame_span = obs::span("session.frame");
             obs::inc("session.frames");
             // --- 1. observe current poses ------------------------------
-            let poses: Vec<_> = (0..n).map(|u| self.traces[u].pose(f)).collect();
+            poses.clear();
+            poses.extend((0..n).map(|u| self.traces[u].pose(f)));
             joint.observe_frame(&poses);
 
             // Bodies of the *other* users and of ambient walkers block
             // each link. Blocker list layout: users first, then walkers.
-            let walker_pos: Vec<_> = self.walkers.iter().map(|w| w.pose(f).position).collect();
-            let all_blockers: Vec<Blocker> = if self.params.body_blockage {
-                poses
-                    .iter()
-                    .map(|p| Blocker::person(p.position))
-                    .chain(walker_pos.iter().map(|&p| Blocker::person(p)))
-                    .collect()
-            } else {
-                Vec::new()
-            };
+            walker_pos.clear();
+            walker_pos.extend(self.walkers.iter().map(|w| w.pose(f).position));
+            all_blockers.clear();
+            if self.params.body_blockage {
+                all_blockers.extend(
+                    poses
+                        .iter()
+                        .map(|p| Blocker::person(p.position))
+                        .chain(walker_pos.iter().map(|&p| Blocker::person(p))),
+                );
+            }
             let blockers_excl = |u: usize| -> Vec<Blocker> {
                 all_blockers
                     .iter()
@@ -254,37 +278,36 @@ impl StreamingSession {
             };
 
             // --- 2. prediction + blockage handling ----------------------
-            let planning_poses = if self.params.use_prediction {
-                match joint.predict_frame(cfg.prediction_horizon) {
-                    Some(pred) => {
-                        let future = f + cfg.prediction_horizon;
-                        if future < self.params.frames {
-                            for (u, p) in pred.iter().enumerate() {
-                                let truth = self.traces[u].pose(future);
-                                pred_err_sum += (p.position - truth.position).norm();
-                                pred_err_count += 1;
-                            }
-                        }
-                        pred
+            // Planning poses double-buffer: either this frame's joint
+            // prediction or (fallback) a copy of the observed poses, built
+            // in place — the old per-frame `poses.clone()` is gone.
+            let have_prediction = self.params.use_prediction
+                && joint.predict_frame_into(cfg.prediction_horizon, &mut planning_poses);
+            if have_prediction {
+                let future = f + cfg.prediction_horizon;
+                if future < self.params.frames {
+                    for (u, p) in planning_poses.iter().enumerate() {
+                        let truth = self.traces[u].pose(future);
+                        pred_err_sum += (p.position - truth.position).norm();
+                        pred_err_count += 1;
                     }
-                    None => poses.clone(),
                 }
             } else {
-                poses.clone()
-            };
+                planning_poses.clear();
+                planning_poses.extend_from_slice(&poses);
+            }
 
             // Which users' LoS is blocked *right now* by another body
             // (co-viewers or ambient walkers).
-            let blocked_now: Vec<bool> = (0..n)
-                .map(|u| {
-                    self.params.body_blockage
-                        && ((0..n).any(|v| {
-                            v != u && forecaster.is_blocked(poses[u].position, poses[v].position)
-                        }) || walker_pos
-                            .iter()
-                            .any(|&w| forecaster.is_blocked(poses[u].position, w)))
-                })
-                .collect();
+            blocked_now.clear();
+            blocked_now.extend((0..n).map(|u| {
+                self.params.body_blockage
+                    && ((0..n).any(|v| {
+                        v != u && forecaster.is_blocked(poses[u].position, poses[v].position)
+                    }) || walker_pos
+                        .iter()
+                        .any(|&w| forecaster.is_blocked(poses[u].position, w)))
+            }));
             let blocked_count = blocked_now.iter().filter(|&&b| b).count();
             blocked_user_frames += blocked_count;
             obs::add("session.blocked_user_frames", blocked_count as u64);
@@ -293,12 +316,12 @@ impl StreamingSession {
             // transition, sized by the mode (full reactive sweep vs the
             // small proactive switch). Proactive mode also prefetched ahead
             // of the onset; model that as a buffer bonus at the transition.
-            let mut beam_outage = vec![0.0f64; n];
-            let mut extra_prefetch = vec![0usize; n];
+            beam_outage.fill(0.0);
+            extra_prefetch.fill(0);
             // Reactive systems detect a blockage by failing: the victim's
             // burst goes out on the stale beam at the old MCS and is lost,
             // wasting that airtime before the re-search even starts.
-            let mut wasted_tx = vec![false; n];
+            wasted_tx.fill(false);
             for u in 0..n {
                 if is_wifi5 {
                     break; // no beams at 5 GHz: nothing to switch or waste
@@ -360,17 +383,17 @@ impl StreamingSession {
                     }
                 }
             });
-            let blocked_prev_abr = blocked_prev.clone();
-            blocked_prev = blocked_now.clone();
-
             let mcs_table = if is_wifi5 { &self.vht } else { &self.mcs };
-            let unicast_phy: Vec<f64> = rss.iter().map(|&r| mcs_table.phy_rate_mbps(r)).collect();
+            unicast_phy.clear();
+            unicast_phy.extend(rss.iter().map(|&r| mcs_table.phy_rate_mbps(r)));
 
             // --- 3. visibility maps ------------------------------------
-            let cloud = self
-                .video
-                .frame_with_density(f as u64, self.params.analysis_points);
-            let partition = grid.partition(&cloud);
+            self.video.frame_with_density_into(
+                f as u64,
+                self.params.analysis_points,
+                &mut analysis_cloud,
+            );
+            let partition = grid.partition(&analysis_cloud);
             // Per-user maps are independent; the fan-out is the frame
             // step's biggest cost at scale (one frustum + occlusion pass
             // per user over the whole partition).
@@ -388,26 +411,27 @@ impl StreamingSession {
             // --- 4. quality decisions ----------------------------------
             // Unit (analysis-density) sizes: one per partition cell, plus
             // the id-keyed index shared by every per-user byte query below.
-            let unit_sizes: Vec<f64> = partition.iter().map(|c| c.point_count as f64).collect();
+            unit_sizes.clear();
+            unit_sizes.extend(partition.iter().map(|c| c.point_count as f64));
             let unit_index = size_index(&partition, &unit_sizes);
             let total_points: f64 = unit_sizes.iter().sum();
-            let needed_fraction: Vec<f64> = (0..n)
-                .map(|u| match self.params.player {
-                    PlayerKind::Vanilla => 1.0,
-                    _ => {
-                        if total_points <= 0.0 {
-                            1.0
-                        } else {
-                            maps[u].required_bytes_indexed(&unit_index) / total_points
-                        }
+            needed_fraction.clear();
+            needed_fraction.extend((0..n).map(|u| match self.params.player {
+                PlayerKind::Vanilla => 1.0,
+                _ => {
+                    if total_points <= 0.0 {
+                        1.0
+                    } else {
+                        maps[u].required_bytes_indexed(&unit_index) / total_points
                     }
-                })
-                .collect();
+                }
+            }));
 
-            let qualities: Vec<QualityLevel> = match self.params.fixed_quality {
-                Some(q) => vec![q; n],
-                None => (0..n)
-                    .map(|u| {
+            qualities.clear();
+            match self.params.fixed_quality {
+                Some(q) => qualities.extend(std::iter::repeat_n(q, n)),
+                None => {
+                    for u in 0..n {
                         let inputs = CrossLayerInputs {
                             measured_throughput_mbps: 0.0,
                             buffer_frames: buffers[u],
@@ -415,7 +439,7 @@ impl StreamingSession {
                                 MitigationMode::Proactive => blocked_now[u],
                                 // Reactive ABRs only see the collapse after
                                 // it has already cost them a frame.
-                                MitigationMode::Reactive => blocked_prev_abr[u],
+                                MitigationMode::Reactive => blocked_prev[u],
                             },
                             predicted_phy_rate_mbps: adapter.predictors[u]
                                 .link
@@ -423,12 +447,18 @@ impl StreamingSession {
                                 .map_or(unicast_phy[u], |r| mcs_table.phy_rate_mbps(r)),
                             current_phy_rate_mbps: unicast_phy[u],
                         };
-                        adapter
-                            .decide(u, &inputs, 1.0 / n as f64, needed_fraction[u])
-                            .quality
-                    })
-                    .collect(),
-            };
+                        qualities.push(
+                            adapter
+                                .decide(u, &inputs, 1.0 / n as f64, needed_fraction[u])
+                                .quality,
+                        );
+                    }
+                }
+            }
+            // Quality decisions were the last reader of both blockage
+            // buffers; roll them forward (this frame's `blocked_now`
+            // becomes next frame's `blocked_prev`) without cloning.
+            std::mem::swap(&mut blocked_prev, &mut blocked_now);
 
             // --- 5. per-user byte requirements --------------------------
             let scale_for = |q: QualityLevel| -> f64 {
@@ -443,11 +473,12 @@ impl StreamingSession {
             let planning_quality = qualities.iter().copied().min().unwrap_or(QualityLevel::Low);
             // Effective per-user quality actually delivered this frame
             // (grouped volcast users may be pulled down to group quality).
-            let mut effective_quality = qualities.clone();
+            effective_quality.clear();
+            effective_quality.extend_from_slice(&qualities);
             // Users the scheduler could not serve this frame (outage).
-            let mut unserved = vec![false; n];
+            unserved.fill(false);
             // Zero-need users are trivially served.
-            let mut needed_bytes = vec![0.0f64; n];
+            needed_bytes.fill(0.0);
 
             // --- 6. plan: groups + beams --------------------------------
             // Admission control: the scheduler never admits a burst whose
@@ -552,7 +583,8 @@ impl StreamingSession {
                         .iter()
                         .map(|m| m.required_bytes_indexed(&unit_index))
                         .collect();
-                    let mut outage_pending = beam_outage.clone();
+                    outage_pending.clear();
+                    outage_pending.extend_from_slice(&beam_outage);
                     for g in &gp.groups {
                         // Shared cells are encoded at the group's minimum
                         // member quality; singletons keep their own.
@@ -663,7 +695,6 @@ impl StreamingSession {
                     obs::record("session.frame_airtime_us", (timing.total_s * 1e6) as u64);
                 }
             }
-            all_plans.push(plan.clone());
             total_bytes += plan.total_bytes();
             frame_time_sum += if timing.total_s.is_finite() {
                 timing.total_s
@@ -755,6 +786,9 @@ impl StreamingSession {
                 };
                 adapter.observe(u, tput, rss[u]);
             }
+            // The plan's last reader was the accounting loop above; hand it
+            // to the replay log by move instead of the former clone.
+            all_plans.push(plan);
         }
 
         qoe.duration_s = self.params.frames as f64 * interval;

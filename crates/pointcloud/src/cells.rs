@@ -108,12 +108,18 @@ impl CellGrid {
 
     /// Extracts the sub-cloud for one cell from a partition entry.
     pub fn extract(&self, cloud: &PointCloud, info: &CellInfo) -> PointCloud {
-        PointCloud::from_points(
-            info.point_indices
-                .iter()
-                .map(|&i| cloud.points[i as usize])
-                .collect(),
-        )
+        let mut out = PointCloud::new();
+        self.extract_into(cloud, info, &mut out);
+        out
+    }
+
+    /// Extracts one cell's sub-cloud into `out` (cleared first), reusing
+    /// its allocation across cells/frames.
+    pub fn extract_into(&self, cloud: &PointCloud, info: &CellInfo, out: &mut PointCloud) {
+        out.points.clear();
+        out.points.reserve(info.point_indices.len());
+        out.points
+            .extend(info.point_indices.iter().map(|&i| cloud.points[i as usize]));
     }
 }
 

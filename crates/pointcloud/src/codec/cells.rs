@@ -12,8 +12,11 @@
 //! whole-frame encoding — the realistic price of random access.
 
 use crate::cells::{CellGrid, CellId};
-use crate::codec::octree::{decode, encode, CodecConfig, CodecError, CodecStats, EncodedCloud};
+use crate::codec::octree::{
+    encode, CodecConfig, CodecError, CodecStats, Decoder, EncodedCloud, Encoder,
+};
 use crate::point::PointCloud;
+use volcast_util::scratch::Pool;
 
 /// One independently decodable cell bitstream.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,17 +50,62 @@ pub fn encode_cells(cloud: &PointCloud, grid: &CellGrid, cfg: &CodecConfig) -> V
     })
 }
 
+/// Reusable serial variant of [`encode_cells`] for frame pipelines.
+///
+/// The caller owns all working memory: the codec `Encoder`, a sub-cloud
+/// scratch, a [`Pool`] the cell bitstreams are drawn from, and the output
+/// vector. Bitstreams are byte-identical to [`encode_cells`] and arrive in
+/// the same cell-id order. Retire each cell's buffer back to the pool once
+/// transmitted (`pool.put(cell.data.data)`) and the per-cell byte buffers
+/// stop allocating after the first frame. (The partition itself still
+/// allocates its index lists.)
+pub fn encode_cells_into(
+    cloud: &PointCloud,
+    grid: &CellGrid,
+    cfg: &CodecConfig,
+    enc: &mut Encoder,
+    sub: &mut PointCloud,
+    pool: &mut Pool<u8>,
+    out: &mut Vec<EncodedCell>,
+) {
+    out.clear();
+    for info in &grid.partition(cloud) {
+        grid.extract_into(cloud, info, sub);
+        let mut data = pool.take();
+        let stats = enc.encode_into(sub, cfg, &mut data);
+        volcast_util::obs::inc("codec.cells_encoded");
+        volcast_util::obs::record("codec.cell_bytes", stats.bytes as u64);
+        out.push(EncodedCell {
+            id: info.id,
+            data: EncodedCloud { data },
+            stats,
+        });
+    }
+}
+
 /// Decodes any subset of cells and merges them into one cloud.
 ///
 /// Cells are fully independent: this works for any subset, in any order,
 /// without the other cells' bytes.
 pub fn decode_cells(cells: &[&EncodedCell]) -> Result<PointCloud, CodecError> {
     let mut out = PointCloud::new();
-    for cell in cells {
-        let sub = decode(&cell.data)?;
-        out.points.extend(sub.points);
-    }
+    decode_cells_into(cells, &mut Decoder::new(), &mut out)?;
     Ok(out)
+}
+
+/// Reusable variant of [`decode_cells`]: decodes the subset into `out`
+/// (cleared first) through a caller-owned [`Decoder`], with no per-cell
+/// intermediate clouds.
+pub fn decode_cells_into(
+    cells: &[&EncodedCell],
+    dec: &mut Decoder,
+    out: &mut PointCloud,
+) -> Result<(), CodecError> {
+    out.points.clear();
+    for cell in cells {
+        dec.decode_append(&cell.data, out)?;
+    }
+    Ok(())
 }
 
 /// Total compressed bytes of a set of cells.
@@ -71,6 +119,7 @@ volcast_util::impl_json_struct!(EncodedCell { id, data, stats });
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::codec::octree::decode;
     use crate::synthetic::SyntheticBody;
     use volcast_geom::Vec3;
 
@@ -151,6 +200,47 @@ mod tests {
             whole.size_bytes()
         );
         assert!(overhead < 2.5, "per-cell overhead {overhead:.2}x too high");
+    }
+
+    #[test]
+    fn reusable_cell_pipeline_matches_parallel_path() {
+        let (cloud, grid, cells) = setup();
+        let cfg = CodecConfig {
+            depth: 8,
+            color_bits: 6,
+        };
+        let mut enc = Encoder::new();
+        let mut sub = PointCloud::new();
+        let mut pool: Pool<u8> = Pool::new("test.codec.cell_pool");
+        let mut reused = Vec::new();
+        // Two frames through the same scratch; the second must still match
+        // and must draw every bitstream buffer from the pool.
+        for round in 0..2 {
+            encode_cells_into(
+                &cloud,
+                &grid,
+                &cfg,
+                &mut enc,
+                &mut sub,
+                &mut pool,
+                &mut reused,
+            );
+            assert_eq!(reused, cells, "round {round}");
+            let misses_before = pool.misses();
+            for cell in reused.drain(..) {
+                pool.put(cell.data.data);
+            }
+            assert_eq!(pool.misses(), misses_before);
+        }
+        // Second frame reused the retired buffers: misses == cells, not 2x.
+        assert_eq!(pool.misses(), cells.len());
+
+        // The reusable decode path agrees with decode_cells.
+        let refs: Vec<&EncodedCell> = cells.iter().collect();
+        let mut dec = Decoder::new();
+        let mut merged = PointCloud::new();
+        decode_cells_into(&refs, &mut dec, &mut merged).unwrap();
+        assert_eq!(merged.points, decode_cells(&refs).unwrap().points);
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //! 6-12 bits/point geometry + colors, i.e. frame sizes comparable to the
 //! 235-364 Mbps @ 30 FPS ladder reported in the paper.
 //!
+//! Frame pipelines should hold a stateful [`Encoder`]/[`Decoder`]: all
+//! codec working memory (voxel staging, radix scratch, contexts, range
+//! coder) persists across frames, making steady-state encode/decode
+//! allocation-free with byte-identical bitstreams. The free
+//! [`encode`]/[`decode`] functions delegate to thread-local instances.
+//!
 //! ```
 //! use volcast_pointcloud::codec::{encode, decode, CodecConfig};
 //! use volcast_pointcloud::SyntheticBody;
@@ -34,6 +40,10 @@ mod cells;
 mod octree;
 mod range;
 
-pub use cells::{decode_cells, encode_cells, total_bytes, EncodedCell};
-pub use octree::{decode, encode, CodecConfig, CodecError, CodecStats, EncodedCloud};
+pub use cells::{
+    decode_cells, decode_cells_into, encode_cells, encode_cells_into, total_bytes, EncodedCell,
+};
+pub use octree::{
+    decode, encode, CodecConfig, CodecError, CodecStats, Decoder, EncodedCloud, Encoder,
+};
 pub use range::{BitModel, RangeDecoder, RangeEncoder};

@@ -1,12 +1,24 @@
 //! Octree geometry + color coding. See module docs in [`super`].
+//!
+//! The hot path is the stateful [`Encoder`]/[`Decoder`] pair: they own all
+//! working memory (voxel staging, radix-sort scratch, Morton code lists,
+//! context models, the range coder) as [`ScratchVec`]s, so encoding or
+//! decoding a stream of frames performs **zero heap allocations in steady
+//! state** — every buffer warms to its high-watermark and is reused. The
+//! free [`encode`]/[`decode`] functions delegate to a thread-local instance
+//! and stay the convenient entry points; bitstreams are byte-for-byte
+//! identical either way.
 // Fixed-size index loops (angle dims, octree children, AP slots) read
 // clearer than iterator chains in this module.
 #![allow(clippy::needless_range_loop)]
+
+use std::cell::RefCell;
 
 use super::range::{BitModel, RangeDecoder, RangeEncoder};
 use crate::point::{Point, PointCloud};
 use volcast_geom::{Aabb, Vec3};
 use volcast_util::obs;
+use volcast_util::scratch::ScratchVec;
 
 /// Codec parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,28 +93,119 @@ const MAGIC: [u8; 4] = *b"VOCT";
 const HEADER_LEN: usize = 4 + 1 + 1 + 4 + 24;
 const MAX_DEPTH: u32 = 16;
 
-/// 3D Morton encode: interleaves the low `depth` bits of x, y, z.
+/// Spreads the low 21 bits of `v` so each lands at bit `3i` (the classic
+/// magic-mask "part1by2" used by fast Morton coders).
+#[inline(always)]
+fn part1by2(v: u64) -> u64 {
+    let mut x = v & 0x1F_FFFF;
+    x = (x | (x << 32)) & 0x1F_0000_0000_FFFF;
+    x = (x | (x << 16)) & 0x1F_0000_FF00_00FF;
+    x = (x | (x << 8)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x << 4)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
+}
+
+/// Inverse of [`part1by2`]: gathers every third bit back into the low bits.
+#[inline(always)]
+fn compact1by2(v: u64) -> u32 {
+    let mut x = v & 0x1249_2492_4924_9249;
+    x = (x | (x >> 2)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x >> 4)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x >> 8)) & 0x1F_0000_FF00_00FF;
+    x = (x | (x >> 16)) & 0x1F_0000_0000_FFFF;
+    x = (x | (x >> 32)) & 0x1F_FFFF;
+    x as u32
+}
+
+/// 3D Morton encode: interleaves the low `depth` bits of x, y, z
+/// (x at bit `3i+2`, y at `3i+1`, z at `3i`).
+#[inline(always)]
 fn morton_encode(x: u32, y: u32, z: u32, depth: u32) -> u64 {
-    let mut code = 0u64;
-    for i in (0..depth).rev() {
-        code = (code << 3)
-            | (((x >> i) & 1) as u64) << 2
-            | (((y >> i) & 1) as u64) << 1
-            | ((z >> i) & 1) as u64;
-    }
-    code
+    debug_assert!(depth <= MAX_DEPTH && (x | y | z) >> depth == 0);
+    (part1by2(x as u64) << 2) | (part1by2(y as u64) << 1) | part1by2(z as u64)
 }
 
 /// Inverse of [`morton_encode`].
-fn morton_decode(code: u64, depth: u32) -> (u32, u32, u32) {
-    let (mut x, mut y, mut z) = (0u32, 0u32, 0u32);
-    for i in 0..depth {
-        let group = (code >> (3 * i)) & 0b111;
-        x |= (((group >> 2) & 1) as u32) << i;
-        y |= (((group >> 1) & 1) as u32) << i;
-        z |= ((group & 1) as u32) << i;
+#[inline(always)]
+fn morton_decode(code: u64, _depth: u32) -> (u32, u32, u32) {
+    (
+        compact1by2(code >> 2),
+        compact1by2(code >> 1),
+        compact1by2(code),
+    )
+}
+
+/// A quantized point mid-sort: (morton code, packed RGB color). Keeping the
+/// element at 16 bytes (colors packed `r | g<<8 | b<<16`) instead of a
+/// 24-byte sums-and-count tuple cuts radix-sort memory traffic by a third;
+/// per-voxel color sums are expanded only at merge time.
+type Voxel = (u64, u32);
+
+/// Widest radix digit; 2^11 counters (8 KiB) still live comfortably in L1.
+const RADIX_MAX_DIGIT_BITS: u32 = 11;
+
+/// Stable LSD radix sort of voxels by Morton code, ping-ponging between
+/// `voxels` and `tmp`. The digit width adapts to the key: passes are
+/// minimized first (`ceil(key_bits / 11)`), then the bits are split evenly
+/// across them, so a depth-7 tree (21-bit keys) sorts in two 11-bit passes
+/// and a depth-10 tree (30 bits) in three 10-bit passes. Passes whose digit
+/// is constant across all keys are skipped. Any digit split of a stable LSD
+/// sort yields the same permutation (keys ordered, ties in input order), so
+/// the downstream bitstream is unaffected by the width choice. The sorted
+/// data always ends up back in `voxels`.
+/// Histogram tables for [`radix_sort_by_code`]: one per possible pass
+/// (48-bit keys need at most `ceil(48/11) = 5`). Owned by the [`Encoder`]
+/// so repeated encodes never re-zero the full 40 KiB — only the prefixes a
+/// given key width actually uses.
+type RadixCounts = [[u32; 1 << RADIX_MAX_DIGIT_BITS]; 5];
+
+fn radix_sort_by_code(
+    voxels: &mut Vec<Voxel>,
+    tmp: &mut Vec<Voxel>,
+    counts: &mut RadixCounts,
+    key_bits: u32,
+) {
+    if voxels.len() < 2 {
+        return;
     }
-    (x, y, z)
+    tmp.clear();
+    tmp.resize(voxels.len(), (0, 0));
+    let passes = key_bits.div_ceil(RADIX_MAX_DIGIT_BITS);
+    let digit_bits = key_bits.div_ceil(passes);
+    let mask = (1u64 << digit_bits) - 1;
+    // All pass histograms in one read of the data (the tables are a few
+    // KiB each and L1-resident), instead of a separate counting pass per
+    // scatter.
+    for table in counts.iter_mut().take(passes as usize) {
+        table[..1usize << digit_bits].fill(0);
+    }
+    for v in voxels.iter() {
+        let mut k = v.0;
+        for table in counts.iter_mut().take(passes as usize) {
+            table[(k & mask) as usize] += 1;
+            k >>= digit_bits;
+        }
+    }
+    for pass in 0..passes {
+        let shift = pass * digit_bits;
+        let counts = &mut counts[pass as usize][..1usize << digit_bits];
+        if counts.iter().any(|&c| c as usize == voxels.len()) {
+            continue; // every key shares this digit; nothing to reorder
+        }
+        let mut sum = 0u32;
+        for c in counts.iter_mut() {
+            let n = *c;
+            *c = sum;
+            sum += n;
+        }
+        for v in voxels.iter() {
+            let digit = ((v.0 >> shift) & mask) as usize;
+            tmp[counts[digit] as usize] = *v;
+            counts[digit] += 1;
+        }
+        std::mem::swap(voxels, tmp);
+    }
 }
 
 struct Contexts {
@@ -119,108 +222,323 @@ impl Contexts {
             color: [[BitModel::new(); 8]; 3],
         }
     }
+
+    /// Returns every model to the unbiased state, reusing the occupancy
+    /// allocation (it only grows when a deeper tree is requested).
+    fn reset(&mut self, depth: u32) {
+        self.occupancy.clear();
+        self.occupancy.resize(depth as usize, [BitModel::new(); 8]);
+        self.color = [[BitModel::new(); 8]; 3];
+    }
+}
+
+/// A reusable octree encoder owning all codec working memory.
+///
+/// One instance encodes a stream of frames with zero steady-state heap
+/// allocations (beyond growth of the caller's output buffer): voxel
+/// staging, radix scratch, code list, context models, and the range coder
+/// are all retained across calls at their high-watermark sizes. Output is
+/// byte-for-byte identical to the free [`encode`] function.
+pub struct Encoder {
+    voxels: ScratchVec<Voxel>,
+    radix_tmp: ScratchVec<Voxel>,
+    radix_counts: Box<RadixCounts>,
+    codes: ScratchVec<u64>,
+    /// Per-unique-voxel color channel sums and merged point count.
+    csums: ScratchVec<([u32; 3], u32)>,
+    ctx: Contexts,
+    rc: RangeEncoder,
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Encoder {
+    /// Creates an encoder with empty (cold) scratch buffers.
+    pub fn new() -> Self {
+        Encoder {
+            voxels: ScratchVec::new("codec.scratch.voxels"),
+            radix_tmp: ScratchVec::new("codec.scratch.radix_tmp"),
+            radix_counts: Box::new([[0; 1 << RADIX_MAX_DIGIT_BITS]; 5]),
+            codes: ScratchVec::new("codec.scratch.codes"),
+            csums: ScratchVec::new("codec.scratch.csums"),
+            ctx: Contexts::new(0),
+            rc: RangeEncoder::new(),
+        }
+    }
+
+    /// Encodes `cloud` into `out` (cleared first), returning statistics.
+    ///
+    /// # Panics
+    /// If `cfg.depth` is outside `1..=16` or `cfg.color_bits` outside `1..=8`.
+    pub fn encode_into(
+        &mut self,
+        cloud: &PointCloud,
+        cfg: &CodecConfig,
+        out: &mut Vec<u8>,
+    ) -> CodecStats {
+        assert!(
+            cfg.depth >= 1 && cfg.depth <= MAX_DEPTH,
+            "depth must be in 1..=16"
+        );
+        assert!(
+            cfg.color_bits >= 1 && cfg.color_bits <= 8,
+            "color_bits must be in 1..=8"
+        );
+        out.clear();
+
+        let bounds = if cloud.is_empty() {
+            Aabb::new(Vec3::ZERO, Vec3::ZERO)
+        } else {
+            cloud.bounds()
+        };
+        let extent = bounds.extent().max_component().max(1e-6);
+        let levels = 1u32 << cfg.depth;
+        let scale = levels as f64 / extent;
+
+        // Voxelize: quantize into the staging buffer, colors packed so the
+        // sort element stays 16 bytes. Truncation (`as i64`) plus the full
+        // clamp is exactly `floor().clamp(..)`: for v >= 0 they agree, and
+        // any v < 0 clamps to 0 under both (NaN/inf saturate identically).
+        let voxels = self.voxels.begin();
+        let m = (levels - 1) as i64;
+        let (mnx, mny, mnz) = (bounds.min.x, bounds.min.y, bounds.min.z);
+        voxels.extend(cloud.points.iter().map(|p| {
+            let x = (((p.pos[0] as f64 - mnx) * scale) as i64).clamp(0, m) as u32;
+            let y = (((p.pos[1] as f64 - mny) * scale) as i64).clamp(0, m) as u32;
+            let z = (((p.pos[2] as f64 - mnz) * scale) as i64).clamp(0, m) as u32;
+            let packed = p.color[0] as u32 | (p.color[1] as u32) << 8 | (p.color[2] as u32) << 16;
+            (morton_encode(x, y, z, cfg.depth), packed)
+        }));
+        radix_sort_by_code(
+            voxels,
+            self.radix_tmp.begin(),
+            &mut self.radix_counts,
+            3 * cfg.depth,
+        );
+
+        // Merge duplicate voxels (sorted => runs), summing colors and
+        // counts so each voxel's color decodes to the *average* (floor of
+        // sum/count) of its merged points.
+        let codes = self.codes.begin();
+        let csums = self.csums.begin();
+        codes.reserve(voxels.len());
+        csums.reserve(voxels.len());
+        let mut i = 0usize;
+        while i < voxels.len() {
+            let code = voxels[i].0;
+            let mut sums = [0u32; 3];
+            let mut count = 0u32;
+            while i < voxels.len() && voxels[i].0 == code {
+                let c = voxels[i].1;
+                sums[0] += c & 0xFF;
+                sums[1] += (c >> 8) & 0xFF;
+                sums[2] += (c >> 16) & 0xFF;
+                count += 1;
+                i += 1;
+            }
+            codes.push(code);
+            csums.push((sums, count));
+        }
+
+        // Header.
+        out.reserve(HEADER_LEN + codes.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(cfg.depth as u8);
+        out.push(cfg.color_bits as u8);
+        out.extend_from_slice(&(codes.len() as u32).to_le_bytes());
+        for v in [bounds.min.x, bounds.min.y, bounds.min.z] {
+            out.extend_from_slice(&(v as f32).to_le_bytes());
+        }
+        for v in [extent, 0.0, 0.0] {
+            out.extend_from_slice(&(v as f32).to_le_bytes());
+        }
+        debug_assert_eq!(out.len(), HEADER_LEN);
+
+        // Payload.
+        self.ctx.reset(cfg.depth);
+        if !codes.is_empty() {
+            encode_node(&mut self.rc, &mut self.ctx, codes, 0, cfg.depth);
+            // Colors in Morton (leaf) order.
+            let shift = 8 - cfg.color_bits;
+            for &(sums, count) in csums.iter() {
+                for ch in 0..3 {
+                    let avg = sums[ch] / count;
+                    self.rc
+                        .encode_bits(&mut self.ctx.color[ch], avg >> shift, cfg.color_bits);
+                }
+            }
+        }
+        self.rc.finish_into(out);
+
+        let stats = CodecStats {
+            input_points: cloud.len(),
+            voxels: codes.len(),
+            bytes: out.len(),
+            bits_per_point: if cloud.is_empty() {
+                0.0
+            } else {
+                out.len() as f64 * 8.0 / cloud.len() as f64
+            },
+        };
+        if obs::enabled() {
+            obs::inc("codec.clouds_encoded");
+            obs::add("codec.input_points", stats.input_points as u64);
+            obs::add("codec.voxels", stats.voxels as u64);
+            obs::add("codec.bytes", stats.bytes as u64);
+        }
+        stats
+    }
+
+    /// Convenience wrapper allocating a fresh [`EncodedCloud`].
+    pub fn encode(&mut self, cloud: &PointCloud, cfg: &CodecConfig) -> (EncodedCloud, CodecStats) {
+        let mut data = Vec::new();
+        let stats = self.encode_into(cloud, cfg, &mut data);
+        (EncodedCloud { data }, stats)
+    }
+}
+
+/// A reusable octree decoder owning all codec working memory.
+///
+/// The mirror of [`Encoder`]: code lists and context models persist across
+/// calls, so decoding a stream of frames into a reused [`PointCloud`]
+/// allocates nothing in steady state.
+pub struct Decoder {
+    codes: ScratchVec<u64>,
+    ctx: Contexts,
+}
+
+impl Default for Decoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Decoder {
+    /// Creates a decoder with empty (cold) scratch buffers.
+    pub fn new() -> Self {
+        Decoder {
+            codes: ScratchVec::new("codec.scratch.dec_codes"),
+            ctx: Contexts::new(0),
+        }
+    }
+
+    /// Decodes `encoded`, **appending** the voxel points to `out` (for
+    /// merging multi-cell streams). Returns the number of points appended.
+    pub fn decode_append(
+        &mut self,
+        encoded: &EncodedCloud,
+        out: &mut PointCloud,
+    ) -> Result<usize, CodecError> {
+        let data = &encoded.data;
+        if data.len() < HEADER_LEN {
+            return Err(CodecError::TruncatedHeader);
+        }
+        if data[0..4] != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let depth = data[4] as u32;
+        let color_bits = data[5] as u32;
+        if depth == 0 || depth > MAX_DEPTH {
+            return Err(CodecError::InvalidHeader("depth out of range"));
+        }
+        if color_bits == 0 || color_bits > 8 {
+            return Err(CodecError::InvalidHeader("color_bits out of range"));
+        }
+        let count = u32::from_le_bytes(data[6..10].try_into().unwrap()) as usize;
+        let f32_at = |off: usize| -> f64 {
+            f32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as f64
+        };
+        let min = Vec3::new(f32_at(10), f32_at(14), f32_at(18));
+        let extent = f32_at(22);
+        if !(extent.is_finite() && extent > 0.0) && count > 0 {
+            return Err(CodecError::InvalidHeader("bad extent"));
+        }
+        if count == 0 {
+            obs::inc("codec.clouds_decoded");
+            return Ok(0);
+        }
+
+        let levels = 1u32 << depth;
+        let voxel = extent / levels as f64;
+
+        self.ctx.reset(depth);
+        let mut dec = RangeDecoder::new(&data[HEADER_LEN..]);
+        let codes = self.codes.begin();
+        codes.reserve(count);
+        decode_node(&mut dec, &mut self.ctx, 0u64, 0, depth, codes, count);
+
+        out.points.reserve(codes.len());
+        let shift = 8 - color_bits;
+        // Reconstruct quantized colors at bucket centers.
+        let dequant = |v: u32| -> u8 {
+            let v = (v << shift) + ((1u32 << shift) >> 1);
+            v.min(255) as u8
+        };
+        for &code in codes.iter() {
+            let (x, y, z) = morton_decode(code, depth);
+            let pos = min
+                + Vec3::new(
+                    (x as f64 + 0.5) * voxel,
+                    (y as f64 + 0.5) * voxel,
+                    (z as f64 + 0.5) * voxel,
+                );
+            let r = dec.decode_bits(&mut self.ctx.color[0], color_bits);
+            let g = dec.decode_bits(&mut self.ctx.color[1], color_bits);
+            let b = dec.decode_bits(&mut self.ctx.color[2], color_bits);
+            out.points.push(Point::new(
+                [pos.x as f32, pos.y as f32, pos.z as f32],
+                [dequant(r), dequant(g), dequant(b)],
+            ));
+        }
+        obs::inc("codec.clouds_decoded");
+        Ok(codes.len())
+    }
+
+    /// Decodes `encoded` into `out` (cleared first). Returns the decoded
+    /// point count.
+    pub fn decode_into(
+        &mut self,
+        encoded: &EncodedCloud,
+        out: &mut PointCloud,
+    ) -> Result<usize, CodecError> {
+        out.points.clear();
+        self.decode_append(encoded, out)
+    }
+}
+
+thread_local! {
+    static THREAD_ENCODER: RefCell<Encoder> = RefCell::new(Encoder::new());
+    static THREAD_DECODER: RefCell<Decoder> = RefCell::new(Decoder::new());
 }
 
 /// Encodes a cloud. Returns the bitstream and compression statistics.
+///
+/// Delegates to a thread-local [`Encoder`], so repeated calls on one thread
+/// reuse the codec's working memory; only the returned bitstream allocates.
 pub fn encode(cloud: &PointCloud, cfg: &CodecConfig) -> (EncodedCloud, CodecStats) {
-    assert!(
-        cfg.depth >= 1 && cfg.depth <= MAX_DEPTH,
-        "depth must be in 1..=16"
-    );
-    assert!(
-        cfg.color_bits >= 1 && cfg.color_bits <= 8,
-        "color_bits must be in 1..=8"
-    );
-
-    let bounds = if cloud.is_empty() {
-        Aabb::new(Vec3::ZERO, Vec3::ZERO)
-    } else {
-        cloud.bounds()
-    };
-    let extent = bounds.extent().max_component().max(1e-6);
-    let levels = 1u32 << cfg.depth;
-    let scale = levels as f64 / extent;
-
-    // Voxelize: quantize and merge duplicates (color-averaged).
-    let mut voxels: Vec<(u64, [u32; 3], u32)> = cloud
-        .points
-        .iter()
-        .map(|p| {
-            let rel = (p.position() - bounds.min) * scale;
-            let q = |v: f64| (v.floor() as i64).clamp(0, (levels - 1) as i64) as u32;
-            let (x, y, z) = (q(rel.x), q(rel.y), q(rel.z));
-            (
-                morton_encode(x, y, z, cfg.depth),
-                [p.color[0] as u32, p.color[1] as u32, p.color[2] as u32],
-                1u32,
-            )
-        })
-        .collect();
-    voxels.sort_unstable_by_key(|v| v.0);
-    // Merge duplicates, summing colors for averaging.
-    let mut merged: Vec<(u64, [u32; 3], u32)> = Vec::with_capacity(voxels.len());
-    for v in voxels {
-        match merged.last_mut() {
-            Some(last) if last.0 == v.0 => {
-                for c in 0..3 {
-                    last.1[c] += v.1[c];
-                }
-                last.2 += v.2;
-            }
-            _ => merged.push(v),
-        }
-    }
-
-    let codes: Vec<u64> = merged.iter().map(|v| v.0).collect();
-
-    // Header.
-    let mut data = Vec::with_capacity(HEADER_LEN + merged.len());
-    data.extend_from_slice(&MAGIC);
-    data.push(cfg.depth as u8);
-    data.push(cfg.color_bits as u8);
-    data.extend_from_slice(&(merged.len() as u32).to_le_bytes());
-    for v in [bounds.min.x, bounds.min.y, bounds.min.z] {
-        data.extend_from_slice(&(v as f32).to_le_bytes());
-    }
-    for v in [extent, 0.0, 0.0] {
-        data.extend_from_slice(&(v as f32).to_le_bytes());
-    }
-    debug_assert_eq!(data.len(), HEADER_LEN);
-
-    // Payload.
-    let mut ctx = Contexts::new(cfg.depth);
-    let mut enc = RangeEncoder::new();
-    if !codes.is_empty() {
-        encode_node(&mut enc, &mut ctx, &codes, 0, cfg.depth);
-        // Colors in Morton (leaf) order.
-        let shift = 8 - cfg.color_bits;
-        for v in &merged {
-            for ch in 0..3 {
-                let avg = v.1[ch] / v.2;
-                enc.encode_bits(&mut ctx.color[ch], avg >> shift, cfg.color_bits);
-            }
-        }
-    }
-    data.extend_from_slice(&enc.finish());
-
-    let stats = CodecStats {
-        input_points: cloud.len(),
-        voxels: merged.len(),
-        bytes: data.len(),
-        bits_per_point: if cloud.is_empty() {
-            0.0
-        } else {
-            data.len() as f64 * 8.0 / cloud.len() as f64
-        },
-    };
-    if obs::enabled() {
-        obs::inc("codec.clouds_encoded");
-        obs::add("codec.input_points", stats.input_points as u64);
-        obs::add("codec.voxels", stats.voxels as u64);
-        obs::add("codec.bytes", stats.bytes as u64);
-    }
-    (EncodedCloud { data }, stats)
+    THREAD_ENCODER.with(|enc| enc.borrow_mut().encode(cloud, cfg))
 }
+
+/// Decodes a bitstream back into a voxelized point cloud.
+///
+/// Delegates to a thread-local [`Decoder`]; only the returned cloud
+/// allocates.
+pub fn decode(encoded: &EncodedCloud) -> Result<PointCloud, CodecError> {
+    THREAD_DECODER.with(|dec| {
+        let mut cloud = PointCloud::new();
+        dec.borrow_mut().decode_into(encoded, &mut cloud)?;
+        Ok(cloud)
+    })
+}
+
+/// When child ranges are at most this long, partition by linear scan;
+/// longer ranges use binary search (`partition_point`). The bitstream does
+/// not depend on this choice — only the partitioning cost does.
+const LINEAR_SCAN_MAX: usize = 64;
 
 /// Recursive DFS over the sorted Morton codes. `level` counts down; at each
 /// node the 3-bit child group is at bit offset `3 * (level - 1)`.
@@ -237,11 +555,18 @@ fn encode_node(
     let mut ranges: [(usize, usize); 8] = [(0, 0); 8];
     let mut start = 0usize;
     for child in 0..8u64 {
-        let end = codes[start..]
-            .iter()
-            .position(|&c| (c >> level_shift) & 0b111 != child)
-            .map(|p| start + p)
-            .unwrap_or(codes.len());
+        let end = if codes.len() - start > LINEAR_SCAN_MAX {
+            // Digits are ascending in the sorted slice; everything before
+            // `start` has a digit < `child`, so `<= child` flips exactly at
+            // this child's boundary.
+            start + codes[start..].partition_point(|&c| (c >> level_shift) & 0b111 <= child)
+        } else {
+            codes[start..]
+                .iter()
+                .position(|&c| (c >> level_shift) & 0b111 != child)
+                .map(|p| start + p)
+                .unwrap_or(codes.len())
+        };
         ranges[child as usize] = (start, end);
         start = end;
     }
@@ -262,70 +587,6 @@ fn encode_node(
             }
         }
     }
-}
-
-/// Decodes a bitstream back into a voxelized point cloud.
-pub fn decode(encoded: &EncodedCloud) -> Result<PointCloud, CodecError> {
-    let data = &encoded.data;
-    if data.len() < HEADER_LEN {
-        return Err(CodecError::TruncatedHeader);
-    }
-    if data[0..4] != MAGIC {
-        return Err(CodecError::BadMagic);
-    }
-    let depth = data[4] as u32;
-    let color_bits = data[5] as u32;
-    if depth == 0 || depth > MAX_DEPTH {
-        return Err(CodecError::InvalidHeader("depth out of range"));
-    }
-    if color_bits == 0 || color_bits > 8 {
-        return Err(CodecError::InvalidHeader("color_bits out of range"));
-    }
-    let count = u32::from_le_bytes(data[6..10].try_into().unwrap()) as usize;
-    let f32_at =
-        |off: usize| -> f64 { f32::from_le_bytes(data[off..off + 4].try_into().unwrap()) as f64 };
-    let min = Vec3::new(f32_at(10), f32_at(14), f32_at(18));
-    let extent = f32_at(22);
-    if !(extent.is_finite() && extent > 0.0) && count > 0 {
-        return Err(CodecError::InvalidHeader("bad extent"));
-    }
-    if count == 0 {
-        return Ok(PointCloud::new());
-    }
-
-    let levels = 1u32 << depth;
-    let voxel = extent / levels as f64;
-
-    let mut ctx = Contexts::new(depth);
-    let mut dec = RangeDecoder::new(&data[HEADER_LEN..]);
-    let mut codes = Vec::with_capacity(count);
-    decode_node(&mut dec, &mut ctx, 0u64, 0, depth, &mut codes, count);
-
-    let mut points = Vec::with_capacity(codes.len());
-    let shift = 8 - color_bits;
-    // Reconstruct quantized colors at bucket centers.
-    let dequant = |v: u32| -> u8 {
-        let v = (v << shift) + ((1u32 << shift) >> 1);
-        v.min(255) as u8
-    };
-    for &code in &codes {
-        let (x, y, z) = morton_decode(code, depth);
-        let pos = min
-            + Vec3::new(
-                (x as f64 + 0.5) * voxel,
-                (y as f64 + 0.5) * voxel,
-                (z as f64 + 0.5) * voxel,
-            );
-        let r = dec.decode_bits(&mut ctx.color[0], color_bits);
-        let g = dec.decode_bits(&mut ctx.color[1], color_bits);
-        let b = dec.decode_bits(&mut ctx.color[2], color_bits);
-        points.push(Point::new(
-            [pos.x as f32, pos.y as f32, pos.z as f32],
-            [dequant(r), dequant(g), dequant(b)],
-        ));
-    }
-    obs::inc("codec.clouds_decoded");
-    Ok(PointCloud::from_points(points))
 }
 
 fn decode_node(
@@ -373,6 +634,30 @@ mod tests {
     use super::*;
     use crate::synthetic::SyntheticBody;
 
+    /// Bit-by-bit reference Morton implementations (the original loop
+    /// formulations) pinning the magic-mask versions.
+    fn morton_encode_ref(x: u32, y: u32, z: u32, depth: u32) -> u64 {
+        let mut code = 0u64;
+        for i in (0..depth).rev() {
+            code = (code << 3)
+                | (((x >> i) & 1) as u64) << 2
+                | (((y >> i) & 1) as u64) << 1
+                | ((z >> i) & 1) as u64;
+        }
+        code
+    }
+
+    fn morton_decode_ref(code: u64, depth: u32) -> (u32, u32, u32) {
+        let (mut x, mut y, mut z) = (0u32, 0u32, 0u32);
+        for i in 0..depth {
+            let group = (code >> (3 * i)) & 0b111;
+            x |= (((group >> 2) & 1) as u32) << i;
+            y |= (((group >> 1) & 1) as u32) << i;
+            z |= ((group & 1) as u32) << i;
+        }
+        (x, y, z)
+    }
+
     #[test]
     fn morton_round_trip() {
         for depth in [1u32, 4, 10, 16] {
@@ -381,6 +666,51 @@ mod tests {
                 let code = morton_encode(x, y, z, depth);
                 assert_eq!(morton_decode(code, depth), (x, y, z));
             }
+        }
+    }
+
+    #[test]
+    fn morton_magic_masks_match_bit_loop_reference() {
+        let mut rng = volcast_util::rng::Rng::seed_from_u64(0xC0DE);
+        for depth in [1u32, 5, 8, 13, 16] {
+            let m = (1u32 << depth) - 1;
+            for _ in 0..200 {
+                let (x, y, z) = (
+                    rng.gen_range(0..=m as u64) as u32,
+                    rng.gen_range(0..=m as u64) as u32,
+                    rng.gen_range(0..=m as u64) as u32,
+                );
+                let code = morton_encode(x, y, z, depth);
+                assert_eq!(code, morton_encode_ref(x, y, z, depth));
+                assert_eq!(morton_decode(code, depth), morton_decode_ref(code, depth));
+            }
+        }
+    }
+
+    #[test]
+    fn radix_sort_matches_comparison_sort() {
+        let mut rng = volcast_util::rng::Rng::seed_from_u64(0x5047);
+        for (n, key_bits) in [
+            (0usize, 30u32),
+            (1, 3),
+            (17, 12),
+            (1000, 21),
+            (1000, 30),
+            (5000, 48),
+        ] {
+            let voxels: Vec<Voxel> = (0..n)
+                .map(|i| {
+                    let code = rng.gen_range(0..1u64 << key_bits.min(63));
+                    (code, i as u32)
+                })
+                .collect();
+            let mut expected = voxels.clone();
+            expected.sort_by_key(|v| v.0); // stable comparison sort
+            let mut got = voxels;
+            let mut tmp = Vec::new();
+            let mut counts = Box::new([[0; 1 << RADIX_MAX_DIGIT_BITS]; 5]);
+            radix_sort_by_code(&mut got, &mut tmp, &mut counts, key_bits);
+            assert_eq!(got, expected, "n={n} bits={key_bits}");
         }
     }
 
@@ -415,6 +745,31 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_voxels_average_colors() {
+        // Two points in the same voxel: the decoded color must be the
+        // floor of the channel-wise mean (not last-write-wins).
+        let cloud = PointCloud::from_points(vec![
+            Point::new([0.0, 0.0, 0.0], [10, 20, 30]),
+            Point::new([0.0, 0.0, 0.0], [13, 21, 33]),
+            Point::new([1.0, 1.0, 1.0], [0, 0, 0]), // non-degenerate bounds
+        ]);
+        let cfg = CodecConfig {
+            depth: 4,
+            color_bits: 8, // lossless channel: decoded == stored average
+        };
+        let (enc, stats) = encode(&cloud, &cfg);
+        assert_eq!(stats.voxels, 2);
+        let dec = decode(&enc).unwrap();
+        let merged = dec
+            .points
+            .iter()
+            .find(|p| p.position().norm() < 0.2)
+            .expect("merged voxel near origin");
+        // floor((10+13)/2), floor((20+21)/2), floor((30+33)/2)
+        assert_eq!(merged.color, [11, 20, 31]);
+    }
+
+    #[test]
     fn body_round_trip_geometry_error_bounded() {
         let cloud = SyntheticBody::default().frame(0, 20_000);
         let cfg = CodecConfig {
@@ -440,6 +795,39 @@ mod tests {
                 best <= max_err,
                 "decoded point {dp} off by {best} > {max_err}"
             );
+        }
+    }
+
+    #[test]
+    fn reused_encoder_decoder_match_fresh_instances() {
+        let body = SyntheticBody::default();
+        let cfg = CodecConfig {
+            depth: 9,
+            color_bits: 5,
+        };
+        let mut reused_enc = Encoder::new();
+        let mut reused_dec = Decoder::new();
+        let mut stream = Vec::new();
+        let mut decoded = PointCloud::new();
+        for frame in 0..100u64 {
+            let cloud = body.frame(frame, 1_500);
+            let fresh = Encoder::new().encode(&cloud, &cfg).0;
+            let stats = reused_enc.encode_into(&cloud, &cfg, &mut stream);
+            assert_eq!(stream, fresh.data, "frame {frame} bitstream");
+            let n = reused_dec
+                .decode_into(
+                    &EncodedCloud {
+                        data: stream.clone(),
+                    },
+                    &mut decoded,
+                )
+                .unwrap();
+            assert_eq!(n, stats.voxels);
+            let mut fresh_cloud = PointCloud::new();
+            Decoder::new()
+                .decode_into(&fresh, &mut fresh_cloud)
+                .unwrap();
+            assert_eq!(decoded.points, fresh_cloud.points, "frame {frame} points");
         }
     }
 

@@ -4,6 +4,18 @@
 //! range encoder over binary symbols with 11-bit adaptive probabilities.
 //! Each [`BitModel`] tracks the probability of a `0` bit and adapts with an
 //! exponential moving average (shift 5), the classic LZMA configuration.
+//!
+//! The bit path is branchless: the symbol selects range/low updates and the
+//! model delta through a mask instead of a compare-and-branch, which the
+//! ~30%-biased occupancy bits of the octree would otherwise mispredict
+//! constantly. The renormalization loop must stay a `while`: with `p0` near
+//! its bounds the post-bit range can be as small as `2^13` (e.g. range
+//! `2^24`, `p0 = 2047` leaves `range - bound = 8192`), which needs two
+//! 8-bit shifts to clear `TOP`.
+//!
+//! [`RangeEncoder`] is reusable: [`RangeEncoder::finish_into`] flushes into
+//! a caller buffer and resets, so a persistent encoder performs zero heap
+//! allocations per stream once its internal buffer has warmed up.
 
 /// Number of probability bits (probabilities live in `0..2^11`).
 const PROB_BITS: u32 = 11;
@@ -38,13 +50,24 @@ impl BitModel {
         self.p0 as f64 / PROB_ONE as f64
     }
 
-    #[inline]
+    /// Branchless exponential-moving-average update: equivalent to
+    /// `if bit { p0 -= p0 >> 5 } else { p0 += (PROB_ONE - p0) >> 5 }`.
+    /// `mask` is all-ones when the bit is set (shared with the coder's
+    /// range/low select so it is computed once per bit).
+    #[inline(always)]
+    fn update_masked(&mut self, mask: u16) {
+        let delta =
+            ((self.p0 >> ADAPT_SHIFT) & mask) | (((PROB_ONE - self.p0) >> ADAPT_SHIFT) & !mask);
+        self.p0 = (self.p0.wrapping_sub(delta) & mask) | (self.p0.wrapping_add(delta) & !mask);
+    }
+
+    // Branch-form entry point kept for the tests that pin the branchless
+    // update against the reference formula; the coders call
+    // `update_masked` directly with their already-computed mask.
+    #[cfg(test)]
+    #[inline(always)]
     fn update(&mut self, bit: bool) {
-        if bit {
-            self.p0 -= self.p0 >> ADAPT_SHIFT;
-        } else {
-            self.p0 += (PROB_ONE - self.p0) >> ADAPT_SHIFT;
-        }
+        self.update_masked((bit as u16).wrapping_neg());
     }
 }
 
@@ -55,7 +78,6 @@ pub struct RangeEncoder {
     range: u32,
     cache: u8,
     pending: u64,
-    first: bool,
     out: Vec<u8>,
 }
 
@@ -73,21 +95,29 @@ impl RangeEncoder {
             range: u32::MAX,
             cache: 0,
             pending: 0,
-            first: true,
             out: Vec::new(),
         }
     }
 
+    /// Rewinds to the fresh-encoder state, retaining the internal buffer's
+    /// capacity so the next stream encodes allocation-free.
+    pub fn reset(&mut self) {
+        self.low = 0;
+        self.range = u32::MAX;
+        self.cache = 0;
+        self.pending = 0;
+        self.out.clear();
+    }
+
     /// Encodes one bit under the given adaptive model.
+    #[inline(always)]
     pub fn encode_bit(&mut self, model: &mut BitModel, bit: bool) {
         let bound = (self.range >> PROB_BITS) * model.p0 as u32;
-        if !bit {
-            self.range = bound;
-        } else {
-            self.low += bound as u64;
-            self.range -= bound;
-        }
-        model.update(bit);
+        // Branchless select: mask is all-ones when the bit is set.
+        let mask = (bit as u32).wrapping_neg();
+        self.low += (bound & mask) as u64;
+        self.range = ((self.range - bound) & mask) | (bound & !mask);
+        model.update_masked(mask as u16);
         while self.range < TOP {
             self.shift_low();
             self.range <<= 8;
@@ -96,25 +126,19 @@ impl RangeEncoder {
 
     /// Encodes `n` raw bits (MSB first) of `value` under per-position models.
     pub fn encode_bits(&mut self, models: &mut [BitModel], value: u32, n: u32) {
-        debug_assert!(models.len() >= n as usize);
-        for i in (0..n).rev() {
-            let bit = (value >> i) & 1 == 1;
-            self.encode_bit(&mut models[(n - 1 - i) as usize], bit);
+        // Slicing up front lets the per-bit loop run without bounds checks.
+        let models = &mut models[..n as usize];
+        for (i, m) in models.iter_mut().enumerate() {
+            let bit = (value >> (n - 1 - i as u32)) & 1 == 1;
+            self.encode_bit(m, bit);
         }
     }
 
-    #[inline]
+    #[inline(always)]
     fn shift_low(&mut self) {
         if self.low < 0xFF00_0000 || self.low > 0xFFFF_FFFF {
             let carry = (self.low >> 32) as u8;
-            if self.first {
-                // The very first cache byte is a synthetic zero; emit it so
-                // the decoder can prime with 5 bytes, carry folded in.
-                self.first = false;
-                self.out.push(self.cache.wrapping_add(carry));
-            } else {
-                self.out.push(self.cache.wrapping_add(carry));
-            }
+            self.out.push(self.cache.wrapping_add(carry));
             while self.pending > 0 {
                 self.out.push(0xFFu8.wrapping_add(carry));
                 self.pending -= 1;
@@ -126,12 +150,26 @@ impl RangeEncoder {
         self.low = (self.low << 8) & 0xFFFF_FFFF;
     }
 
-    /// Flushes the encoder and returns the compressed bytes.
-    pub fn finish(mut self) -> Vec<u8> {
+    #[inline]
+    fn flush(&mut self) {
         for _ in 0..5 {
             self.shift_low();
         }
+    }
+
+    /// Flushes the encoder and returns the compressed bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.flush();
         self.out
+    }
+
+    /// Flushes the stream, appends it to `dst`, and resets for the next
+    /// stream. The reusable-encoder counterpart to [`RangeEncoder::finish`]:
+    /// byte-for-byte identical output, no allocation beyond `dst` growth.
+    pub fn finish_into(&mut self, dst: &mut Vec<u8>) {
+        self.flush();
+        dst.extend_from_slice(&self.out);
+        self.reset();
     }
 }
 
@@ -160,7 +198,7 @@ impl<'a> RangeDecoder<'a> {
         d
     }
 
-    #[inline]
+    #[inline(always)]
     fn next_byte(&mut self) -> u8 {
         let b = self.input.get(self.pos).copied().unwrap_or(0);
         self.pos += 1;
@@ -168,17 +206,14 @@ impl<'a> RangeDecoder<'a> {
     }
 
     /// Decodes one bit under the given adaptive model.
+    #[inline(always)]
     pub fn decode_bit(&mut self, model: &mut BitModel) -> bool {
         let bound = (self.range >> PROB_BITS) * model.p0 as u32;
-        let bit = if self.code < bound {
-            self.range = bound;
-            false
-        } else {
-            self.code -= bound;
-            self.range -= bound;
-            true
-        };
-        model.update(bit);
+        let bit = self.code >= bound;
+        let mask = (bit as u32).wrapping_neg();
+        self.code -= bound & mask;
+        self.range = ((self.range - bound) & mask) | (bound & !mask);
+        model.update_masked(mask as u16);
         while self.range < TOP {
             self.code = (self.code << 8) | self.next_byte() as u32;
             self.range <<= 8;
@@ -188,10 +223,10 @@ impl<'a> RangeDecoder<'a> {
 
     /// Decodes `n` bits (MSB first) under per-position models.
     pub fn decode_bits(&mut self, models: &mut [BitModel], n: u32) -> u32 {
-        debug_assert!(models.len() >= n as usize);
+        let models = &mut models[..n as usize];
         let mut v = 0u32;
-        for i in 0..n {
-            v = (v << 1) | self.decode_bit(&mut models[i as usize]) as u32;
+        for m in models.iter_mut() {
+            v = (v << 1) | self.decode_bit(m) as u32;
         }
         v
     }
@@ -297,6 +332,45 @@ mod tests {
             m.update(true);
         }
         assert!(m.prob_zero() < 0.05);
+    }
+
+    #[test]
+    fn branchless_update_matches_reference() {
+        // Pin the mask-select update against the straightforward branchy
+        // formula across every reachable probability state.
+        for start in 1u16..PROB_ONE {
+            for bit in [false, true] {
+                let mut m = BitModel { p0: start };
+                m.update(bit);
+                let expected = if bit {
+                    start - (start >> ADAPT_SHIFT)
+                } else {
+                    start + ((PROB_ONE - start) >> ADAPT_SHIFT)
+                };
+                assert_eq!(m.p0, expected, "p0={start} bit={bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn reused_encoder_is_byte_identical_to_fresh() {
+        let mut rng = Rng::seed_from_u64(1234);
+        let streams: Vec<Vec<bool>> = (0..5)
+            .map(|_| (0..8_000).map(|_| rng.gen::<f64>() < 0.3).collect())
+            .collect();
+        let mut reused = RangeEncoder::new();
+        for bits in &streams {
+            let mut fresh = RangeEncoder::new();
+            let mut fresh_models = [BitModel::new(); 8];
+            let mut reused_models = [BitModel::new(); 8];
+            let mut reused_out = Vec::new();
+            for (i, &b) in bits.iter().enumerate() {
+                fresh.encode_bit(&mut fresh_models[i % 8], b);
+                reused.encode_bit(&mut reused_models[i % 8], b);
+            }
+            reused.finish_into(&mut reused_out);
+            assert_eq!(fresh.finish(), reused_out);
+        }
     }
 
     #[test]

@@ -57,7 +57,40 @@ impl PointCloud {
 
     /// Tight axis-aligned bounds of the cloud (empty box when no points).
     pub fn bounds(&self) -> Aabb {
-        Aabb::from_points(self.points.iter().map(|p| p.position()))
+        // Fold in f32 with four independent accumulators (min/max are
+        // associative and commutative on NaN-free data, so the regrouping
+        // is exact), then widen once: f32 -> f64 is exact and monotone, so
+        // the result is bit-identical to folding widened points one by one.
+        if self.points.is_empty() {
+            return Aabb::empty();
+        }
+        let mut lo = [[f32::INFINITY; 3]; 4];
+        let mut hi = [[f32::NEG_INFINITY; 3]; 4];
+        let mut chunks = self.points.chunks_exact(4);
+        for chunk in &mut chunks {
+            for (lane, p) in chunk.iter().enumerate() {
+                for c in 0..3 {
+                    lo[lane][c] = lo[lane][c].min(p.pos[c]);
+                    hi[lane][c] = hi[lane][c].max(p.pos[c]);
+                }
+            }
+        }
+        for p in chunks.remainder() {
+            for c in 0..3 {
+                lo[0][c] = lo[0][c].min(p.pos[c]);
+                hi[0][c] = hi[0][c].max(p.pos[c]);
+            }
+        }
+        for lane in 1..4 {
+            for c in 0..3 {
+                lo[0][c] = lo[0][c].min(lo[lane][c]);
+                hi[0][c] = hi[0][c].max(hi[lane][c]);
+            }
+        }
+        Aabb {
+            min: Vec3::new(lo[0][0] as f64, lo[0][1] as f64, lo[0][2] as f64),
+            max: Vec3::new(hi[0][0] as f64, hi[0][1] as f64, hi[0][2] as f64),
+        }
     }
 
     /// Centroid of the points; `None` for the empty cloud.

@@ -109,8 +109,9 @@ impl SyntheticBody {
         }
     }
 
-    /// The skeleton posed at time `t` seconds.
-    fn capsules_at(&self, t: f64) -> Vec<Capsule> {
+    /// The skeleton posed at time `t` seconds. The body is always exactly
+    /// these 10 primitives, so the pose needs no heap allocation.
+    fn capsules_at(&self, t: f64) -> [Capsule; 10] {
         let phase = std::f64::consts::TAU * self.gait_hz * t;
         let turn = self.turn_rate * t;
         let (s, c) = turn.sin_cos();
@@ -172,36 +173,44 @@ impl SyntheticBody {
             ]
         };
 
-        let mut caps = Vec::with_capacity(11);
-        // Torso.
-        caps.push(Capsule {
+        let torso = Capsule {
             a: place(Vec3::new(0.0, hip_y, 0.0)),
             b: place(Vec3::new(0.0, shoulder_y, 0.0)),
             r: 0.16,
             color: shirt,
-        });
-        // Head.
-        caps.push(Capsule {
+        };
+        let head = Capsule {
             a: place(Vec3::new(0.0, head_y, 0.0)),
             b: place(Vec3::new(0.0, head_y + 0.12, 0.0)),
             r: 0.11,
             color: skin,
-        });
-        caps.extend(leg(1.0, swing));
-        caps.extend(leg(-1.0, -swing));
-        caps.extend(arm(1.0, arm_swing));
-        caps.extend(arm(-1.0, -arm_swing));
-        caps
+        };
+        let [lr0, lr1] = leg(1.0, swing);
+        let [ll0, ll1] = leg(-1.0, -swing);
+        let [ar0, ar1] = arm(1.0, arm_swing);
+        let [al0, al1] = arm(-1.0, -arm_swing);
+        [torso, head, lr0, lr1, ll0, ll1, ar0, ar1, al0, al1]
     }
 
     /// Generates frame `frame_idx` with exactly `target_points` points.
     pub fn frame(&self, frame_idx: u64, target_points: usize) -> PointCloud {
+        let mut out = PointCloud::new();
+        self.frame_into(frame_idx, target_points, &mut out);
+        out
+    }
+
+    /// Generates frame `frame_idx` into `out` (cleared first), reusing its
+    /// allocation. Identical points to [`SyntheticBody::frame`]; a warmed
+    /// `out` makes per-frame generation allocation-free.
+    pub fn frame_into(&self, frame_idx: u64, target_points: usize, out: &mut PointCloud) {
         let t = frame_idx as f64 / self.fps;
         let caps = self.capsules_at(t);
         let total_area: f64 = caps.iter().map(|c| c.area()).sum();
         let mut rng = Rng::seed_from_u64(self.seed ^ frame_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
-        let mut points = Vec::with_capacity(target_points);
+        let points = &mut out.points;
+        points.clear();
+        points.reserve(target_points);
         // Allocate points proportionally to area; round-robin remainder.
         let mut allocated = 0usize;
         for (i, cap) in caps.iter().enumerate() {
@@ -223,7 +232,6 @@ impl SyntheticBody {
                 points.push(Point::new([p.x as f32, p.y as f32, p.z as f32], col));
             }
         }
-        PointCloud::from_points(points)
     }
 }
 
@@ -254,6 +262,16 @@ mod tests {
         let a = body.frame(7, 5_000);
         let b = body.frame(7, 5_000);
         assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn frame_into_reuse_matches_fresh_frames() {
+        let body = SyntheticBody::default();
+        let mut reused = PointCloud::new();
+        for frame in [0u64, 3, 9, 4] {
+            body.frame_into(frame, 2_000, &mut reused);
+            assert_eq!(reused.points, body.frame(frame, 2_000).points);
+        }
     }
 
     #[test]

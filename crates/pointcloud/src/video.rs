@@ -1,7 +1,7 @@
 //! Volumetric video sequences: frames + quality ladder + cell sizes.
 
 use crate::cells::{CellGrid, CellInfo};
-use crate::codec::{encode, CodecConfig, CodecStats, EncodedCloud};
+use crate::codec::{encode, CodecConfig, CodecStats, EncodedCloud, Encoder};
 use crate::point::PointCloud;
 use crate::quality::{Quality, QualityLadder, QualityLevel};
 use crate::synthetic::SyntheticBody;
@@ -54,11 +54,25 @@ impl VideoSequence {
             .frame(idx % self.num_frames.max(1), q.points_per_frame)
     }
 
+    /// Generates frame `idx` at `level` quality into `out` (cleared first),
+    /// reusing its allocation across frames.
+    pub fn frame_into(&self, idx: u64, level: QualityLevel, out: &mut PointCloud) {
+        let q = self.ladder.get(level);
+        self.body
+            .frame_into(idx % self.num_frames.max(1), q.points_per_frame, out);
+    }
+
     /// Generates a reduced-density frame for fast analytical experiments
     /// (e.g. visibility statistics, where cell occupancy — not raw density —
     /// matters). `points` is the target count.
     pub fn frame_with_density(&self, idx: u64, points: usize) -> PointCloud {
         self.body.frame(idx % self.num_frames.max(1), points)
+    }
+
+    /// Reusable-buffer variant of [`VideoSequence::frame_with_density`].
+    pub fn frame_with_density_into(&self, idx: u64, points: usize, out: &mut PointCloud) {
+        self.body
+            .frame_into(idx % self.num_frames.max(1), points, out);
     }
 
     /// Encodes a frame, returning the bitstream and codec statistics.
@@ -69,6 +83,24 @@ impl VideoSequence {
         cfg: &CodecConfig,
     ) -> (EncodedCloud, CodecStats) {
         encode(&self.frame(idx, level), cfg)
+    }
+
+    /// Reusable variant of [`VideoSequence::encode_frame`]: generates the
+    /// frame into `scratch` and encodes it into `out` through the
+    /// caller-owned `enc`. With warmed buffers the whole generate+encode
+    /// step is allocation-free; the bitstream is byte-identical to
+    /// [`VideoSequence::encode_frame`].
+    pub fn encode_frame_into(
+        &self,
+        idx: u64,
+        level: QualityLevel,
+        cfg: &CodecConfig,
+        enc: &mut Encoder,
+        scratch: &mut PointCloud,
+        out: &mut Vec<u8>,
+    ) -> CodecStats {
+        self.frame_into(idx, level, scratch);
+        enc.encode_into(scratch, cfg, out)
     }
 
     /// Partitions a frame into cells, returning both the cells and the
@@ -149,5 +181,28 @@ mod tests {
         let (enc, stats) = v.encode_frame(0, QualityLevel::Low, &CodecConfig::default());
         assert_eq!(stats.input_points, 3_000);
         assert!(enc.size_bytes() > 0);
+    }
+
+    #[test]
+    fn encode_frame_into_matches_encode_frame() {
+        let mut v = VideoSequence::new(3, 30);
+        v.ladder.levels[0].points_per_frame = 2_000;
+        let cfg = CodecConfig::default();
+        let mut enc = Encoder::new();
+        let mut scratch = PointCloud::new();
+        let mut out = Vec::new();
+        for idx in [0u64, 5, 2] {
+            let stats = v.encode_frame_into(
+                idx,
+                QualityLevel::Low,
+                &cfg,
+                &mut enc,
+                &mut scratch,
+                &mut out,
+            );
+            let (expect, expect_stats) = v.encode_frame(idx, QualityLevel::Low, &cfg);
+            assert_eq!(out, expect.data, "frame {idx}");
+            assert_eq!(stats, expect_stats);
+        }
     }
 }

@@ -1,0 +1,79 @@
+//! Pins the allocation-free steady state of the frame data path.
+//!
+//! This is its own integration binary because the counting allocator is
+//! process-global: any sibling test allocating concurrently would make the
+//! counters move. Keep exactly one `#[test]` in this file.
+
+use volcast_pointcloud::codec::{CodecConfig, Encoder};
+use volcast_pointcloud::{codec::Decoder, codec::EncodedCloud, PointCloud, SyntheticBody};
+use volcast_util::obs;
+use volcast_util::scratch::counting;
+
+#[global_allocator]
+static ALLOC: counting::CountingAllocator = counting::CountingAllocator;
+
+/// After a warm-up pass, generate -> encode -> decode over the same frames
+/// must not touch the allocator at all: every buffer in the path (synthetic
+/// frame, encoder scratch arenas, bitstream, decoded cloud) is reused.
+#[test]
+fn steady_state_frame_path_does_not_allocate() {
+    // The obs registry interns metric names on first touch; disable it so
+    // the assertion holds under VOLCAST_TRACE=1 too (verify.sh runs tests
+    // with tracing on).
+    obs::set_enabled(false);
+
+    let body = SyntheticBody::default();
+    let cfg = CodecConfig {
+        depth: 9,
+        color_bits: 6,
+    };
+    const FRAMES: u64 = 8;
+    const POINTS: usize = 10_000;
+
+    let mut enc = Encoder::new();
+    let mut dec = Decoder::new();
+    let mut cloud = PointCloud::new();
+    let mut encoded = EncodedCloud { data: Vec::new() };
+    let mut decoded = PointCloud::new();
+
+    // Warm-up: two full passes over the frame set so every buffer reaches
+    // its high-watermark capacity (bitstream sizes vary slightly per frame).
+    let run_pass = |enc: &mut Encoder,
+                    dec: &mut Decoder,
+                    cloud: &mut PointCloud,
+                    encoded: &mut EncodedCloud,
+                    decoded: &mut PointCloud| {
+        let mut voxels = 0usize;
+        for f in 0..FRAMES {
+            body.frame_into(f, POINTS, cloud);
+            let stats = enc.encode_into(cloud, &cfg, &mut encoded.data);
+            voxels += dec.decode_into(encoded, decoded).unwrap();
+            assert_eq!(decoded.len(), stats.voxels);
+        }
+        voxels
+    };
+    for _ in 0..2 {
+        run_pass(&mut enc, &mut dec, &mut cloud, &mut encoded, &mut decoded);
+    }
+
+    let allocs_before = counting::allocations();
+    let deallocs_before = counting::deallocations();
+    let mut total_voxels = 0usize;
+    for _ in 0..5 {
+        total_voxels += run_pass(&mut enc, &mut dec, &mut cloud, &mut encoded, &mut decoded);
+    }
+    let allocs_after = counting::allocations();
+    let deallocs_after = counting::deallocations();
+
+    assert!(total_voxels > 0, "decode produced no voxels");
+    assert_eq!(
+        allocs_after - allocs_before,
+        0,
+        "steady-state frame path allocated"
+    );
+    assert_eq!(
+        deallocs_after - deallocs_before,
+        0,
+        "steady-state frame path deallocated"
+    );
+}

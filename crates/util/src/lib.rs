@@ -28,6 +28,10 @@
 //!   histograms, wall-clock spans) gated by `VOLCAST_TRACE`, with
 //!   per-thread sinks that merge deterministically at [`par`] join and a
 //!   JSON-exportable [`obs::MetricsSnapshot`].
+//! - [`scratch`] — reusable scratch buffers ([`scratch::ScratchVec`],
+//!   [`scratch::Pool`]) with high-watermark gauges, plus a counting global
+//!   allocator ([`scratch::counting`]) for pinning zero-allocation
+//!   steady states in tests.
 //!
 //! ## Determinism guarantees
 //!
@@ -56,7 +60,10 @@
 //! assert_eq!(users.to_json().to_json_string(), "[1,2,3]");
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is
+// `scratch::counting`, whose `GlobalAlloc` impl is unsafe by definition
+// and carries a scoped `#[allow(unsafe_code)]`.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 // The `prop` docs show `proptest! { #[test] fn ... }` exactly as callers
 // write it; those examples are compile-checked, not run, which is intended.
@@ -67,4 +74,5 @@ pub mod obs;
 pub mod par;
 pub mod prop;
 pub mod rng;
+pub mod scratch;
 pub mod timing;

@@ -56,6 +56,11 @@ pub struct JointPredictor {
     last: Vec<Option<SixDof>>,
     /// Correction configuration.
     pub config: JointConfig,
+    /// Reused working buffers for [`JointPredictor::predict_frame_into`]
+    /// (predictions and current poses), so steady-state prediction
+    /// allocates nothing.
+    scratch_preds: Vec<SixDof>,
+    scratch_current: Vec<SixDof>,
 }
 
 impl JointPredictor {
@@ -66,6 +71,8 @@ impl JointPredictor {
             bases: (0..users).map(|_| LinearPredictor::new(window)).collect(),
             last: vec![None; users],
             config,
+            scratch_preds: Vec::new(),
+            scratch_current: Vec::new(),
         }
     }
 
@@ -87,11 +94,56 @@ impl JointPredictor {
     /// Predicts every user's pose `horizon` frames ahead, with interaction
     /// corrections. Returns `None` until all users have enough history.
     pub fn predict_frame(&self, horizon: usize) -> Option<Vec<Pose>> {
-        let raw: Option<Vec<SixDof>> = self.bases.iter().map(|b| b.predict(horizon)).collect();
-        let mut preds = raw?;
+        let mut preds = Vec::new();
+        let mut current = Vec::new();
+        if !self.predict_core(horizon, &mut preds, &mut current) {
+            return None;
+        }
+        Some(preds.into_iter().map(Pose::from_sixdof).collect())
+    }
+
+    /// Scratch-reusing variant of [`JointPredictor::predict_frame`]: fills
+    /// `out` (cleared first) and returns whether a prediction was available.
+    /// Working buffers live in the predictor, so a steady-state prediction
+    /// loop allocates nothing. Results are identical to `predict_frame`.
+    pub fn predict_frame_into(&mut self, horizon: usize, out: &mut Vec<Pose>) -> bool {
+        out.clear();
+        let mut preds = std::mem::take(&mut self.scratch_preds);
+        let mut current = std::mem::take(&mut self.scratch_current);
+        let ok = self.predict_core(horizon, &mut preds, &mut current);
+        if ok {
+            out.extend(preds.iter().copied().map(Pose::from_sixdof));
+        }
+        self.scratch_preds = preds;
+        self.scratch_current = current;
+        ok
+    }
+
+    /// Shared core of the two `predict_frame` entry points: fills `preds`
+    /// and `current` (cleared first) and applies the interaction
+    /// corrections. Returns `false` until all users have enough history.
+    fn predict_core(
+        &self,
+        horizon: usize,
+        preds: &mut Vec<SixDof>,
+        current: &mut Vec<SixDof>,
+    ) -> bool {
+        preds.clear();
+        current.clear();
+        for b in &self.bases {
+            match b.predict(horizon) {
+                Some(s) => preds.push(s),
+                None => return false,
+            }
+        }
         // A user with no observed pose yet means "not enough history" —
-        // report None like the base-predictor path above, never panic.
-        let current: Vec<SixDof> = self.last.iter().copied().collect::<Option<Vec<_>>>()?;
+        // report a miss like the base-predictor path above, never panic.
+        for l in &self.last {
+            match l {
+                Some(s) => current.push(*s),
+                None => return false,
+            }
+        }
 
         // 1. Proximity damping: pull conflicting predictions back toward
         //    the users' current positions.
@@ -147,7 +199,7 @@ impl JointPredictor {
             }
         }
 
-        Some(preds.into_iter().map(Pose::from_sixdof).collect())
+        true
     }
 
     /// Predicts without interaction corrections (the naive baseline used in

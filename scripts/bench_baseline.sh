@@ -1,10 +1,13 @@
 #!/usr/bin/env sh
 # Records the perf trajectory of the parallel/cached hot kernels: runs the
-# microbench suite in --json mode, which writes BENCH_visibility.json and
-# BENCH_codebook.json at the repository root (median ns per iteration at
-# 1 and 4 worker threads, host thread budget, git revision). Commit the
-# refreshed files alongside perf-relevant changes so regressions are
-# visible in review as a plain diff.
+# microbench suite in --json mode, which writes BENCH_visibility.json,
+# BENCH_codebook.json, BENCH_codec.json and BENCH_session.json at the
+# repository root (median ns per iteration, host thread budget, git
+# revision). The codec report compares the reused-arena encoder against a
+# faithful copy of the pre-arena seed encoder (same bitstream, naive
+# per-call allocation); the session report times the double-buffered frame
+# loop end to end. Commit the refreshed files alongside perf-relevant
+# changes so regressions are visible in review as a plain diff.
 #
 # Usage: scripts/bench_baseline.sh [extra args passed to the bench binary]
 # Knobs: VOLCAST_BENCH_SAMPLES (default 20 timed samples per bench).

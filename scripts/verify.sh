@@ -27,6 +27,13 @@ VOLCAST_THREADS=4 cargo test --workspace -q
 echo "==> cargo test (VOLCAST_TRACE=1: suite passes with tracing on)"
 VOLCAST_TRACE=1 cargo test --workspace -q
 
+echo "==> codec round-trip is allocation-free under the counting allocator"
+# Own test binary: the counting global allocator is process-wide, so the
+# steady-state assertion must not share a process with other tests. Run in
+# release (the assertion is about the optimized frame path) and with
+# tracing on — the test disables obs itself and must stay green anyway.
+VOLCAST_TRACE=1 cargo test --release -q -p volcast-pointcloud --test codec_alloc
+
 echo "==> fig2a regenerates byte-identically at both thread counts"
 tmp_fig2a="$(mktemp)"
 tmp_obs="$(mktemp -d)"
