@@ -433,7 +433,7 @@ fn bench_session_frame(h: &mut Harness) {
                 s.params.fixed_quality = Some(QualityLevel::Low);
                 s
             },
-            |mut s| s.run(),
+            |mut s| s.run().unwrap(),
         )
     });
 }

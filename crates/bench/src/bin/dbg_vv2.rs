@@ -8,7 +8,7 @@ fn main() {
             let mut s = quick_session_with_device(player, n, 60, 42, DeviceClass::Phone);
             s.params.fixed_quality = Some(QualityLevel::High);
             s.params.analysis_points = 8_000;
-            let out = s.run();
+            let out = s.run().unwrap();
             println!(
                 "{n} {:?}: fps {:.1} stalls {:.3} frame_ms {:.1} mcast {:.0}%",
                 player,

@@ -35,7 +35,7 @@ fn main() {
         s.params.abr = abr;
         s.params.mitigation = mitigation;
         s.params.analysis_points = 10_000;
-        let out = s.run();
+        let out = s.run().unwrap();
         println!(
             "{:<34} {:>9.1} {:>9.3} {:>9.2} {:>10.0}%",
             label,

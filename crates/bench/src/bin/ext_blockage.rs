@@ -62,7 +62,7 @@ fn main() {
             // Crossing between the viewer arc (z ~ 1-2) and the AP wall.
             s.walkers.push(walker(frames, 2.0, 1.2));
         }
-        let out = s.run();
+        let out = s.run().unwrap();
         let stall_per_user: f64 =
             out.qoe.users.iter().map(|u| u.stall_time_s).sum::<f64>() / out.qoe.users.len() as f64;
         println!(

@@ -37,7 +37,7 @@ fn main() {
         let mut s = quick_session_with_device(player, n, 90, 42, DeviceClass::Phone);
         s.params.fixed_quality = Some(QualityLevel::High);
         s.params.analysis_points = 10_000;
-        let out = s.run();
+        let out = s.run().unwrap();
         format!(
             "{:<6} {:<18} {:>9.1} {:>12.3} {:>12.2} {:>11.0}%",
             n,

@@ -32,7 +32,7 @@ fn main() {
         s.params.config.cell_size = cell;
         s.params.fixed_quality = Some(QualityLevel::High);
         s.params.analysis_points = 10_000;
-        let out = s.run();
+        let out = s.run().unwrap();
         format!(
             "{:<10} {:>9.1} {:>12.3} {:>11.0}% {:>12.2}",
             format!("{} cm", (cell * 100.0) as u32),
@@ -71,7 +71,7 @@ fn main() {
             s.params.config.prediction_horizon = horizon;
             s.params.fixed_quality = Some(QualityLevel::High);
             s.params.analysis_points = 10_000;
-            let out = s.run();
+            let out = s.run().unwrap();
             format!(
                 "{:<26} {:>9.1} {:>12.3} {:>14.3}",
                 label,

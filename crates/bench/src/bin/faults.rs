@@ -1,0 +1,83 @@
+//! Fault-scenario matrix: deterministic fault injection, end to end.
+//!
+//! Runs a fixed matrix of fault scenarios (outage bursts, blockage storms,
+//! AP stalls, transmission loss, decode overruns, a scripted blackout, and
+//! all of them combined) through the full Volcast session engine and
+//! prints, per scenario, the FNV-1a hash of the serialized
+//! [`SessionOutcome`] plus the headline degradation stats. The hash rows
+//! are the determinism contract: `scripts/fault_matrix.sh` re-runs the
+//! matrix at `VOLCAST_THREADS=1` and `=4` and diffs the outputs byte for
+//! byte, so any fault-path divergence across worker counts fails CI.
+//!
+//! Under `VOLCAST_TRACE=1` each scenario also dumps its deterministic obs
+//! snapshot to `results/obs_faults_<name>.json` (fault activations, ladder
+//! reactions, retransmits), auditable the same way.
+//!
+//! Run: `cargo run --release -p volcast-bench --bin faults`
+
+use volcast_core::session::quick_session_with_device;
+use volcast_core::PlayerKind;
+use volcast_net::FaultConfig;
+use volcast_util::hash::fnv1a;
+use volcast_util::json::ToJson;
+use volcast_util::obs;
+use volcast_viewport::DeviceClass;
+
+/// The scenario matrix: name + fault spec (empty = fault-free baseline).
+const SCENARIOS: &[(&str, &str)] = &[
+    ("baseline", ""),
+    ("outage_burst", "seed=11,outage=0.04:6"),
+    ("blockage_storm", "seed=12,blockage=0.10:4"),
+    ("ap_stall", "seed=13,stall=0.10:3"),
+    ("loss", "seed=14,loss=0.08"),
+    ("decode", "seed=15,decode=0.06"),
+    ("blackout", "seed=16,blackout=16:8"),
+    (
+        "combined",
+        "seed=17,outage=0.02:4,blockage=0.05:3,stall=0.02:2,loss=0.04,decode=0.03,blackout=30:6",
+    ),
+];
+
+const USERS: usize = 4;
+const FRAMES: usize = 48;
+
+fn main() {
+    println!(
+        "Fault-scenario matrix: {USERS} phone users, {FRAMES} frames, adaptive quality, Volcast"
+    );
+    println!("(hash = FNV-1a of the serialized SessionOutcome; thread-count invariant)\n");
+    println!(
+        "{:<16} {:>18} | {:>6} {:>6} | {:>6} {:>7} {:>7}",
+        "scenario", "outcome-fnv", "fault", "recov", "fps", "stall%", "quality"
+    );
+    println!("{}", "-".repeat(78));
+
+    for &(name, spec) in SCENARIOS {
+        obs::reset();
+        let cfg = FaultConfig::from_spec(spec).unwrap_or_else(|e| panic!("scenario {name}: {e}"));
+        let mut s =
+            quick_session_with_device(PlayerKind::Volcast, USERS, FRAMES, 42, DeviceClass::Phone);
+        s.params.analysis_points = 8_000;
+        if !cfg.is_quiet() {
+            s.params.faults = Some(cfg);
+        }
+        let out = s
+            .run()
+            .unwrap_or_else(|e| panic!("scenario {name} failed: {e}"));
+        let hash = fnv1a(out.to_json().to_json_string().as_bytes());
+        println!(
+            "{:<16} 0x{:016x} | {:>6} {:>6} | {:>6.1} {:>6.1}% {:>7.2}",
+            name,
+            hash,
+            out.fault_user_frames,
+            out.recovered_user_frames,
+            out.qoe.mean_fps(),
+            out.qoe.mean_stall_ratio() * 100.0,
+            out.qoe.mean_quality_score(),
+        );
+        volcast_bench::dump_obs(&format!("faults_{name}"));
+    }
+
+    println!("\nEvery faulted scenario must complete without panics; the blackout");
+    println!("window degrades (stalls, quality clamps) and recovers once it ends.");
+}

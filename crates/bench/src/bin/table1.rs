@@ -10,7 +10,7 @@
 
 use volcast_bench::Context;
 use volcast_core::max_sustainable_fps;
-use volcast_net::{AcMac, AdMac};
+use volcast_net::{AcMac, AdMac, MacModel};
 use volcast_pointcloud::{CellGrid, DecodeModel, Quality, QualityLevel, SyntheticBody};
 use volcast_viewport::{VisibilityComputer, VisibilityOptions};
 

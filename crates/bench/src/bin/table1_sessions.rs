@@ -23,7 +23,7 @@ fn fps(radio: RadioKind, player: PlayerKind, users: usize, quality: QualityLevel
     s.params.fixed_quality = Some(quality);
     s.params.analysis_points = 8_000;
     s.params.body_blockage = false;
-    s.run().qoe.mean_fps()
+    s.run().unwrap().qoe.mean_fps()
 }
 
 fn main() {

@@ -31,8 +31,8 @@
 //! // Two seeded runs of the full end-to-end session agree exactly.
 //! let params = SessionParams { frames: 5, analysis_points: 2_000, ..SessionParams::default() };
 //! let traces = UserStudy::generate_with(7, 5, 1, 1).traces;
-//! let a = StreamingSession::new(params.clone(), traces.clone()).run();
-//! let b = StreamingSession::new(params, traces).run();
+//! let a = StreamingSession::new(params.clone(), traces.clone()).run().unwrap();
+//! let b = StreamingSession::new(params, traces).run().unwrap();
 //! assert_eq!(a.qoe.mean_fps(), b.qoe.mean_fps());
 //! ```
 
@@ -41,6 +41,7 @@
 
 pub mod bandwidth;
 pub mod config;
+pub mod error;
 pub mod grouping;
 pub mod mitigation;
 pub mod multi_ap;
@@ -51,6 +52,7 @@ pub mod session;
 
 pub use bandwidth::{BandwidthPredictor, CrossLayerInputs};
 pub use config::SystemConfig;
+pub use error::VolcastError;
 pub use grouping::{Group, GroupPlan, GroupPlanner, GroupingInputs};
 pub use mitigation::{BlockageMitigator, MitigationAction, MitigationMode};
 pub use multi_ap::{ApAssignment, MultiApCoordinator};

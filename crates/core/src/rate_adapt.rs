@@ -149,6 +149,20 @@ impl RateAdapter {
         };
         RateDecision { quality, actions }
     }
+
+    /// The graceful-degradation rung of the ladder: clamps a decided
+    /// quality by the user's *distress* level (consecutive faulted frames
+    /// tracked by the session — outages, losses, stalls). Light distress
+    /// steps one level down; sustained distress pins the bottom of the
+    /// ladder until the link proves itself again. Zero distress is the
+    /// identity, so fault-free sessions are untouched.
+    pub fn degrade(&self, quality: QualityLevel, distress: u32) -> QualityLevel {
+        match distress {
+            0..=1 => quality,
+            2..=3 => quality.lower().unwrap_or(quality),
+            _ => QualityLevel::Low,
+        }
+    }
 }
 
 // JSON serialization (replaces the former serde derives; see volcast-util).
@@ -259,6 +273,21 @@ mod tests {
         assert!(d.actions.contains(&RateAction::Regroup));
         let stable = a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 1.0, 1.0);
         assert!(!stable.actions.contains(&RateAction::Regroup));
+    }
+
+    #[test]
+    fn degrade_clamps_by_distress() {
+        let a = warmed(AbrPolicy::CrossLayer, 1000.0);
+        // Zero / light distress: identity.
+        assert_eq!(a.degrade(QualityLevel::High, 0), QualityLevel::High);
+        assert_eq!(a.degrade(QualityLevel::Low, 1), QualityLevel::Low);
+        // Moderate distress: one step down (saturating at the bottom).
+        assert_eq!(a.degrade(QualityLevel::High, 2), QualityLevel::Medium);
+        assert_eq!(a.degrade(QualityLevel::Medium, 3), QualityLevel::Low);
+        assert_eq!(a.degrade(QualityLevel::Low, 2), QualityLevel::Low);
+        // Sustained distress: the bottom of the ladder.
+        assert_eq!(a.degrade(QualityLevel::High, 4), QualityLevel::Low);
+        assert_eq!(a.degrade(QualityLevel::High, 100), QualityLevel::Low);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use crate::bandwidth::CrossLayerInputs;
 use crate::config::SystemConfig;
+use crate::error::VolcastError;
 use crate::grouping::{Group, GroupPlanner, GroupingInputs};
 use crate::mitigation::{BlockageMitigator, MitigationMode};
 use crate::player::PlayerKind;
@@ -30,8 +31,8 @@ use crate::qoe::QoeReport;
 use crate::rate_adapt::{AbrPolicy, RateAdapter};
 use volcast_mmwave::{Blocker, Channel, Codebook, McsTable, MultiLobeDesigner};
 use volcast_net::{
-    AcMac, AdMac, BacklogPolicy, MacModel, SimTime, Simulator, TransmissionPlan, TxItem,
-    Wifi5Channel,
+    AcMac, AdMac, BacklogPolicy, FaultConfig, FaultPlan, MacModel, SimTime, Simulator,
+    TransmissionPlan, TxItem, Wifi5Channel,
 };
 use volcast_pointcloud::{CellGrid, DecodeModel, QualityLevel, VideoSequence};
 use volcast_util::{obs, par};
@@ -94,6 +95,8 @@ pub struct SessionParams {
     pub body_blockage: bool,
     /// The radio technology (mmWave 802.11ad or baseline 802.11ac).
     pub radio: RadioKind,
+    /// Deterministic fault injection, or `None` for a fault-free run.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for SessionParams {
@@ -110,7 +113,36 @@ impl Default for SessionParams {
             use_prediction: true,
             body_blockage: true,
             radio: RadioKind::MmWave,
+            faults: None,
         }
+    }
+}
+
+impl SessionParams {
+    /// Validates the parameters, surfacing what used to be deep-loop
+    /// panics (or silent nonsense) as errors: a session needs at least one
+    /// frame, a positive frame interval, a nonzero analysis density, and a
+    /// well-formed fault configuration.
+    pub fn validate(&self) -> Result<(), VolcastError> {
+        if self.frames == 0 {
+            return Err(VolcastError::InvalidParams("frames must be >= 1".into()));
+        }
+        if self.analysis_points == 0 {
+            return Err(VolcastError::InvalidParams(
+                "analysis_points must be >= 1".into(),
+            ));
+        }
+        let interval = self.config.frame_interval_s();
+        if !(interval > 0.0 && interval.is_finite()) {
+            return Err(VolcastError::InvalidParams(format!(
+                "frame interval {interval} s (target_fps {}) must be positive and finite",
+                self.config.target_fps
+            )));
+        }
+        if let Some(cfg) = &self.faults {
+            cfg.validate()?;
+        }
+        Ok(())
     }
 }
 
@@ -138,6 +170,14 @@ pub struct SessionOutcome {
     /// semantics. Ignores client buffers/decode — it isolates how much the
     /// *schedule itself* fits the medium.
     pub pipelined_on_time_ratio: f64,
+    /// Count of (user, frame) pairs hit by an injected fault (outage,
+    /// blockage, loss, decode overrun, or an AP stall covering everyone).
+    /// 0 for fault-free runs.
+    pub fault_user_frames: usize,
+    /// Of [`fault_user_frames`](Self::fault_user_frames), how many still
+    /// rendered on time — absorbed by the degradation ladder (buffer
+    /// playback, retransmit, quality fall-down) rather than stalling.
+    pub recovered_user_frames: usize,
 }
 
 /// The end-to-end session.
@@ -193,8 +233,38 @@ impl StreamingSession {
     }
 
     /// Runs the session, returning aggregate QoE and system statistics.
-    pub fn run(&mut self) -> SessionOutcome {
+    ///
+    /// Errors — instead of panicking deep in the frame loop — on invalid
+    /// [`SessionParams`] (see [`SessionParams::validate`]), degenerate
+    /// traces (no users, an empty trace), or an out-of-range fault
+    /// configuration.
+    pub fn run(&mut self) -> Result<SessionOutcome, VolcastError> {
+        self.params.validate()?;
+        if self.traces.is_empty() {
+            return Err(VolcastError::InvalidTraces("no user traces".into()));
+        }
+        if let Some(u) = self.traces.iter().position(|t| t.is_empty()) {
+            return Err(VolcastError::InvalidTraces(format!(
+                "user {u} has an empty trace"
+            )));
+        }
+        if let Some(w) = self.walkers.iter().position(|t| t.is_empty()) {
+            return Err(VolcastError::InvalidTraces(format!(
+                "walker {w} has an empty trace"
+            )));
+        }
         let n = self.traces.len();
+        // The fault schedule is materialized up front: one shared, immutable
+        // plan consulted by the frame loop and the pipelined replay.
+        let fault_plan = match &self.params.faults {
+            Some(cfg) => {
+                FaultPlan::generate(*cfg, self.params.frames, n).map_err(VolcastError::Net)?
+            }
+            None => FaultPlan::quiet(),
+        };
+        // The degradation ladder only engages on faulted runs, so fault-free
+        // sessions behave bit-identically to a build without this module.
+        let have_faults = !fault_plan.is_quiet();
         let mac: MacDispatch<'_> = match self.params.radio {
             RadioKind::MmWave => MacDispatch::Ad(&self.mac),
             RadioKind::Wifi5 => MacDispatch::Ac(&self.ac_mac),
@@ -234,6 +304,13 @@ impl StreamingSession {
         let mut needed_bytes = vec![0.0f64; n];
         let mut outage_pending: Vec<f64> = Vec::with_capacity(n);
         let mut analysis_cloud = volcast_pointcloud::PointCloud::new();
+        // Degradation-ladder state (see DESIGN.md §11): per-user distress
+        // counters drive the quality fall-down, `retransmitted` marks users
+        // whose lost payload was re-sent within the frame's airtime budget.
+        let mut distress = vec![0u32; n];
+        let mut retransmitted = vec![false; n];
+        let mut fault_user_frames = 0usize;
+        let mut recovered_user_frames = 0usize;
 
         let mut total_bytes = 0.0f64;
         let mut multicast_bytes = 0.0f64;
@@ -250,6 +327,28 @@ impl StreamingSession {
         for f in 0..self.params.frames {
             let _frame_span = obs::span("session.frame");
             obs::inc("session.frames");
+            let fault_now = fault_plan.at(f);
+            if have_faults && obs::enabled() && !fault_now.is_quiet() {
+                obs::add(
+                    "session.faults.outage_user_frames",
+                    fault_now.outage.count_ones() as u64,
+                );
+                obs::add(
+                    "session.faults.blockage_user_frames",
+                    fault_now.blockage.count_ones() as u64,
+                );
+                obs::add(
+                    "session.faults.loss_user_frames",
+                    fault_now.loss.count_ones() as u64,
+                );
+                obs::add(
+                    "session.faults.decode_overruns",
+                    fault_now.decode_overrun.count_ones() as u64,
+                );
+                if fault_now.ap_stall {
+                    obs::inc("session.faults.ap_stall_frames");
+                }
+            }
             // --- 1. observe current poses ------------------------------
             poses.clear();
             poses.extend((0..n).map(|u| self.traces[u].pose(f)));
@@ -308,6 +407,16 @@ impl StreamingSession {
                         .iter()
                         .any(|&w| forecaster.is_blocked(poses[u].position, w)))
             }));
+            // Injected blockage episodes: a phantom body parks on the
+            // user's LoS. It enters both the mitigation logic (via
+            // `blocked_now`) and the channel itself (the rss closure below
+            // drops a blocker onto the path), so the whole proactive /
+            // reactive machinery reacts exactly as for an organic body.
+            if have_faults && fault_now.blockage != 0 {
+                for (u, b) in blocked_now.iter_mut().enumerate() {
+                    *b |= fault_now.blockage_for(u);
+                }
+            }
             let blocked_count = blocked_now.iter().filter(|&&b| b).count();
             blocked_user_frames += blocked_count;
             obs::add("session.blocked_user_frames", blocked_count as u64);
@@ -348,6 +457,7 @@ impl StreamingSession {
             // so they are evaluated in parallel (input order preserved).
             let rss: Vec<f64> = par::par_map_indexed(&poses, |u, _| {
                 {
+                    let injected_blockage = have_faults && fault_now.blockage_for(u);
                     if is_wifi5 {
                         // Log-distance 5 GHz link; bodies shadow mildly.
                         let d = self.channel.array.position.distance(poses[u].position);
@@ -361,10 +471,17 @@ impl StreamingSession {
                                 .count()
                         } else {
                             0
-                        };
+                        } + injected_blockage as usize;
                         return self.wifi5.rss_dbm(d, shadows);
                     }
-                    let bl = blockers_excl(u);
+                    let mut bl = blockers_excl(u);
+                    if injected_blockage {
+                        // The phantom body stands mid-path between the AP
+                        // and the user: guaranteed LoS intersection.
+                        bl.push(Blocker::person(
+                            self.channel.array.position.lerp(poses[u].position, 0.5),
+                        ));
+                    }
                     if blocked_now[u] {
                         match self.params.mitigation {
                             MitigationMode::Proactive => {
@@ -383,6 +500,18 @@ impl StreamingSession {
                     }
                 }
             });
+            // Injected link outage: the PHY collapses outright, below every
+            // MCS sensitivity. Downstream this zeroes the user's rate, so
+            // admission control defers their bursts and the degradation
+            // ladder (buffer playback, regrouping) takes over.
+            let rss: Vec<f64> = if have_faults && fault_now.outage != 0 {
+                rss.iter()
+                    .enumerate()
+                    .map(|(u, &r)| if fault_now.outage_for(u) { -100.0 } else { r })
+                    .collect()
+            } else {
+                rss
+            };
             let mcs_table = if is_wifi5 { &self.vht } else { &self.mcs };
             unicast_phy.clear();
             unicast_phy.extend(rss.iter().map(|&r| mcs_table.phy_rate_mbps(r)));
@@ -452,6 +581,20 @@ impl StreamingSession {
                                 .decide(u, &inputs, 1.0 / n as f64, needed_fraction[u])
                                 .quality,
                         );
+                    }
+                }
+            }
+            // Graceful degradation, rung 1: quality fall-down. Users under
+            // sustained faults (distress accumulated over recent frames)
+            // are clamped down the ladder — shrinking their payload is the
+            // cheapest way to fit a degraded link. Fault-free runs have
+            // zero distress everywhere: the clamp is the identity.
+            if have_faults {
+                for u in 0..n {
+                    let clamped = adapter.degrade(qualities[u], distress[u]);
+                    if clamped != qualities[u] {
+                        qualities[u] = clamped;
+                        obs::inc("session.degrade.quality_clamps");
                     }
                 }
             }
@@ -571,13 +714,45 @@ impl StreamingSession {
                         rate_cache.borrow_mut().insert(members.to_vec(), r);
                         r
                     };
-                    let gp = planner.plan(&GroupingInputs {
+                    let mut gp = planner.plan(&GroupingInputs {
                         maps: &maps,
                         partition: &partition,
                         cell_sizes: &cell_sizes,
                         unicast_rate_mbps: &unicast_phy,
                         multicast_rate_mbps: &group_rate,
                     });
+                    // Graceful degradation, rung 3: multicast re-planning.
+                    // A member in an injected outage cannot receive the
+                    // group's burst — drop them from their group so the
+                    // multicast item doesn't (falsely) mark them complete,
+                    // and carry them on as singletons whose unicast leg the
+                    // admission control defers while the outage lasts. The
+                    // surviving members' shared-byte figure is kept (the
+                    // overlap of a subset is a superset — the planner's
+                    // price is a safe underestimate of the sharing), and
+                    // the `beneficial` re-check below still applies.
+                    if have_faults && fault_now.outage != 0 {
+                        let mut severed: Vec<usize> = Vec::new();
+                        for g in &mut gp.groups {
+                            if g.members.iter().any(|&u| fault_now.outage_for(u)) {
+                                severed
+                                    .extend(g.members.iter().filter(|&&u| fault_now.outage_for(u)));
+                                g.members.retain(|&u| !fault_now.outage_for(u));
+                                obs::inc("session.degrade.regrouped_groups");
+                            }
+                        }
+                        gp.groups.retain(|g| !g.members.is_empty());
+                        severed.sort_unstable();
+                        for u in severed {
+                            gp.groups.push(Group {
+                                members: vec![u],
+                                multicast_bytes: 0.0,
+                                multicast_rate_mbps: 0.0,
+                                iou: 0.0,
+                            });
+                        }
+                        gp.groups.sort_by(|a, b| a.members.cmp(&b.members));
+                    }
                     // Unit (analysis-density) byte needs per member.
                     let member_unit: Vec<f64> = maps
                         .iter()
@@ -683,6 +858,53 @@ impl StreamingSession {
             }
 
             // --- 7. execute + account ----------------------------------
+            // Graceful degradation, rung 2: bounded retransmit. A user
+            // whose scheduled delivery will be lost (corrupted past the
+            // MAC's retry budget) gets exactly one re-send, paid for with a
+            // backoff surcharge and admitted only while the whole frame
+            // still fits the 3x-interval airtime window. Beyond the
+            // budget, the loss stands and the buffer absorbs it instead.
+            retransmitted.fill(false);
+            if have_faults && fault_now.loss != 0 && !fault_now.ap_stall {
+                let backoff_s = 0.1 * interval;
+                for u in 0..n {
+                    if !fault_now.loss_for(u)
+                        || fault_now.outage_for(u)
+                        || unserved[u]
+                        || needed_bytes[u] <= 0.0
+                    {
+                        continue;
+                    }
+                    let frame_air: f64 = plan
+                        .items
+                        .iter()
+                        .map(|i| i.beam_switch_s + mac.airtime_s(i.bytes, i.phy_mbps, n))
+                        .sum();
+                    let retx_air = mac.airtime_s(needed_bytes[u], unicast_phy[u], n);
+                    if frame_air.is_finite()
+                        && retx_air.is_finite()
+                        && frame_air + backoff_s + retx_air <= 3.0 * interval
+                    {
+                        let mut item = TxItem::unicast(u, needed_bytes[u], unicast_phy[u]);
+                        item.beam_switch_s = backoff_s; // MAC backoff before the re-send
+                        plan.items.push(item);
+                        retransmitted[u] = true;
+                        obs::inc("session.degrade.retransmits");
+                    } else {
+                        obs::inc("session.degrade.retransmits_deferred");
+                    }
+                }
+            }
+            // Injected AP stall: the AP transmits nothing this frame.
+            // Clear the plan (no airtime is burned) and mark every user
+            // with pending payload unserved, so they play from buffer —
+            // stall recovery without a panic, never a wedged queue.
+            if have_faults && fault_now.ap_stall {
+                plan.items.clear();
+                for u in 0..n {
+                    unserved[u] = needed_bytes[u] > 0.0;
+                }
+            }
             let timing = plan.execute(&mac, n, n);
             if obs::enabled() {
                 obs::add("session.scheduled_items", plan.items.len() as u64);
@@ -724,16 +946,24 @@ impl StreamingSession {
                 buffers[u] =
                     (buffers[u] + reserve).min(cfg.buffer_capacity_frames as f64 + reserve);
 
+                // An injected loss without a successful retransmit means the
+                // airtime was burned but nothing decodable arrived.
+                let lost = have_faults && fault_now.loss_for(u) && !retransmitted[u];
                 let delivery = if needed_bytes[u] <= 0.0 {
                     0.0 // nothing visible: trivially delivered
-                } else if unserved[u] || wasted_tx[u] {
+                } else if unserved[u] || wasted_tx[u] || lost {
                     f64::INFINITY
                 } else {
                     timing.user_completion_s[u].unwrap_or(f64::INFINITY)
                 };
-                let decode_t = self
+                let mut decode_t = self
                     .decode
                     .frame_decode_time(self.video.quality(q_u).points_per_frame);
+                if have_faults && fault_now.decode_overrun_for(u) {
+                    // The client misses its decode slot (thermal throttling,
+                    // background work): charge at least a slot and a half.
+                    decode_t = decode_t.max(1.5 * interval);
+                }
                 let t_eff = delivery.max(decode_t);
 
                 let (on_time, stall_s) = if !t_eff.is_finite() {
@@ -770,6 +1000,35 @@ impl StreamingSession {
                     obs::gauge("session.buffer_frames_peak", buffers[u]);
                 }
 
+                // Ladder bookkeeping: count fault hits and how many the
+                // degradation machinery absorbed, and roll the per-user
+                // distress counter that drives next frame's quality clamp.
+                if have_faults {
+                    let hit = fault_now.ap_stall
+                        || fault_now.outage_for(u)
+                        || fault_now.blockage_for(u)
+                        || fault_now.loss_for(u)
+                        || fault_now.decode_overrun_for(u);
+                    if hit {
+                        fault_user_frames += 1;
+                        if on_time {
+                            recovered_user_frames += 1;
+                        }
+                    }
+                    // Hard faults raise distress even when absorbed (the
+                    // link has not proven itself); soft ones only when they
+                    // actually cost a stall.
+                    let hard = fault_now.ap_stall || fault_now.outage_for(u) || lost;
+                    distress[u] = if hard || (hit && !on_time) {
+                        (distress[u] + 2).min(6)
+                    } else {
+                        distress[u].saturating_sub(1)
+                    };
+                    if obs::enabled() {
+                        obs::gauge("session.degrade.distress_peak", distress[u] as f64);
+                    }
+                }
+
                 // Feed the adapter's cross-layer predictor with this user's
                 // *delivery rate* (bytes over the airtime actually spent on
                 // their items), the quantity an ABR can measure.
@@ -793,14 +1052,17 @@ impl StreamingSession {
 
         qoe.duration_s = self.params.frames as f64 * interval;
 
-        // Pipelined network-only replay (see SessionOutcome docs).
+        // Pipelined network-only replay (see SessionOutcome docs), under
+        // the same fault schedule the frame loop saw.
         let sim = Simulator::new(
             &mac,
             n,
             n,
             SimTime::from_secs(interval),
             BacklogPolicy::Drop,
-        );
+        )
+        .map_err(VolcastError::Net)?
+        .with_faults(&fault_plan);
         let outcomes_ed = sim.run(&all_plans);
         let deadline = SimTime::from_secs(interval);
         let mut on_time = 0usize;
@@ -826,7 +1088,7 @@ impl StreamingSession {
             1.0
         };
 
-        SessionOutcome {
+        Ok(SessionOutcome {
             qoe,
             mean_frame_time_s: frame_time_sum / self.params.frames.max(1) as f64,
             multicast_byte_fraction: if total_bytes > 0.0 {
@@ -851,7 +1113,9 @@ impl StreamingSession {
                 0.0
             },
             pipelined_on_time_ratio,
-        }
+            fault_user_frames,
+            recovered_user_frames,
+        })
     }
 }
 
@@ -900,7 +1164,8 @@ volcast_util::impl_json_struct!(SessionParams {
     custom_beams,
     use_prediction,
     body_blockage,
-    radio
+    radio,
+    faults
 });
 volcast_util::impl_json_struct!(SessionOutcome {
     qoe,
@@ -910,7 +1175,9 @@ volcast_util::impl_json_struct!(SessionOutcome {
     customized_beam_fraction,
     blocked_user_frames,
     mean_prediction_error_m,
-    pipelined_on_time_ratio
+    pipelined_on_time_ratio,
+    fault_user_frames,
+    recovered_user_frames
 });
 
 #[cfg(test)]
@@ -921,7 +1188,7 @@ mod tests {
         let mut s = quick_session(player, users, 30, 7);
         s.params.analysis_points = 4_000;
         s.params.fixed_quality = Some(QualityLevel::Low);
-        s.run()
+        s.run().unwrap()
     }
 
     #[test]
@@ -951,7 +1218,7 @@ mod tests {
         let mut s = quick_session_with_device(PlayerKind::Volcast, 3, 30, 7, DeviceClass::Phone);
         s.params.analysis_points = 4_000;
         s.params.fixed_quality = Some(QualityLevel::Low);
-        let out = s.run();
+        let out = s.run().unwrap();
         assert!(
             out.multicast_byte_fraction > 0.2,
             "multicast fraction {}",
@@ -994,7 +1261,7 @@ mod tests {
         s.params.radio = RadioKind::Wifi5;
         s.params.analysis_points = 4_000;
         s.params.fixed_quality = Some(QualityLevel::Low);
-        let vivo = s.run();
+        let vivo = s.run().unwrap();
         assert_eq!(vivo.qoe.users.len(), 2);
         assert!(vivo.qoe.mean_fps() > 25.0, "{}", vivo.qoe.mean_fps());
         // ...while vanilla at Medium cannot sustain it (paper: 17.4 FPS).
@@ -1002,7 +1269,7 @@ mod tests {
         s.params.radio = RadioKind::Wifi5;
         s.params.analysis_points = 4_000;
         s.params.fixed_quality = Some(QualityLevel::Medium);
-        let vanilla = s.run();
+        let vanilla = s.run().unwrap();
         assert!(
             vanilla.qoe.mean_fps() < 27.0 && vanilla.qoe.mean_fps() > 8.0,
             "vanilla ac/2/Medium fps {}",
@@ -1018,7 +1285,7 @@ mod tests {
         s.params.radio = RadioKind::Wifi5;
         s.params.analysis_points = 4_000;
         s.params.fixed_quality = Some(QualityLevel::Low);
-        let out = s.run();
+        let out = s.run().unwrap();
         assert!(
             out.multicast_byte_fraction < 0.05,
             "legacy-rate multicast used: {}",
@@ -1032,7 +1299,7 @@ mod tests {
         s.params.analysis_points = 4_000;
         s.params.body_blockage = false;
         s.params.fixed_quality = Some(QualityLevel::Low);
-        let out = s.run();
+        let out = s.run().unwrap();
         assert_eq!(out.blocked_user_frames, 0);
     }
 
@@ -1054,7 +1321,7 @@ mod tests {
         // bottom of the ladder.
         let mut s = quick_session(PlayerKind::Vivo, 2, 40, 11);
         s.params.analysis_points = 4_000;
-        let out = s.run();
+        let out = s.run().unwrap();
         assert!(
             out.qoe.mean_quality_score() > 0.5,
             "quality stuck low: {}",

@@ -66,7 +66,7 @@ fn iou_sweep_json() -> String {
 fn session_json() -> String {
     let mut s = quick_session_with_device(PlayerKind::Volcast, 4, 12, 42, DeviceClass::Phone);
     s.params.analysis_points = 4_000;
-    s.run().to_json().to_json_string()
+    s.run().unwrap().to_json().to_json_string()
 }
 
 #[test]
@@ -93,7 +93,7 @@ fn obs_snapshot_is_thread_count_invariant() {
         obs::reset();
         let mut s = quick_session_with_device(PlayerKind::Volcast, 4, 12, 42, DeviceClass::Phone);
         s.params.analysis_points = 4_000;
-        let _ = s.run();
+        let _ = s.run().unwrap();
         let snap = obs::snapshot().deterministic();
         assert!(
             !snap.counters.is_empty(),

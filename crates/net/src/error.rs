@@ -1,0 +1,48 @@
+//! Network-layer error type.
+//!
+//! Degenerate inputs to the network substrate — malformed fault specs,
+//! out-of-range fault configurations, zero-interval simulators — used to
+//! panic deep inside the hot path. They now surface as [`NetError`] from
+//! the constructors and parsers, so callers (the session layer, the CLI)
+//! can degrade gracefully instead of aborting. `volcast_core::VolcastError`
+//! wraps this type for the end-to-end session API.
+
+use std::fmt;
+
+/// An invalid input to the network substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// A `VOLCAST_FAULTS`-style fault spec string failed to parse.
+    InvalidFaultSpec(String),
+    /// A fault configuration is out of range (rates outside `[0, 1]`,
+    /// zero-length episodes, too many users for the mask width).
+    InvalidFaultConfig(String),
+    /// A simulator was constructed with degenerate parameters (zero frame
+    /// interval, zero stations).
+    InvalidSim(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::InvalidFaultSpec(msg) => write!(f, "invalid fault spec: {msg}"),
+            NetError::InvalidFaultConfig(msg) => write!(f, "invalid fault config: {msg}"),
+            NetError::InvalidSim(msg) => write!(f, "invalid simulator setup: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = NetError::InvalidFaultSpec("bad key 'x'".into());
+        assert!(e.to_string().contains("bad key 'x'"));
+        let e = NetError::InvalidSim("zero interval".into());
+        assert!(e.to_string().contains("zero interval"));
+    }
+}

@@ -12,7 +12,11 @@
 //! - [`TransmissionPlan`]: per-video-frame schedules mixing multicast and
 //!   unicast items, executed on the MAC models,
 //! - [`LinkState`]: per-user link tracker (RSS/MCS EWMA, outage detection)
-//!   feeding the cross-layer rate adaptation.
+//!   feeding the cross-layer rate adaptation,
+//! - [`FaultPlan`]: seeded, deterministic fault schedules (link-outage
+//!   bursts, blockage episodes, AP stalls, transmission-item loss,
+//!   decode-deadline overruns) injected into the simulator and the
+//!   session layer, with invalid inputs surfaced as [`NetError`].
 //!
 //! ```
 //! use volcast_net::{EventQueue, SimTime};
@@ -28,6 +32,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
+pub mod faults;
 pub mod link;
 pub mod mac;
 pub mod plan;
@@ -36,6 +42,8 @@ pub mod sim;
 pub mod time;
 pub mod wifi5;
 
+pub use error::NetError;
+pub use faults::{FaultConfig, FaultPlan, FrameFaults, MAX_FAULT_USERS};
 pub use link::LinkState;
 pub use mac::{AcMac, AdMac, MacModel};
 pub use plan::{PlanTiming, TransmissionPlan, TxItem, TxKind};

@@ -168,4 +168,57 @@ mod tests {
     fn prediction_none_before_samples() {
         assert_eq!(LinkState::new().predicted_rss_dbm(3), None);
     }
+
+    #[test]
+    fn zero_samples_is_fully_quiescent() {
+        let l = LinkState::new();
+        assert_eq!(l.sample_count(), 0);
+        assert_eq!(l.rss_dbm(), None);
+        assert_eq!(l.trend_db(), 0.0);
+        // No samples -> no outage, whatever the window (including the
+        // degenerate k = 0, which in_outage clamps to 1).
+        assert!(!l.in_outage(0));
+        assert!(!l.in_outage(1));
+        assert!(!l.in_outage(100));
+        assert_eq!(l.predicted_rss_dbm(0), None);
+    }
+
+    #[test]
+    fn single_sample_has_flat_trend_and_flat_prediction() {
+        let mut l = LinkState::new();
+        l.observe(-50.0);
+        // One sample cannot define a trend; prediction at any horizon is
+        // the sample itself.
+        assert_eq!(l.trend_db(), 0.0);
+        assert_eq!(l.predicted_rss_dbm(0), Some(-50.0));
+        assert_eq!(l.predicted_rss_dbm(50), Some(-50.0));
+        // A single below-threshold sample: outage with window 1 (and the
+        // clamped window 0), not with larger windows.
+        let mut deep = LinkState::new();
+        deep.observe(-90.0);
+        assert!(deep.in_outage(1));
+        assert!(deep.in_outage(0));
+        assert!(!deep.in_outage(2));
+    }
+
+    #[test]
+    fn monotone_trend_saturates_at_the_clamp() {
+        // A relentless downward trend extrapolates through the floor; the
+        // prediction must saturate at -100 dBm, not run off to -inf.
+        let mut down = LinkState::new();
+        for i in 0..20 {
+            down.observe(-60.0 - 2.0 * i as f64);
+        }
+        assert!(down.trend_db() < 0.0);
+        assert_eq!(down.predicted_rss_dbm(1_000), Some(-100.0));
+        // And symmetrically upward: saturates at -20 dBm.
+        let mut up = LinkState::new();
+        for i in 0..20 {
+            up.observe(-80.0 + 2.0 * i as f64);
+        }
+        assert!(up.trend_db() > 0.0);
+        assert_eq!(up.predicted_rss_dbm(1_000), Some(-20.0));
+        // The clamp applies to the prediction only, never the tracker.
+        assert!(down.rss_dbm().unwrap() < -60.0);
+    }
 }

@@ -27,6 +27,21 @@ pub trait MacModel {
             bytes * 8.0 / (rate * 1e6)
         }
     }
+
+    /// Aggregate network capacity when `n` stations run at `phy_mbps` each
+    /// with fair time sharing.
+    fn aggregate_capacity_mbps(&self, phy_mbps: f64, n: usize) -> f64 {
+        self.goodput_mbps(phy_mbps, n)
+    }
+
+    /// Fair-share per-user rate.
+    fn per_user_rate_mbps(&self, phy_mbps: f64, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.aggregate_capacity_mbps(phy_mbps, n) / n as f64
+        }
+    }
 }
 
 /// 802.11ad DMG service-period MAC.
@@ -63,23 +78,6 @@ impl MacModel for AdMac {
     }
 }
 
-impl AdMac {
-    /// Aggregate network capacity when `n` stations run at `phy_mbps` each
-    /// with fair time sharing.
-    pub fn aggregate_capacity_mbps(&self, phy_mbps: f64, n: usize) -> f64 {
-        self.goodput_mbps(phy_mbps, n)
-    }
-
-    /// Fair-share per-user rate.
-    pub fn per_user_rate_mbps(&self, phy_mbps: f64, n: usize) -> f64 {
-        if n == 0 {
-            0.0
-        } else {
-            self.aggregate_capacity_mbps(phy_mbps, n) / n as f64
-        }
-    }
-}
-
 /// 802.11ac EDCA contention MAC.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AcMac {
@@ -106,17 +104,6 @@ impl MacModel for AcMac {
         }
         let share = (1.0 - self.contention_overhead * (n_active as f64 - 1.0)).max(0.05);
         phy_mbps * self.base_efficiency * share
-    }
-}
-
-impl AcMac {
-    /// Fair-share per-user rate.
-    pub fn per_user_rate_mbps(&self, phy_mbps: f64, n: usize) -> f64 {
-        if n == 0 {
-            0.0
-        } else {
-            self.goodput_mbps(phy_mbps, n) / n as f64
-        }
     }
 }
 

@@ -60,11 +60,12 @@ impl TxItem {
         }
     }
 
-    /// The users that receive this item.
-    pub fn receivers(&self) -> Vec<usize> {
+    /// The users that receive this item, borrowed (no allocation: the
+    /// unicast case views the single id through `slice::from_ref`).
+    pub fn receivers(&self) -> &[usize] {
         match &self.kind {
-            TxKind::Unicast { user } => vec![*user],
-            TxKind::Multicast { members } => members.clone(),
+            TxKind::Unicast { user } => std::slice::from_ref(user),
+            TxKind::Multicast { members } => members,
         }
     }
 }
@@ -142,7 +143,7 @@ impl TransmissionPlan {
             t += item.beam_switch_s;
             t += air;
             item_completion_s.push(t);
-            for u in item.receivers() {
+            for &u in item.receivers() {
                 if u < n_users {
                     user_completion_s[u] = Some(t);
                 }
@@ -261,10 +262,7 @@ mod tests {
 
     #[test]
     fn receivers_listing() {
-        assert_eq!(TxItem::unicast(3, 1.0, 1.0).receivers(), vec![3]);
-        assert_eq!(
-            TxItem::multicast(vec![1, 4], 1.0, 1.0).receivers(),
-            vec![1, 4]
-        );
+        assert_eq!(TxItem::unicast(3, 1.0, 1.0).receivers(), &[3]);
+        assert_eq!(TxItem::multicast(vec![1, 4], 1.0, 1.0).receivers(), &[1, 4]);
     }
 }

@@ -78,7 +78,7 @@ proptest! {
         // than executing f's plan alone starting at its release time.
         let mac = AdMac::default();
         let interval = SimTime::from_millis(33.333);
-        let sim = Simulator::new(&mac, 4, 4, interval, BacklogPolicy::Queue);
+        let sim = Simulator::new(&mac, 4, 4, interval, BacklogPolicy::Queue).unwrap();
         let outcomes = sim.run(&plans);
         for (f, o) in outcomes.iter().enumerate() {
             let iso = plans[f].execute(&mac, 4, 4);
@@ -100,7 +100,7 @@ proptest! {
     fn simulator_is_deterministic(plans in prop::collection::vec(arb_plan(5), 1..6)) {
         let mac = AdMac::default();
         let interval = SimTime::from_millis(33.333);
-        let sim = Simulator::new(&mac, 4, 4, interval, BacklogPolicy::Drop);
+        let sim = Simulator::new(&mac, 4, 4, interval, BacklogPolicy::Drop).unwrap();
         let a = sim.run(&plans);
         let b = sim.run(&plans);
         prop_assert_eq!(a, b);

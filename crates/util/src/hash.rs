@@ -1,0 +1,50 @@
+//! Deterministic non-cryptographic hashing.
+//!
+//! [`fnv1a`] is the 64-bit FNV-1a hash: a tiny, allocation-free digest with
+//! a frozen definition, used wherever the workspace needs a stable
+//! fingerprint of serialized output — the property runner derives per-test
+//! seeds from it, and the fault-scenario harness publishes FNVs of
+//! serialized `SessionOutcome`s so CI can compare runs across thread counts
+//! and commits with a single integer.
+//!
+//! Like everything in `volcast-util`, the function is frozen: the same
+//! bytes hash to the same value on every platform and in every future
+//! version.
+//!
+//! ```
+//! use volcast_util::hash::fnv1a;
+//!
+//! assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+//! assert_eq!(fnv1a(b"volcast"), fnv1a(b"volcast"));
+//! assert_ne!(fnv1a(b"volcast"), fnv1a(b"volcasT"));
+//! ```
+
+/// 64-bit FNV-1a hash of `bytes` (offset basis `0xcbf29ce484222325`,
+/// prime `0x100000001b3`).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answers() {
+        // Canonical FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn sensitive_to_every_byte() {
+        assert_ne!(fnv1a(b"ab"), fnv1a(b"ba"));
+        assert_ne!(fnv1a(b"x"), fnv1a(b"x\0"));
+    }
+}

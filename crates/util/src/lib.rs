@@ -28,6 +28,9 @@
 //!   histograms, wall-clock spans) gated by `VOLCAST_TRACE`, with
 //!   per-thread sinks that merge deterministically at [`par`] join and a
 //!   JSON-exportable [`obs::MetricsSnapshot`].
+//! - [`hash`] — frozen 64-bit FNV-1a hashing ([`hash::fnv1a`]) for stable
+//!   fingerprints of serialized output (property-test seeds, the
+//!   fault-scenario harness's `SessionOutcome` FNVs).
 //! - [`scratch`] — reusable scratch buffers ([`scratch::ScratchVec`],
 //!   [`scratch::Pool`]) with high-watermark gauges, plus a counting global
 //!   allocator ([`scratch::counting`]) for pinning zero-allocation
@@ -69,6 +72,7 @@
 // write it; those examples are compile-checked, not run, which is intended.
 #![allow(clippy::test_attr_in_doctest)]
 
+pub mod hash;
 pub mod json;
 pub mod obs;
 pub mod par;

@@ -230,12 +230,7 @@ impl Default for ProptestConfig {
 
 /// FNV-1a hash of the test name: the per-test base seed.
 fn fnv1a(name: &str) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in name.as_bytes() {
-        h ^= *b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
+    crate::hash::fnv1a(name.as_bytes())
 }
 
 /// Runs `body` once per case with a deterministically seeded [`Rng`],

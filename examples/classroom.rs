@@ -26,7 +26,7 @@ fn main() {
                 let mut s = quick_session_with_device(player, n, 90, 42, DeviceClass::Phone);
                 s.params.fixed_quality = Some(QualityLevel::High);
                 s.params.analysis_points = 10_000;
-                s.run().qoe.mean_fps()
+                s.run().unwrap().qoe.mean_fps()
             })
             .collect();
         println!(

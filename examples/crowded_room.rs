@@ -99,7 +99,7 @@ fn main() {
         s.params.fixed_quality = Some(QualityLevel::Medium);
         s.params.analysis_points = 10_000;
         s.walkers.push(walker(frames));
-        let out = s.run();
+        let out = s.run().unwrap();
         println!(
             "{:<26} {:>9.1} {:>12.3} {:>12}",
             label,

@@ -22,7 +22,7 @@ fn main() {
 
     for player in [PlayerKind::Vanilla, PlayerKind::Vivo, PlayerKind::Volcast] {
         let mut session = quick_session(player, users, frames, 42);
-        let outcome = session.run();
+        let outcome = session.run().unwrap();
         println!(
             "{:<18} {:>9.1} {:>12.3} {:>9.2} {:>11.0}% {:>11.2}",
             player.label(),

@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Fault-scenario determinism gate: runs the fault matrix (`--bin faults`)
+# at VOLCAST_THREADS=1 and =4 and asserts the outputs — the FNV-1a hashes
+# of every scenario's SessionOutcome plus the headline stats — are byte
+# for byte identical to each other AND to the committed reference in
+# results/faults.txt. With tracing on, the per-scenario deterministic obs
+# snapshots (fault activations, ladder reactions, retransmits) must also
+# match results/obs_faults_<scenario>.json at both thread counts.
+#
+# Usage: scripts/fault_matrix.sh  (from the repository root)
+
+set -eu
+
+export CARGO_NET_OFFLINE=true
+
+tmp_out="$(mktemp)"
+tmp_obs="$(mktemp -d)"
+trap 'rm -rf "$tmp_out" "$tmp_obs"' EXIT
+
+echo "==> fault matrix reproduces byte-identically at both thread counts"
+VOLCAST_THREADS=1 cargo run -q --release -p volcast-bench --bin faults > "$tmp_out"
+diff results/faults.txt "$tmp_out"
+VOLCAST_THREADS=4 cargo run -q --release -p volcast-bench --bin faults > "$tmp_out"
+diff results/faults.txt "$tmp_out"
+
+echo "==> per-scenario obs snapshots match the committed copies"
+VOLCAST_TRACE=1 VOLCAST_OBS_DIR="$tmp_obs" VOLCAST_THREADS=1 \
+    cargo run -q --release -p volcast-bench --bin faults > /dev/null
+for f in results/obs_faults_*.json; do
+    diff "$f" "$tmp_obs/$(basename "$f")"
+done
+VOLCAST_TRACE=1 VOLCAST_OBS_DIR="$tmp_obs" VOLCAST_THREADS=4 \
+    cargo run -q --release -p volcast-bench --bin faults > /dev/null
+for f in results/obs_faults_*.json; do
+    diff "$f" "$tmp_obs/$(basename "$f")"
+done
+
+echo "fault matrix: all checks passed"

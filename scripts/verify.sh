@@ -55,4 +55,9 @@ VOLCAST_TRACE=1 VOLCAST_OBS_DIR="$tmp_obs" VOLCAST_THREADS=4 \
     cargo run -q --release -p volcast-bench --bin fig2a > /dev/null
 diff results/obs_fig2a.json "$tmp_obs/obs_fig2a.json"
 
+echo "==> fault-scenario matrix is deterministic across thread counts"
+# The fault-injection gate: every scenario's SessionOutcome FNV and obs
+# snapshot must match the committed references at 1 and 4 workers.
+sh scripts/fault_matrix.sh
+
 echo "verify: all checks passed"

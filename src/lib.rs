@@ -24,7 +24,7 @@
 //! // Three headset users streaming 30 frames of volumetric video.
 //! let mut session = quick_session(PlayerKind::Volcast, 3, 30, 42);
 //! session.params.analysis_points = 4_000; // doc-test speed
-//! let outcome = session.run();
+//! let outcome = session.run().unwrap();
 //! assert_eq!(outcome.qoe.users.len(), 3);
 //! assert!(outcome.qoe.mean_fps() > 0.0);
 //! ```

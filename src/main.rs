@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 use std::process::ExitCode;
 use volcast::core::{quick_session_with_device, AbrPolicy, MitigationMode, PlayerKind};
+use volcast::net::FaultConfig;
 use volcast::pointcloud::QualityLevel;
 use volcast::viewport::{save_study, DeviceClass, UserStudy};
 
@@ -23,9 +24,15 @@ USAGE:
                   [--device phone|headset] [--quality low|medium|high|auto]
                   [--abr buffer|throughput|crosslayer]
                   [--mitigation reactive|proactive] [--seed N]
+                  [--faults SPEC]
   volcast study   [--seed N] [--frames N] [--phones N] [--headsets N]
                   --out FILE.json
   volcast info
+
+Fault injection: --faults (or the VOLCAST_FAULTS env var) takes a spec like
+  seed=7,outage=0.02:6,blockage=0.05:4,stall=0.01:3,loss=0.03,decode=0.02,blackout=30:10
+(per-frame rates, ':' suffixes are episode lengths in frames; blackout is a
+scripted all-user outage window start:frames).
 
 Run the paper's experiments with `cargo run -p volcast-bench --bin <name>`
 (table1, fig2a, fig2b, fig3b, fig3d, fig3e, ext_*)."
@@ -98,12 +105,24 @@ fn cmd_session(flags: HashMap<String, String>) -> Result<(), String> {
     let users: usize = get_parse(&flags, "users", 3)?;
     let frames: usize = get_parse(&flags, "frames", 90)?;
     let seed: u64 = get_parse(&flags, "seed", 42)?;
+    // --faults wins over the VOLCAST_FAULTS environment variable.
+    let fault_spec = flags
+        .get("faults")
+        .cloned()
+        .or_else(|| std::env::var("VOLCAST_FAULTS").ok());
+    let faults = match fault_spec {
+        Some(spec) if !spec.trim().is_empty() => {
+            Some(FaultConfig::from_spec(&spec).map_err(|e| e.to_string())?)
+        }
+        _ => None,
+    };
 
     let mut session = quick_session_with_device(player, users, frames, seed, device);
     session.params.fixed_quality = quality;
     session.params.abr = abr;
     session.params.mitigation = mitigation;
-    let out = session.run();
+    session.params.faults = faults;
+    let out = session.run().map_err(|e| e.to_string())?;
 
     println!(
         "{} | {} {:?} users, {} frames, seed {}",
@@ -131,6 +150,12 @@ fn cmd_session(flags: HashMap<String, String>) -> Result<(), String> {
     println!("  mean group size   {:>8.2}", out.mean_group_size);
     println!("  blocked frames    {:>8}", out.blocked_user_frames);
     println!("  pred. error       {:>8.3} m", out.mean_prediction_error_m);
+    if out.fault_user_frames > 0 {
+        println!(
+            "  faults absorbed   {:>5}/{:<5} (recovered/injected user-frames)",
+            out.recovered_user_frames, out.fault_user_frames
+        );
+    }
     Ok(())
 }
 

@@ -132,7 +132,7 @@ fn sessions_rank_players_correctly() {
         let mut s = quick_session_with_device(player, 4, 45, 42, DeviceClass::Phone);
         s.params.analysis_points = 6_000;
         s.params.fixed_quality = Some(QualityLevel::High);
-        s.run()
+        s.run().unwrap()
     };
     let vanilla = run(PlayerKind::Vanilla);
     let vivo = run(PlayerKind::Vivo);
@@ -157,7 +157,7 @@ fn abr_policies_run() {
         let mut s = quick_session(PlayerKind::Volcast, 2, 30, 5);
         s.params.abr = abr;
         s.params.analysis_points = 4_000;
-        let out = s.run();
+        let out = s.run().unwrap();
         assert_eq!(out.qoe.users.len(), 2);
         assert!(out.qoe.mean_fps() > 0.0, "{abr:?}");
     }
@@ -187,7 +187,7 @@ fn mitigation_modes_run_with_walker() {
         s.params.analysis_points = 4_000;
         s.params.fixed_quality = Some(QualityLevel::Low);
         s.walkers.push(walker.clone());
-        let out = s.run();
+        let out = s.run().unwrap();
         assert!(out.blocked_user_frames > 0, "walker never blocked anyone");
     }
 }
