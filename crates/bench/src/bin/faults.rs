@@ -4,7 +4,7 @@
 //! AP stalls, transmission loss, decode overruns, a scripted blackout, and
 //! all of them combined) through the full Volcast session engine and
 //! prints, per scenario, the FNV-1a hash of the serialized
-//! [`SessionOutcome`] plus the headline degradation stats. The hash rows
+//! `SessionOutcome` plus the headline degradation stats. The hash rows
 //! are the determinism contract: `scripts/fault_matrix.sh` re-runs the
 //! matrix at `VOLCAST_THREADS=1` and `=4` and diffs the outputs byte for
 //! byte, so any fault-path divergence across worker counts fails CI.

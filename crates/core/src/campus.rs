@@ -1,0 +1,837 @@
+//! Campus-scale sharded simulation with roaming AP handoff (ROADMAP
+//! item 1; DESIGN.md §12).
+//!
+//! The paper evaluates one room with one AP. A *campus* scales the world
+//! out: a `grid_w x grid_h` grid of identical rooms, each room an
+//! independent deterministic event domain with two mmWave APs on opposite
+//! walls, its own [`MultiApCoordinator`], its own [`Simulator`] per AP,
+//! and its own fault-injection RNG streams. Users walk the campus on
+//! [`RoamingTraceGenerator`] trajectories and *hand off* between rooms.
+//!
+//! # Sharding and the epoch barrier
+//!
+//! Time is split into epochs of [`CampusParams::epoch_frames`] frames.
+//! Within an epoch every room advances independently — membership,
+//! associations, multicast groups, and fault schedules are frozen at the
+//! epoch boundary, so rooms share no mutable state and are advanced in
+//! parallel on [`volcast_util::par`]. At the barrier between epochs the
+//! sequential driver:
+//!
+//! 1. re-bins every user to the room under their feet,
+//! 2. severs movers from their old room's multicast groups (the PR-5
+//!    regrouping idiom: retain survivors, re-sort canonically),
+//! 3. lets each room's coordinator re-associate its members to the best
+//!    AP by RSS and admit arrivals as singleton groups, which then merge
+//!    into under-capacity groups on the same AP.
+//!
+//! # Determinism contract
+//!
+//! `VOLCAST_THREADS` is a wall-clock knob only. Room advancement uses
+//! `par_map` (positional merge), every per-room schedule derives from
+//! `Rng::for_stream` streams keyed on (seed, room, epoch, AP), and all
+//! cross-room aggregation happens in room order at the barrier — so a
+//! campus run is byte-identical at any thread count.
+//!
+//! ```
+//! use volcast_core::campus::{Campus, CampusParams};
+//!
+//! let params = CampusParams {
+//!     grid_w: 2,
+//!     grid_h: 1,
+//!     users: 12,
+//!     frames: 20,
+//!     epoch_frames: 5,
+//!     ..CampusParams::default()
+//! };
+//! let a = Campus::new(params.clone()).unwrap().run().unwrap();
+//! let b = Campus::new(params).unwrap().run().unwrap();
+//! assert_eq!(a, b); // seeded => byte-identical
+//! assert_eq!(a.aps, 4);
+//! ```
+
+use crate::error::VolcastError;
+use crate::grouping::Group;
+use crate::multi_ap::MultiApCoordinator;
+use volcast_geom::Vec3;
+use volcast_mmwave::{Channel, Codebook, McsTable, PlanarArray, Room};
+use volcast_net::{
+    AdMac, BacklogPolicy, FaultConfig, FaultPlan, MacModel, SimTime, Simulator, TransmissionPlan,
+    TxItem,
+};
+use volcast_util::{obs, par};
+use volcast_viewport::{RoamingTraceGenerator, VisibilityMap};
+
+/// APs per room: one on each of the two opposite walls.
+const APS_PER_ROOM: usize = 2;
+
+/// Nominal per-user frame payload in bytes (≈300 Mbps at 30 fps — the
+/// medium rung of the paper's quality ladder).
+const FRAME_BYTES: f64 = 300.0e6 / 8.0 / 30.0;
+
+/// Fraction of a member's payload covered by the group's multicast burst
+/// (nominal §4.2 viewport overlap for co-located viewers).
+const MULTICAST_SHARE: f64 = 0.6;
+
+/// Per-AP, per-frame airtime admission budget as a multiple of the frame
+/// interval (mirrors the session layer's bounded-retransmit budget).
+const AIRTIME_BUDGET_X: f64 = 3.0;
+
+/// Configuration of a campus run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampusParams {
+    /// Rooms along x.
+    pub grid_w: usize,
+    /// Rooms along z.
+    pub grid_h: usize,
+    /// Total roaming users on the campus.
+    pub users: usize,
+    /// Video frames to simulate.
+    pub frames: usize,
+    /// Frames per epoch (the handoff/re-association cadence).
+    pub epoch_frames: usize,
+    /// Master seed (mobility and fault streams both derive from it).
+    pub seed: u64,
+    /// Maximum multicast group size.
+    pub group_cap: usize,
+    /// Optional fault injection, applied per (room, epoch, AP) domain
+    /// with its own derived seed.
+    pub faults: Option<FaultConfig>,
+}
+
+impl Default for CampusParams {
+    /// The 10K-user / 100-AP configuration of the `campus` bench.
+    fn default() -> Self {
+        CampusParams {
+            grid_w: 10,
+            grid_h: 5,
+            users: 10_000,
+            frames: 300,
+            epoch_frames: 10,
+            seed: 42,
+            group_cap: 16,
+            faults: None,
+        }
+    }
+}
+
+impl CampusParams {
+    /// Total AP count (`grid_w * grid_h * 2`).
+    pub fn n_aps(&self) -> usize {
+        self.grid_w * self.grid_h * APS_PER_ROOM
+    }
+
+    /// Total room count.
+    pub fn n_rooms(&self) -> usize {
+        self.grid_w * self.grid_h
+    }
+
+    fn validate(&self) -> Result<(), VolcastError> {
+        let bad = |msg: &str| Err(VolcastError::InvalidParams(msg.into()));
+        if self.grid_w == 0 || self.grid_h == 0 {
+            return bad("campus grid must have at least one room");
+        }
+        if self.users == 0 {
+            return bad("campus needs at least one user");
+        }
+        if self.frames == 0 {
+            return bad("campus needs at least one frame");
+        }
+        if self.epoch_frames == 0 {
+            return bad("epoch_frames must be at least 1");
+        }
+        if self.group_cap == 0 {
+            return bad("group_cap must be at least 1");
+        }
+        if let Some(cfg) = &self.faults {
+            cfg.validate().map_err(VolcastError::Net)?;
+        }
+        Ok(())
+    }
+}
+
+/// Aggregate result of a campus run. Fully deterministic in
+/// [`CampusParams`] — wall-clock throughput is reported by the bench
+/// harness, never stored here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampusOutcome {
+    /// Users simulated.
+    pub users: usize,
+    /// APs simulated.
+    pub aps: usize,
+    /// Frames simulated.
+    pub frames: usize,
+    /// Room-to-room handoffs across all epoch barriers.
+    pub handoffs: u64,
+    /// Intra-room AP re-associations at epoch barriers.
+    pub reassociations: u64,
+    /// (frame, user) multicast exclusions due to injected outages (the
+    /// per-frame rung-3 regroup inside an epoch).
+    pub regroup_exclusions: u64,
+    /// (frame, user) pairs under an injected outage or loss.
+    pub fault_user_frames: u64,
+    /// (frame, user) pairs scheduled for delivery.
+    pub scheduled_user_frames: u64,
+    /// Fraction of scheduled user-frames completed within their frame
+    /// interval.
+    pub on_time_ratio: f64,
+    /// Fraction of scheduled user-frames completed at all.
+    pub delivered_ratio: f64,
+    /// Member-weighted mean of the per-AP quality clamp (1 = every AP
+    /// sustained nominal quality; lower = the rung-1 clamp engaged).
+    pub mean_quality_scale: f64,
+    /// (frame, user) pairs whose best-sector link is below MCS
+    /// sensitivity (no rate at any quality — skipped, not transmitted).
+    pub unreachable_user_frames: u64,
+    /// Mean multicast group size over all (room, epoch) group sets.
+    pub mean_group_size: f64,
+    /// Fraction of admitted bytes sent on multicast bursts.
+    pub multicast_byte_fraction: f64,
+    /// Busy airtime per AP in seconds, indexed `room * 2 + ap`.
+    pub per_ap_airtime_s: Vec<f64>,
+    /// Transmission items refused by the per-frame airtime budget.
+    pub over_budget_items: u64,
+    /// Worst inter-AP interference margin (dB) seen at any epoch.
+    pub min_interference_margin_db: f64,
+}
+
+volcast_util::impl_json_struct!(CampusOutcome {
+    users,
+    aps,
+    frames,
+    handoffs,
+    reassociations,
+    regroup_exclusions,
+    fault_user_frames,
+    scheduled_user_frames,
+    on_time_ratio,
+    delivered_ratio,
+    mean_quality_scale,
+    unreachable_user_frames,
+    mean_group_size,
+    multicast_byte_fraction,
+    per_ap_airtime_s,
+    over_budget_items,
+    min_interference_margin_db
+});
+
+/// Per-room state carried across epochs: the multicast groups of each AP
+/// (members are global user ids).
+#[derive(Debug, Clone, Default)]
+struct RoomState {
+    groups: [Vec<Group>; APS_PER_ROOM],
+}
+
+/// Per-room, per-epoch statistics, merged in room order at the barrier.
+#[derive(Debug, Clone, Default)]
+struct RoomEpochStats {
+    reassociations: u64,
+    regroup_exclusions: u64,
+    fault_user_frames: u64,
+    scheduled_user_frames: u64,
+    on_time_user_frames: u64,
+    delivered_user_frames: u64,
+    group_members: u64,
+    group_count: u64,
+    multicast_bytes: f64,
+    total_bytes: f64,
+    ap_airtime_s: [f64; APS_PER_ROOM],
+    over_budget_items: u64,
+    interference_margin_db: f64,
+    quality_scale_weighted: f64,
+    quality_scale_weight: u64,
+    unreachable_user_frames: u64,
+}
+
+/// A campus of rooms ready to run.
+pub struct Campus {
+    /// The run's configuration.
+    pub params: CampusParams,
+    // All rooms share the same geometry, so two channels (one per wall AP)
+    // serve every room in room-local coordinates.
+    channels: [Channel; APS_PER_ROOM],
+    codebooks: [Codebook; APS_PER_ROOM],
+    mcs: McsTable,
+    mac: AdMac,
+    room: Room,
+    /// Per-user world-space positions per frame (orientation is not needed
+    /// at campus granularity).
+    positions: Vec<Vec<Vec3>>,
+}
+
+impl Campus {
+    /// Builds the campus: validates parameters, instantiates the shared
+    /// room geometry, and generates every user's roaming trajectory (in
+    /// parallel; each user owns a seed stream, so the result is identical
+    /// at any thread count).
+    pub fn new(params: CampusParams) -> Result<Campus, VolcastError> {
+        params.validate()?;
+        let room = Room::default();
+        let make_ap = |z: f64| {
+            let pos = Vec3::new(0.0, 2.6, z);
+            PlanarArray::airfide(pos, Vec3::new(0.0, 1.3, 0.0) - pos)
+        };
+        let c1 = Channel::new(room, make_ap(room.depth / 2.0 - 0.1));
+        let c2 = Channel::new(room, make_ap(-room.depth / 2.0 + 0.1));
+        let cb1 = Codebook::default_for(&c1.array);
+        let cb2 = Codebook::default_for(&c2.array);
+
+        let width_m = params.grid_w as f64 * room.width;
+        let depth_m = params.grid_h as f64 * room.depth;
+        let gen = RoamingTraceGenerator::new(params.seed, width_m, depth_m);
+        let users: Vec<usize> = (0..params.users).collect();
+        let frames = params.frames;
+        let positions = par::par_map(&users, |&u| {
+            gen.generate(u, frames)
+                .poses
+                .iter()
+                .map(|p| p.position)
+                .collect::<Vec<Vec3>>()
+        });
+
+        Ok(Campus {
+            params,
+            channels: [c1, c2],
+            codebooks: [cb1, cb2],
+            mcs: McsTable::dmg(),
+            mac: AdMac::default(),
+            room,
+            positions,
+        })
+    }
+
+    /// The room under `pos`, as `(room index, room-local position)`.
+    fn locate(&self, pos: Vec3) -> (usize, Vec3) {
+        let w = self.room.width;
+        let d = self.room.depth;
+        let half_w = self.params.grid_w as f64 * w / 2.0;
+        let half_d = self.params.grid_h as f64 * d / 2.0;
+        let ix = (((pos.x + half_w) / w) as isize).clamp(0, self.params.grid_w as isize - 1);
+        let iz = (((pos.z + half_d) / d) as isize).clamp(0, self.params.grid_h as isize - 1);
+        let center_x = -half_w + (ix as f64 + 0.5) * w;
+        let center_z = -half_d + (iz as f64 + 0.5) * d;
+        let local = Vec3::new(pos.x - center_x, pos.y, pos.z - center_z);
+        (iz as usize * self.params.grid_w + ix as usize, local)
+    }
+
+    /// Derived fault seed for one (room, epoch, AP) domain: every domain
+    /// owns disjoint fault streams regardless of scheduling order.
+    fn domain_fault_seed(base: u64, room: usize, epoch: usize, ap: usize) -> u64 {
+        let domain = (room as u64) << 24 | (epoch as u64) << 4 | ap as u64;
+        base ^ domain.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Runs the campus simulation.
+    pub fn run(&self) -> Result<CampusOutcome, VolcastError> {
+        let p = &self.params;
+        let n_rooms = p.n_rooms();
+        let epoch_len = p.epoch_frames;
+        let n_epochs = p.frames.div_ceil(epoch_len);
+        let interval_s = 1.0 / 30.0;
+
+        let mut states: Vec<RoomState> = vec![RoomState::default(); n_rooms];
+        let mut prev_room: Vec<Option<usize>> = vec![None; p.users];
+        let mut handoffs = 0u64;
+        let mut epoch_handoffs;
+        let mut totals = RoomEpochStats {
+            interference_margin_db: f64::INFINITY,
+            ..RoomEpochStats::default()
+        };
+        let mut per_ap_airtime_s = vec![0.0f64; p.n_aps()];
+
+        for epoch in 0..n_epochs {
+            let start_frame = epoch * epoch_len;
+            let frames_in_epoch = epoch_len.min(p.frames - start_frame);
+
+            // --- Barrier: re-bin users, sever movers from old groups. ---
+            epoch_handoffs = 0u64;
+            let mut room_members: Vec<Vec<usize>> = vec![Vec::new(); n_rooms];
+            let mut local_pos: Vec<Vec<Vec3>> = vec![Vec::new(); n_rooms];
+            for (u, prev) in prev_room.iter_mut().enumerate() {
+                let (r, local) = self.locate(self.positions[u][start_frame]);
+                if let Some(old) = *prev {
+                    if old != r {
+                        epoch_handoffs += 1;
+                        // PR-5 sever: drop the mover from its old room's
+                        // groups, prune empties, restore canonical order.
+                        for groups in states[old].groups.iter_mut() {
+                            for g in groups.iter_mut() {
+                                g.members.retain(|&m| m != u);
+                            }
+                            groups.retain(|g| !g.members.is_empty());
+                            groups.sort_by(|a, b| a.members.cmp(&b.members));
+                        }
+                    }
+                }
+                *prev = Some(r);
+                room_members[r].push(u);
+                local_pos[r].push(local);
+            }
+
+            // --- Parallel phase: every room advances independently. ---
+            let room_ids: Vec<usize> = (0..n_rooms).collect();
+            let results: Vec<(RoomState, RoomEpochStats)> = par::par_map(&room_ids, |&r| {
+                self.run_room_epoch(
+                    &states[r],
+                    &room_members[r],
+                    &local_pos[r],
+                    r,
+                    epoch,
+                    frames_in_epoch,
+                    interval_s,
+                )
+            });
+
+            // --- Merge in room order (deterministic). ---
+            for (r, (state, stats)) in results.into_iter().enumerate() {
+                states[r] = state;
+                totals.reassociations += stats.reassociations;
+                totals.regroup_exclusions += stats.regroup_exclusions;
+                totals.fault_user_frames += stats.fault_user_frames;
+                totals.scheduled_user_frames += stats.scheduled_user_frames;
+                totals.on_time_user_frames += stats.on_time_user_frames;
+                totals.delivered_user_frames += stats.delivered_user_frames;
+                totals.group_members += stats.group_members;
+                totals.group_count += stats.group_count;
+                totals.multicast_bytes += stats.multicast_bytes;
+                totals.total_bytes += stats.total_bytes;
+                totals.over_budget_items += stats.over_budget_items;
+                totals.quality_scale_weighted += stats.quality_scale_weighted;
+                totals.quality_scale_weight += stats.quality_scale_weight;
+                totals.unreachable_user_frames += stats.unreachable_user_frames;
+                totals.interference_margin_db = totals
+                    .interference_margin_db
+                    .min(stats.interference_margin_db);
+                for ap in 0..APS_PER_ROOM {
+                    per_ap_airtime_s[r * APS_PER_ROOM + ap] += stats.ap_airtime_s[ap];
+                }
+            }
+            handoffs += epoch_handoffs;
+            if obs::enabled() {
+                obs::add("campus.handoffs", epoch_handoffs);
+                obs::inc("campus.epochs");
+            }
+        }
+
+        let sched = totals.scheduled_user_frames.max(1) as f64;
+        Ok(CampusOutcome {
+            users: p.users,
+            aps: p.n_aps(),
+            frames: p.frames,
+            handoffs,
+            reassociations: totals.reassociations,
+            regroup_exclusions: totals.regroup_exclusions,
+            fault_user_frames: totals.fault_user_frames,
+            scheduled_user_frames: totals.scheduled_user_frames,
+            on_time_ratio: totals.on_time_user_frames as f64 / sched,
+            delivered_ratio: totals.delivered_user_frames as f64 / sched,
+            mean_quality_scale: totals.quality_scale_weighted
+                / totals.quality_scale_weight.max(1) as f64,
+            unreachable_user_frames: totals.unreachable_user_frames,
+            mean_group_size: totals.group_members as f64 / totals.group_count.max(1) as f64,
+            multicast_byte_fraction: totals.multicast_bytes / totals.total_bytes.max(1e-9),
+            per_ap_airtime_s,
+            over_budget_items: totals.over_budget_items,
+            min_interference_margin_db: totals.interference_margin_db,
+        })
+    }
+
+    /// Advances one room through one epoch: re-associate members to APs,
+    /// reconcile multicast groups, build per-frame transmission plans, and
+    /// execute them on one simulator per AP.
+    #[allow(clippy::too_many_arguments)]
+    fn run_room_epoch(
+        &self,
+        state: &RoomState,
+        members: &[usize],
+        local_pos: &[Vec3],
+        room: usize,
+        epoch: usize,
+        frames_in_epoch: usize,
+        interval_s: f64,
+    ) -> (RoomState, RoomEpochStats) {
+        let mut stats = RoomEpochStats {
+            interference_margin_db: f64::INFINITY,
+            ..RoomEpochStats::default()
+        };
+        if members.is_empty() {
+            return (RoomState::default(), stats);
+        }
+
+        // Re-associate: pure-RSS assignment (roamers carry no shared
+        // subject, so viewport similarity is left to the grouping step).
+        let mut coord = MultiApCoordinator::new(
+            self.channels.iter().collect(),
+            self.codebooks.iter().collect(),
+        );
+        coord.similarity_weight = 0.0;
+        let maps = vec![VisibilityMap::new(); members.len()];
+        let assignment = coord.assign(local_pos, &maps);
+        stats.interference_margin_db = assignment.min_interference_margin_db;
+
+        // Map global user id -> (local index, assigned AP, unicast rate).
+        let local_of = |gid: usize| members.binary_search(&gid).expect("member");
+        let ap_of: Vec<usize> = assignment.user_ap.clone();
+        let rate_of: Vec<f64> = assignment
+            .user_rss_dbm
+            .iter()
+            .map(|&rss| self.mcs.phy_rate_mbps(rss))
+            .collect();
+
+        // --- Reconcile groups with this epoch's membership. ---
+        // Carry over surviving groups; members whose AP changed are
+        // severed and re-admitted as singletons on the new AP.
+        let mut groups: [Vec<Group>; APS_PER_ROOM] = Default::default();
+        let mut grouped = vec![false; members.len()];
+        for (ap, carried) in state.groups.iter().enumerate() {
+            for g in carried {
+                let mut survivors: Vec<usize> = Vec::new();
+                for &gid in &g.members {
+                    // Members may have left the room (severed at the
+                    // barrier) — or switched AP here.
+                    let Ok(li) = members.binary_search(&gid) else {
+                        continue;
+                    };
+                    if ap_of[li] == ap {
+                        survivors.push(gid);
+                        grouped[li] = true;
+                    } else {
+                        stats.reassociations += 1;
+                    }
+                }
+                if !survivors.is_empty() {
+                    groups[ap].push(Group {
+                        members: survivors,
+                        multicast_bytes: 0.0,
+                        multicast_rate_mbps: 0.0,
+                        iou: 0.0,
+                    });
+                }
+            }
+        }
+        // Arrivals (and re-associated members) join as singletons, then
+        // merge into the smallest under-capacity group on their AP.
+        for (li, &gid) in members.iter().enumerate() {
+            if grouped[li] {
+                continue;
+            }
+            let ap = ap_of[li];
+            let target = groups[ap]
+                .iter_mut()
+                .filter(|g| g.members.len() < self.params.group_cap)
+                .min_by_key(|g| (g.members.len(), g.members[0]));
+            match target {
+                Some(g) => {
+                    g.members.push(gid);
+                    g.members.sort_unstable();
+                }
+                None => groups[ap].push(Group {
+                    members: vec![gid],
+                    multicast_bytes: 0.0,
+                    multicast_rate_mbps: 0.0,
+                    iou: 0.0,
+                }),
+            }
+        }
+        for ap_groups in groups.iter_mut() {
+            ap_groups.sort_by(|a, b| a.members.cmp(&b.members));
+        }
+
+        // Price the groups: multicast burst at the worst *reachable*
+        // member's rate, residual unicast at each member's own rate.
+        // Members below MCS sensitivity (rate 0) ride no burst — they are
+        // excluded per frame and counted as unreachable.
+        for ap_groups in groups.iter_mut() {
+            for g in ap_groups.iter_mut() {
+                stats.group_members += g.members.len() as u64;
+                stats.group_count += 1;
+                let reachable: Vec<f64> = g
+                    .members
+                    .iter()
+                    .map(|&gid| rate_of[local_of(gid)])
+                    .filter(|r| *r > 0.0)
+                    .collect();
+                if reachable.len() >= 2 {
+                    g.multicast_bytes = MULTICAST_SHARE * FRAME_BYTES;
+                    g.multicast_rate_mbps = reachable.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+                } else {
+                    g.multicast_bytes = 0.0;
+                    g.multicast_rate_mbps = 0.0;
+                }
+            }
+        }
+
+        // --- Per-AP fault plans and per-frame transmission plans. ---
+        let mut out_state = RoomState::default();
+        for (ap, ap_groups) in groups.iter().enumerate() {
+            let ap_members: Vec<usize> = members
+                .iter()
+                .enumerate()
+                .filter(|&(li, _)| ap_of[li] == ap)
+                .map(|(_, &gid)| gid)
+                .collect();
+            if ap_members.is_empty() {
+                out_state.groups[ap] = Vec::new();
+                continue;
+            }
+            let sim_index = |gid: usize| ap_members.binary_search(&gid).expect("ap member");
+
+            let fault_plan = match &self.params.faults {
+                Some(cfg) => {
+                    let mut cfg = *cfg;
+                    cfg.seed = Self::domain_fault_seed(cfg.seed, room, epoch, ap);
+                    FaultPlan::generate(cfg, frames_in_epoch, ap_members.len())
+                        .expect("validated at Campus::new")
+                }
+                None => FaultPlan::quiet(),
+            };
+
+            // Rung-1 quality clamp: compute the AP's *nominal* per-frame
+            // airtime demand (multicast bursts + residual/singleton
+            // unicasts for every reachable member) and scale payload bytes
+            // so that one frame's demand fits inside the frame interval.
+            // This is the campus analogue of the session's rate adaptation:
+            // under oversubscription everybody drops to a proportionally
+            // lower quality level instead of most users receiving nothing.
+            let reachable = |gid: usize| rate_of[local_of(gid)] > 0.0;
+            let mut demand_s = 0.0f64;
+            for g in ap_groups {
+                let rx: Vec<usize> = g
+                    .members
+                    .iter()
+                    .copied()
+                    .filter(|&gid| reachable(gid))
+                    .collect();
+                if rx.len() >= 2 && g.multicast_rate_mbps > 0.0 {
+                    demand_s += self.mac.airtime_s(
+                        g.multicast_bytes,
+                        g.multicast_rate_mbps,
+                        ap_members.len(),
+                    );
+                    for &gid in &rx {
+                        demand_s += self.mac.airtime_s(
+                            (1.0 - MULTICAST_SHARE) * FRAME_BYTES,
+                            rate_of[local_of(gid)],
+                            ap_members.len(),
+                        );
+                    }
+                } else {
+                    for &gid in &rx {
+                        demand_s += self.mac.airtime_s(
+                            FRAME_BYTES,
+                            rate_of[local_of(gid)],
+                            ap_members.len(),
+                        );
+                    }
+                }
+            }
+            let quality_scale = if demand_s > interval_s && demand_s.is_finite() {
+                interval_s / demand_s
+            } else {
+                1.0
+            };
+            stats.quality_scale_weighted += quality_scale * ap_members.len() as f64;
+            stats.quality_scale_weight += ap_members.len() as u64;
+
+            let budget_s = AIRTIME_BUDGET_X * interval_s;
+            let mut plans: Vec<TransmissionPlan> = Vec::with_capacity(frames_in_epoch);
+            for f in 0..frames_in_epoch {
+                let faults = fault_plan.at(f);
+                let mut plan = TransmissionPlan::new();
+                let mut spent_s = 0.0f64;
+                let mut admit = |item: TxItem, stats: &mut RoomEpochStats| {
+                    let airtime = self
+                        .mac
+                        .airtime_s(item.bytes, item.phy_mbps, ap_members.len());
+                    if !airtime.is_finite() || spent_s + airtime > budget_s {
+                        stats.over_budget_items += 1;
+                        return;
+                    }
+                    spent_s += airtime;
+                    stats.ap_airtime_s[ap] += airtime;
+                    stats.total_bytes += item.bytes;
+                    if item.receivers().len() > 1 {
+                        stats.multicast_bytes += item.bytes;
+                    }
+                    plan.items.push(item);
+                };
+                for g in ap_groups {
+                    // Rung-3 inside the epoch: members under an injected
+                    // outage are excluded from the burst for this frame;
+                    // members below MCS sensitivity (rate 0) cannot be
+                    // served at any quality and are counted as unreachable.
+                    stats.scheduled_user_frames += g.members.len() as u64;
+                    let mut receivers: Vec<usize> = Vec::new();
+                    for &gid in &g.members {
+                        if !reachable(gid) {
+                            stats.unreachable_user_frames += 1;
+                            continue;
+                        }
+                        let si = sim_index(gid);
+                        if faults.outage_for(si) {
+                            stats.regroup_exclusions += 1;
+                            continue;
+                        }
+                        receivers.push(si);
+                    }
+                    if receivers.is_empty() {
+                        continue;
+                    }
+                    if receivers.len() > 1 && g.multicast_rate_mbps > 0.0 {
+                        admit(
+                            TxItem::multicast(
+                                receivers.clone(),
+                                quality_scale * g.multicast_bytes,
+                                g.multicast_rate_mbps,
+                            ),
+                            &mut stats,
+                        );
+                        for &si in &receivers {
+                            let gid = ap_members[si];
+                            let residual = quality_scale * (1.0 - MULTICAST_SHARE) * FRAME_BYTES;
+                            admit(
+                                TxItem::unicast(si, residual, rate_of[local_of(gid)]),
+                                &mut stats,
+                            );
+                        }
+                    } else {
+                        for &si in &receivers {
+                            let gid = ap_members[si];
+                            admit(
+                                TxItem::unicast(
+                                    si,
+                                    quality_scale * FRAME_BYTES,
+                                    rate_of[local_of(gid)],
+                                ),
+                                &mut stats,
+                            );
+                        }
+                    }
+                }
+                for si in 0..ap_members.len() {
+                    if faults.outage_for(si) || faults.loss_for(si) {
+                        stats.fault_user_frames += 1;
+                    }
+                }
+                plans.push(plan);
+            }
+
+            let sim = Simulator::new(
+                &self.mac,
+                ap_members.len(),
+                ap_members.len(),
+                SimTime::from_secs(interval_s),
+                BacklogPolicy::Drop,
+            )
+            .expect("nonzero stations and interval")
+            .with_faults(&fault_plan);
+            let outcomes = sim.run(&plans);
+            for outcome in &outcomes {
+                let deadline = outcome.start + SimTime::from_secs(interval_s);
+                for completion in outcome.user_completion.iter().flatten() {
+                    stats.delivered_user_frames += 1;
+                    if *completion <= deadline {
+                        stats.on_time_user_frames += 1;
+                    }
+                }
+            }
+            out_state.groups[ap] = ap_groups.clone();
+        }
+
+        (out_state, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> CampusParams {
+        CampusParams {
+            grid_w: 2,
+            grid_h: 1,
+            users: 16,
+            frames: 24,
+            epoch_frames: 6,
+            seed: 7,
+            group_cap: 4,
+            faults: None,
+        }
+    }
+
+    #[test]
+    fn campus_runs_and_is_deterministic() {
+        let a = Campus::new(small()).unwrap().run().unwrap();
+        let b = Campus::new(small()).unwrap().run().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.aps, 4);
+        assert!(a.scheduled_user_frames > 0);
+        assert!(a.delivered_ratio > 0.0, "nothing delivered: {a:?}");
+        assert!(a.mean_group_size >= 1.0);
+        assert_eq!(a.per_ap_airtime_s.len(), 4);
+    }
+
+    #[test]
+    fn long_runs_produce_handoffs() {
+        // 60 s of pedestrian roaming across two 8 m rooms must cross a
+        // wall at least once.
+        let params = CampusParams {
+            frames: 1_800,
+            epoch_frames: 30,
+            users: 12,
+            ..small()
+        };
+        let out = Campus::new(params).unwrap().run().unwrap();
+        assert!(out.handoffs > 0, "no handoffs in 60 s: {out:?}");
+    }
+
+    #[test]
+    fn faults_flow_into_the_domains() {
+        let params = CampusParams {
+            faults: Some(FaultConfig::from_spec("seed=3,outage=0.1:3,loss=0.1").unwrap()),
+            ..small()
+        };
+        let out = Campus::new(params).unwrap().run().unwrap();
+        assert!(out.fault_user_frames > 0);
+        assert!(out.regroup_exclusions > 0);
+        // Quiet runs see no faults.
+        let quiet = Campus::new(small()).unwrap().run().unwrap();
+        assert_eq!(quiet.fault_user_frames, 0);
+        assert_eq!(quiet.regroup_exclusions, 0);
+    }
+
+    #[test]
+    fn invalid_params_are_rejected() {
+        for params in [
+            CampusParams {
+                grid_w: 0,
+                ..small()
+            },
+            CampusParams {
+                users: 0,
+                ..small()
+            },
+            CampusParams {
+                frames: 0,
+                ..small()
+            },
+            CampusParams {
+                epoch_frames: 0,
+                ..small()
+            },
+            CampusParams {
+                group_cap: 0,
+                ..small()
+            },
+        ] {
+            assert!(Campus::new(params).is_err());
+        }
+    }
+
+    #[test]
+    fn outcome_json_round_trips() {
+        use volcast_util::json::{FromJson, ToJson};
+        let out = Campus::new(small()).unwrap().run().unwrap();
+        let back = CampusOutcome::from_json(&out.to_json()).unwrap();
+        assert_eq!(back, out);
+    }
+}

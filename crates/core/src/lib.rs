@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod bandwidth;
+pub mod campus;
 pub mod config;
 pub mod error;
 pub mod grouping;
@@ -51,6 +52,7 @@ pub mod rate_adapt;
 pub mod session;
 
 pub use bandwidth::{BandwidthPredictor, CrossLayerInputs};
+pub use campus::{Campus, CampusOutcome, CampusParams};
 pub use config::SystemConfig;
 pub use error::VolcastError;
 pub use grouping::{Group, GroupPlan, GroupPlanner, GroupingInputs};

@@ -19,6 +19,9 @@ use volcast_viewport::{iou, VisibilityMap};
 pub struct ApAssignment {
     /// `assignment[user] = ap index`.
     pub user_ap: Vec<usize>,
+    /// Best-sector RSS (dBm) of each user at its assigned AP — the link
+    /// budget the per-user unicast leg sees before group-beam design.
+    pub user_rss_dbm: Vec<f64>,
     /// Estimated common RSS (dBm) per AP for its assigned users (designed
     /// group beam); `None` for idle APs.
     pub ap_common_rss_dbm: Vec<Option<f64>>,
@@ -62,7 +65,7 @@ impl<'a> MultiApCoordinator<'a> {
         assert_eq!(n_users, maps.len());
         let mut user_ap = vec![usize::MAX; n_users];
         if n_users == 0 {
-            return self.finalize(positions, user_ap);
+            return self.finalize(positions, user_ap, Vec::new());
         }
 
         // Per (ap, user) best-sector RSS.
@@ -142,10 +145,16 @@ impl<'a> MultiApCoordinator<'a> {
             user_ap[u] = best_ap;
             members[best_ap].push(u);
         }
-        self.finalize(positions, user_ap)
+        let user_rss_dbm = (0..n_users).map(|u| rss[user_ap[u]][u]).collect();
+        self.finalize(positions, user_ap, user_rss_dbm)
     }
 
-    fn finalize(&self, positions: &[Vec3], user_ap: Vec<usize>) -> ApAssignment {
+    fn finalize(
+        &self,
+        positions: &[Vec3],
+        user_ap: Vec<usize>,
+        user_rss_dbm: Vec<f64>,
+    ) -> ApAssignment {
         let n_aps = self.channels.len();
         let mut ap_common_rss_dbm = vec![None; n_aps];
         let mut beams = Vec::with_capacity(n_aps);
@@ -191,6 +200,7 @@ impl<'a> MultiApCoordinator<'a> {
         }
         ApAssignment {
             user_ap,
+            user_rss_dbm,
             ap_common_rss_dbm,
             min_interference_margin_db: min_margin,
         }
@@ -200,6 +210,7 @@ impl<'a> MultiApCoordinator<'a> {
 // JSON serialization (replaces the former serde derives; see volcast-util).
 volcast_util::impl_json_struct!(ApAssignment {
     user_ap,
+    user_rss_dbm,
     ap_common_rss_dbm,
     min_interference_margin_db
 });
@@ -252,6 +263,8 @@ mod tests {
         assert_eq!(a.user_ap[0], a.user_ap[1]);
         assert_eq!(a.user_ap[2], a.user_ap[3]);
         assert_ne!(a.user_ap[0], a.user_ap[2]);
+        assert_eq!(a.user_rss_dbm.len(), 4);
+        assert!(a.user_rss_dbm.iter().all(|r| r.is_finite() && *r < 0.0));
     }
 
     #[test]

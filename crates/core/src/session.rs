@@ -331,19 +331,19 @@ impl StreamingSession {
             if have_faults && obs::enabled() && !fault_now.is_quiet() {
                 obs::add(
                     "session.faults.outage_user_frames",
-                    fault_now.outage.count_ones() as u64,
+                    fault_now.outage.count() as u64,
                 );
                 obs::add(
                     "session.faults.blockage_user_frames",
-                    fault_now.blockage.count_ones() as u64,
+                    fault_now.blockage.count() as u64,
                 );
                 obs::add(
                     "session.faults.loss_user_frames",
-                    fault_now.loss.count_ones() as u64,
+                    fault_now.loss.count() as u64,
                 );
                 obs::add(
                     "session.faults.decode_overruns",
-                    fault_now.decode_overrun.count_ones() as u64,
+                    fault_now.decode_overrun.count() as u64,
                 );
                 if fault_now.ap_stall {
                     obs::inc("session.faults.ap_stall_frames");
@@ -412,7 +412,7 @@ impl StreamingSession {
             // `blocked_now`) and the channel itself (the rss closure below
             // drops a blocker onto the path), so the whole proactive /
             // reactive machinery reacts exactly as for an organic body.
-            if have_faults && fault_now.blockage != 0 {
+            if have_faults && !fault_now.blockage.is_empty() {
                 for (u, b) in blocked_now.iter_mut().enumerate() {
                     *b |= fault_now.blockage_for(u);
                 }
@@ -504,7 +504,7 @@ impl StreamingSession {
             // MCS sensitivity. Downstream this zeroes the user's rate, so
             // admission control defers their bursts and the degradation
             // ladder (buffer playback, regrouping) takes over.
-            let rss: Vec<f64> = if have_faults && fault_now.outage != 0 {
+            let rss: Vec<f64> = if have_faults && !fault_now.outage.is_empty() {
                 rss.iter()
                     .enumerate()
                     .map(|(u, &r)| if fault_now.outage_for(u) { -100.0 } else { r })
@@ -731,7 +731,7 @@ impl StreamingSession {
                     // overlap of a subset is a superset — the planner's
                     // price is a safe underestimate of the sharing), and
                     // the `beneficial` re-check below still applies.
-                    if have_faults && fault_now.outage != 0 {
+                    if have_faults && !fault_now.outage.is_empty() {
                         let mut severed: Vec<usize> = Vec::new();
                         for g in &mut gp.groups {
                             if g.members.iter().any(|&u| fault_now.outage_for(u)) {
@@ -865,7 +865,7 @@ impl StreamingSession {
             // still fits the 3x-interval airtime window. Beyond the
             // budget, the loss stands and the buffer absorbs it instead.
             retransmitted.fill(false);
-            if have_faults && fault_now.loss != 0 && !fault_now.ap_stall {
+            if have_faults && !fault_now.loss.is_empty() && !fault_now.ap_stall {
                 let backoff_s = 0.1 * interval;
                 for u in 0..n {
                     if !fault_now.loss_for(u)

@@ -27,10 +27,13 @@
 //!   though bytes arrived on time (thermal throttling, background work).
 //!
 //! Schedules are materialized once at generation time into per-frame
-//! bitmasks ([`FrameFaults`]), so queries in the hot loop are branch-free
-//! mask tests and the schedule cannot drift with evaluation order. Each
-//! fault class and user draws from its own [`Rng::for_stream`] stream, so
-//! enabling one class never perturbs another's schedule.
+//! per-user bit sets ([`FrameFaults`], backed by the growable
+//! [`BitSet`]), so queries in the hot loop
+//! are word-indexed bit tests and the schedule cannot drift with
+//! evaluation order. Each fault class and user draws from its own
+//! [`Rng::for_stream`] stream, so enabling one class never perturbs
+//! another's schedule, and plans scale to campus-sized populations —
+//! there is no fixed user ceiling.
 //!
 //! ```
 //! use volcast_net::{FaultConfig, FaultPlan};
@@ -40,13 +43,55 @@
 //! let again = FaultPlan::generate(cfg, 60, 4).unwrap();
 //! assert_eq!(plan, again); // same seed + config => same schedule, always
 //! ```
+//!
+//! # The `--faults` spec grammar
+//!
+//! Fault schedules are configured from a compact one-line spec — the
+//! argument of the CLI's `--faults` flag and of the `VOLCAST_FAULTS`
+//! environment variable, parsed by [`FaultConfig::from_spec`]:
+//!
+//! ```text
+//! spec     := part ("," part)*
+//! part     := "seed=" u64
+//!           | "outage="   rate [":" frames]     # episodic, default 6 frames
+//!           | "blockage=" rate [":" frames]     # episodic, default 4 frames
+//!           | "stall="    rate [":" frames]     # episodic, default 3 frames
+//!           | "loss="     rate                  # single-frame events
+//!           | "decode="   rate                  # single-frame events
+//!           | "blackout=" start ":" frames      # scripted all-user outage
+//! rate     := f64 in [0, 1]                    # per-frame onset probability
+//! frames   := usize >= 1                       # episode length
+//! ```
+//!
+//! Whitespace around parts is ignored; the empty spec is the quiet
+//! configuration. Unknown keys, malformed numbers, out-of-range rates, and
+//! zero-length episodes are hard errors — a typo cannot silently disable a
+//! stress scenario:
+//!
+//! ```
+//! use volcast_net::FaultConfig;
+//!
+//! let cfg = FaultConfig::from_spec(
+//!     "seed=7,outage=0.02:6,blockage=0.05:4,stall=0.01:3,loss=0.03,decode=0.02,blackout=30:10",
+//! )
+//! .unwrap();
+//! assert_eq!(cfg.seed, 7);
+//! assert_eq!((cfg.outage_rate, cfg.outage_frames), (0.02, 6));
+//! assert_eq!((cfg.blackout_start, cfg.blackout_frames), (30, 10));
+//!
+//! // Episode lengths are optional and default per class.
+//! assert_eq!(FaultConfig::from_spec("outage=0.1").unwrap().outage_frames, 6);
+//!
+//! // Malformed specs fail loudly instead of running an unstressed session.
+//! assert!(FaultConfig::from_spec("outage=1.5").is_err()); // rate out of [0, 1]
+//! assert!(FaultConfig::from_spec("nosuch=1").is_err()); // unknown key
+//! assert!(FaultConfig::from_spec("loss=0.5:3").is_err()); // loss takes no duration
+//! ```
 
 use crate::error::NetError;
+use volcast_util::bitset::BitSet;
 use volcast_util::obs;
 use volcast_util::rng::Rng;
-
-/// Fault masks are per-user bit sets in a `u64`.
-pub const MAX_FAULT_USERS: usize = 64;
 
 /// Configuration for one deterministic fault schedule.
 ///
@@ -221,59 +266,76 @@ impl FaultConfig {
     }
 }
 
-/// The faults active during one frame: per-user bitmasks plus the global
-/// AP-stall flag. The default value is the quiet frame.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// The faults active during one frame: per-user bit sets plus the global
+/// AP-stall flag. The default value is the quiet frame. Membership sets
+/// are growable [`BitSet`]s, so a frame scales to any population size.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FrameFaults {
-    /// Users whose link is in a total outage this frame (bit per user).
-    pub outage: u64,
+    /// Users whose link is in a total outage this frame.
+    pub outage: BitSet,
     /// Users with an injected blockage on their LoS this frame.
-    pub blockage: u64,
+    pub blockage: BitSet,
     /// Users whose transmitted items are lost this frame.
-    pub loss: u64,
+    pub loss: BitSet,
     /// Users whose decoder misses its deadline this frame.
-    pub decode_overrun: u64,
+    pub decode_overrun: BitSet,
     /// The AP transmits nothing this frame.
     pub ap_stall: bool,
 }
 
+/// The quiet frame, shared by out-of-schedule and fault-free queries.
+/// (`BitSet::new` is `const`, so this allocates nothing.)
+static QUIET_FRAME: FrameFaults = FrameFaults {
+    outage: BitSet::new(),
+    blockage: BitSet::new(),
+    loss: BitSet::new(),
+    decode_overrun: BitSet::new(),
+    ap_stall: false,
+};
+
 impl FrameFaults {
+    /// A `'static` reference to the quiet frame — the allocation-free
+    /// answer for queries beyond a plan's schedule or without any plan.
+    pub fn quiet() -> &'static FrameFaults {
+        &QUIET_FRAME
+    }
+
     /// `true` when nothing is injected this frame.
     pub fn is_quiet(&self) -> bool {
-        self.outage == 0
-            && self.blockage == 0
-            && self.loss == 0
-            && self.decode_overrun == 0
+        self.outage.is_empty()
+            && self.blockage.is_empty()
+            && self.loss.is_empty()
+            && self.decode_overrun.is_empty()
             && !self.ap_stall
     }
 
     /// Link outage for `user` this frame.
     pub fn outage_for(&self, user: usize) -> bool {
-        user < MAX_FAULT_USERS && self.outage >> user & 1 == 1
+        self.outage.contains(user)
     }
 
     /// Injected blockage for `user` this frame.
     pub fn blockage_for(&self, user: usize) -> bool {
-        user < MAX_FAULT_USERS && self.blockage >> user & 1 == 1
+        self.blockage.contains(user)
     }
 
     /// Transmission loss for `user` this frame.
     pub fn loss_for(&self, user: usize) -> bool {
-        user < MAX_FAULT_USERS && self.loss >> user & 1 == 1
+        self.loss.contains(user)
     }
 
     /// Decode-deadline overrun for `user` this frame.
     pub fn decode_overrun_for(&self, user: usize) -> bool {
-        user < MAX_FAULT_USERS && self.decode_overrun >> user & 1 == 1
+        self.decode_overrun.contains(user)
     }
 
     /// Number of (class, user) fault activations this frame.
-    pub fn active_count(&self) -> u32 {
-        self.outage.count_ones()
-            + self.blockage.count_ones()
-            + self.loss.count_ones()
-            + self.decode_overrun.count_ones()
-            + self.ap_stall as u32
+    pub fn active_count(&self) -> u64 {
+        (self.outage.count()
+            + self.blockage.count()
+            + self.loss.count()
+            + self.decode_overrun.count()
+            + self.ap_stall as usize) as u64
     }
 }
 
@@ -307,24 +369,22 @@ impl FaultPlan {
     ///
     /// Deterministic in `(config, frames, n_users)`: per-class, per-user
     /// seed streams are drawn serially at generation time, never in the
-    /// hot loop. Errors on invalid configs and on `n_users` beyond the
-    /// bitmask width ([`MAX_FAULT_USERS`]).
+    /// hot loop. Errors on invalid configs. Populations of any size are
+    /// supported — membership sets grow with `n_users`, and for 64 or
+    /// fewer users the schedule is bit-identical to the plans generated by
+    /// the historical fixed-width `u64` masks (the per-class, per-user RNG
+    /// streams are consumed in the same order).
     pub fn generate(
         config: FaultConfig,
         frames: usize,
         n_users: usize,
     ) -> Result<FaultPlan, NetError> {
         config.validate()?;
-        if n_users > MAX_FAULT_USERS {
-            return Err(NetError::InvalidFaultConfig(format!(
-                "{n_users} users exceed the {MAX_FAULT_USERS}-user fault mask"
-            )));
-        }
         let mut masks = vec![FrameFaults::default(); frames];
 
         // Episodic per-user classes: walk each user's own stream once.
         let mut episodes =
-            |stream_base: u64, rate: f64, len: usize, pick: fn(&mut FrameFaults) -> &mut u64| {
+            |stream_base: u64, rate: f64, len: usize, pick: fn(&mut FrameFaults) -> &mut BitSet| {
                 if rate <= 0.0 {
                     return 0u64;
                 }
@@ -338,7 +398,7 @@ impl FaultPlan {
                             events += 1;
                         }
                         if remaining > 0 {
-                            *pick(mask) |= 1 << u;
+                            pick(mask).insert(u);
                             remaining -= 1;
                         }
                     }
@@ -381,18 +441,13 @@ impl FaultPlan {
 
         // Scripted blackout window: a total outage for every user.
         if config.blackout_frames > 0 && n_users > 0 {
-            let all = if n_users == MAX_FAULT_USERS {
-                u64::MAX
-            } else {
-                (1u64 << n_users) - 1
-            };
             let end = config.blackout_start.saturating_add(config.blackout_frames);
             for mask in masks
                 .iter_mut()
                 .take(end.min(frames))
                 .skip(config.blackout_start)
             {
-                mask.outage |= all;
+                mask.outage.insert_range(0..n_users);
             }
         }
 
@@ -410,8 +465,8 @@ impl FaultPlan {
     }
 
     /// The faults active at `frame` (the quiet frame beyond the schedule).
-    pub fn at(&self, frame: usize) -> FrameFaults {
-        self.frames.get(frame).copied().unwrap_or_default()
+    pub fn at(&self, frame: usize) -> &FrameFaults {
+        self.frames.get(frame).unwrap_or(FrameFaults::quiet())
     }
 
     /// Number of scheduled frames.
@@ -421,7 +476,7 @@ impl FaultPlan {
 
     /// Total (class, user) fault activations over the whole schedule.
     pub fn total_activations(&self) -> u64 {
-        self.frames.iter().map(|f| f.active_count() as u64).sum()
+        self.frames.iter().map(|f| f.active_count()).sum()
     }
 
     /// `true` when the schedule injects nothing at all.
@@ -587,17 +642,32 @@ mod tests {
     }
 
     #[test]
-    fn too_many_users_is_an_error() {
-        let err = FaultPlan::generate(FaultConfig::default(), 10, MAX_FAULT_USERS + 1);
-        assert!(matches!(err, Err(NetError::InvalidFaultConfig(_))));
-        // Exactly at the limit is fine, and the blackout mask covers all 64.
+    fn large_populations_are_supported() {
+        // The historical u64 masks capped plans at 64 users; the growable
+        // BitSet removes the ceiling. A campus-scale population generates,
+        // the blackout window covers every user, and the schedule for the
+        // first 64 users is unchanged by the extra population (each user
+        // owns its own RNG stream).
         let cfg = FaultConfig {
+            outage_rate: 0.1,
+            outage_frames: 2,
             blackout_start: 0,
             blackout_frames: 1,
             ..FaultConfig::default()
         };
-        let plan = FaultPlan::generate(cfg, 2, MAX_FAULT_USERS).unwrap();
-        assert!(plan.at(0).outage_for(MAX_FAULT_USERS - 1));
+        let big = FaultPlan::generate(cfg, 40, 500).unwrap();
+        assert!(big.at(0).outage_for(499), "blackout must hit user 499");
+        assert!(!big.at(0).outage_for(500), "user 500 does not exist");
+        let small = FaultPlan::generate(cfg, 40, 64).unwrap();
+        for f in 0..40 {
+            for u in 0..64 {
+                assert_eq!(
+                    small.at(f).outage_for(u),
+                    big.at(f).outage_for(u),
+                    "frame {f} user {u}: schedule must not depend on population"
+                );
+            }
+        }
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod time;
 pub mod wifi5;
 
 pub use error::NetError;
-pub use faults::{FaultConfig, FaultPlan, FrameFaults, MAX_FAULT_USERS};
+pub use faults::{FaultConfig, FaultPlan, FrameFaults};
 pub use link::LinkState;
 pub use mac::{AcMac, AdMac, MacModel};
 pub use plan::{PlanTiming, TransmissionPlan, TxItem, TxKind};

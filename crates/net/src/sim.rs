@@ -127,8 +127,10 @@ impl<'a, M: MacModel> Simulator<'a, M> {
         self
     }
 
-    fn faults_at(&self, frame: usize) -> FrameFaults {
-        self.faults.map(|p| p.at(frame)).unwrap_or_default()
+    fn faults_at(&self, frame: usize) -> &'a FrameFaults {
+        self.faults
+            .map(|p| p.at(frame))
+            .unwrap_or(FrameFaults::quiet())
     }
 
     /// Runs one plan per frame, frame `f` released at `f * interval`.

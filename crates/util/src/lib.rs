@@ -31,6 +31,9 @@
 //! - [`hash`] — frozen 64-bit FNV-1a hashing ([`hash::fnv1a`]) for stable
 //!   fingerprints of serialized output (property-test seeds, the
 //!   fault-scenario harness's `SessionOutcome` FNVs).
+//! - [`bitset`] — a growable [`bitset::BitSet`] over `u64` words, the
+//!   population-scale replacement for fixed 64-bit membership masks
+//!   (fault plans, multicast group membership).
 //! - [`scratch`] — reusable scratch buffers ([`scratch::ScratchVec`],
 //!   [`scratch::Pool`]) with high-watermark gauges, plus a counting global
 //!   allocator ([`scratch::counting`]) for pinning zero-allocation
@@ -72,6 +75,7 @@
 // write it; those examples are compile-checked, not run, which is intended.
 #![allow(clippy::test_attr_in_doctest)]
 
+pub mod bitset;
 pub mod hash;
 pub mod json;
 pub mod obs;

@@ -12,7 +12,7 @@
 //! - [`prop_assert!`](crate::prop_assert) /
 //!   [`prop_assert_eq!`](crate::prop_assert_eq).
 //!
-//! Each test runs [`cases`]` = 64` cases by default (override with the
+//! Each test runs `cases = 64` cases by default (override with the
 //! `VOLCAST_PROP_CASES` env var). Case *i* of test *t* draws its inputs from
 //! an [`Rng`] seeded with `fnv1a(t) ^ i` — fully deterministic across runs
 //! and platforms. On failure the harness reports the case seed; re-run just
@@ -145,7 +145,7 @@ pub mod collection {
     use super::{Rng, Strategy};
     use std::ops::Range;
 
-    /// Number of elements for [`vec`]: a fixed count or a range.
+    /// Number of elements for [`vec()`]: a fixed count or a range.
     pub struct SizeRange {
         lo: usize,
         hi: usize, // exclusive
@@ -186,7 +186,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

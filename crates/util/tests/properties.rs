@@ -3,6 +3,7 @@
 //! rest of the workspace uses, so the harness is its own first customer.
 
 use std::collections::BTreeMap;
+use volcast_util::bitset::BitSet;
 use volcast_util::json::{FromJson, JsonValue, ToJson};
 use volcast_util::prop::prelude::*;
 use volcast_util::rng::Rng;
@@ -106,6 +107,49 @@ proptest! {
                 "bucket {i}: {c} vs {expect}"
             );
         }
+    }
+
+    #[test]
+    fn bitset_matches_bool_vec_model(
+        ops in prop::collection::vec((0usize..200, any::<bool>()), 0..120),
+    ) {
+        // Drive a BitSet and a Vec<bool> model through the same random
+        // insert/remove script; every observable must agree afterwards.
+        let mut set = BitSet::new();
+        let mut model = [false; 200];
+        for &(index, insert) in &ops {
+            if insert {
+                prop_assert_eq!(set.insert(index), !model[index]);
+                model[index] = true;
+            } else {
+                prop_assert_eq!(set.remove(index), model[index]);
+                model[index] = false;
+            }
+        }
+        let expect: Vec<usize> =
+            model.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        prop_assert_eq!(set.iter().collect::<Vec<_>>(), expect.clone());
+        prop_assert_eq!(set.count(), expect.len());
+        prop_assert_eq!(set.is_empty(), expect.is_empty());
+        for (i, &b) in model.iter().enumerate() {
+            prop_assert_eq!(set.contains(i), b, "index {}", i);
+        }
+        // Rebuilding from the surviving indices yields an equal set even
+        // though this one never grew past its high-water mark.
+        let rebuilt: BitSet = expect.into_iter().collect();
+        prop_assert_eq!(set.clone(), rebuilt);
+        set.clear();
+        prop_assert!(set.is_empty());
+        prop_assert_eq!(set, BitSet::new());
+    }
+
+    #[test]
+    fn bitset_insert_range_matches_model(lo in 0usize..150, len in 0usize..150) {
+        let mut ranged = BitSet::new();
+        ranged.insert_range(lo..lo + len);
+        let individual: BitSet = (lo..lo + len).collect();
+        prop_assert_eq!(&ranged, &individual);
+        prop_assert_eq!(ranged.count(), len);
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! - [`traces`]: seeded synthetic 6DoF viewport trajectories for two device
 //!   classes (PH = smartphone, HM = headset), substituting for the paper's
 //!   32-participant IRB user study,
+//! - [`roam`]: campus-scale roaming trajectories (random-waypoint walks
+//!   across a grid of rooms) driving AP handoffs in the campus simulation,
 //! - [`visibility`]: per-user cell visibility maps computed with the three
 //!   ViVo optimizations (frustum culling, distance-based LOD, occlusion
 //!   culling),
@@ -36,6 +38,7 @@ pub mod blockage;
 pub mod io;
 pub mod joint;
 pub mod predict;
+pub mod roam;
 pub mod similarity;
 pub mod traces;
 pub mod visibility;
@@ -44,6 +47,7 @@ pub use blockage::{BlockageEvent, BlockageForecaster};
 pub use io::{load_study, save_study};
 pub use joint::JointPredictor;
 pub use predict::{LinearPredictor, MlpPredictor, Predictor};
+pub use roam::RoamingTraceGenerator;
 pub use similarity::{group_iou, iou, overlap_bytes, overlap_bytes_indexed};
 pub use traces::{DeviceClass, Trace, TraceGenerator, UserStudy};
 pub use visibility::{size_index, VisibilityComputer, VisibilityMap, VisibilityOptions};

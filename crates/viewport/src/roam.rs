@@ -1,0 +1,174 @@
+//! Campus-scale roaming 6DoF traces.
+//!
+//! Where [`traces`](crate::traces) models viewers orbiting a single
+//! volumetric subject inside one room, this module generates *roaming*
+//! trajectories: users walking across a campus-sized floor plan (a grid of
+//! rooms, each with its own APs), pausing to watch, then striking out for
+//! a new waypoint — the mobility pattern that drives AP handoffs in the
+//! campus simulation (`volcast-core::campus`).
+//!
+//! The motion model is a seeded random-waypoint walk with smoothed
+//! heading: pick a waypoint uniformly over the campus extent, walk toward
+//! it at a per-user speed with lateral jitter, dwell there for a few
+//! seconds, repeat. Orientation follows the (smoothed) direction of
+//! travel, so visibility and blockage geometry stay plausible while the
+//! user crosses room boundaries.
+//!
+//! Determinism: each user owns the [`Rng::for_stream`] stream
+//! `STREAM_ROAM + user_id`, so trace `u` is identical regardless of how
+//! many other users are generated, in which order, or on how many threads.
+//!
+//! ```
+//! use volcast_viewport::RoamingTraceGenerator;
+//!
+//! let gen = RoamingTraceGenerator::new(42, 40.0, 16.0);
+//! let a = gen.generate(3, 120);
+//! let b = gen.generate(3, 120);
+//! assert_eq!(a.pose(60).position, b.pose(60).position); // seeded => replayable
+//! assert!(a.pose(119).position.x.abs() <= 20.0); // stays on campus
+//! ```
+
+use crate::traces::{DeviceClass, Trace};
+use volcast_geom::{Pose, Quat, Vec3};
+use volcast_util::rng::Rng;
+
+/// Seed-stream base for roaming users (see [`Rng::for_stream`]); user `u`
+/// draws from stream `STREAM_ROAM + u`, disjoint from the fault-injection
+/// and orbit-trace stream spaces.
+const STREAM_ROAM: u64 = 0x0600;
+
+/// Generator for campus-roaming 6DoF traces.
+#[derive(Debug, Clone)]
+pub struct RoamingTraceGenerator {
+    /// Master seed; combined with per-user streams.
+    pub seed: u64,
+    /// Campus extent along x, meters (centered on the origin).
+    pub width_m: f64,
+    /// Campus extent along z, meters (centered on the origin).
+    pub depth_m: f64,
+    /// Sampling rate (frames per second).
+    pub rate_hz: f64,
+    /// Mean walking speed, m/s.
+    pub walk_speed_mps: f64,
+    /// Mean dwell time at a waypoint, seconds.
+    pub dwell_s: f64,
+}
+
+impl RoamingTraceGenerator {
+    /// A generator over a `width_m` x `depth_m` campus at 30 Hz with
+    /// pedestrian dynamics (1.2 m/s walks, ~4 s dwells).
+    pub fn new(seed: u64, width_m: f64, depth_m: f64) -> Self {
+        RoamingTraceGenerator {
+            seed,
+            width_m,
+            depth_m,
+            rate_hz: 30.0,
+            walk_speed_mps: 1.2,
+            dwell_s: 4.0,
+        }
+    }
+
+    /// Generates `user_id`'s roaming trace for `frames` frames.
+    ///
+    /// Pure in `(self, user_id, frames)`: the user's stream is derived
+    /// from `seed` and `user_id` alone, so traces can be generated in any
+    /// order (or in parallel) without changing a single pose.
+    pub fn generate(&self, user_id: usize, frames: usize) -> Trace {
+        let mut rng = Rng::for_stream(self.seed, STREAM_ROAM + user_id as u64);
+        let dt = 1.0 / self.rate_hz;
+        let half_w = self.width_m / 2.0;
+        let half_d = self.depth_m / 2.0;
+        let eye_y = 1.5 + rng.gen_range(-0.2..0.2);
+        let speed = self.walk_speed_mps * rng.gen_range(0.7..1.3);
+
+        let mut pos = Vec3::new(
+            rng.gen_range(-half_w..half_w),
+            eye_y,
+            rng.gen_range(-half_d..half_d),
+        );
+        let mut waypoint = Vec3::new(
+            rng.gen_range(-half_w..half_w),
+            eye_y,
+            rng.gen_range(-half_d..half_d),
+        );
+        let mut heading = Vec3::new(waypoint.x - pos.x, 0.0, waypoint.z - pos.z);
+        let mut dwell_left = 0.0f64;
+
+        let mut poses = Vec::with_capacity(frames);
+        for _ in 0..frames {
+            let to_wp = Vec3::new(waypoint.x - pos.x, 0.0, waypoint.z - pos.z);
+            let dist = to_wp.norm();
+            if dwell_left > 0.0 {
+                // Dwelling: stand still, gaze drifts slightly.
+                dwell_left -= dt;
+            } else if dist < 0.3 {
+                // Arrived: dwell, then pick the next waypoint.
+                dwell_left = self.dwell_s * rng.gen_range(0.5..1.5);
+                waypoint = Vec3::new(
+                    rng.gen_range(-half_w..half_w),
+                    eye_y,
+                    rng.gen_range(-half_d..half_d),
+                );
+            } else {
+                // Walking: advance toward the waypoint with lateral jitter,
+                // smoothing the heading so turns look human.
+                let dir = to_wp * (1.0 / dist);
+                let jitter = Vec3::new(rng.normal(0.0, 0.3), 0.0, rng.normal(0.0, 0.3));
+                let step = (dir * speed + jitter) * dt;
+                pos += step;
+                pos.x = pos.x.clamp(-half_w, half_w);
+                pos.z = pos.z.clamp(-half_d, half_d);
+                heading = heading * 0.9 + dir * 0.1;
+            }
+            let look = if heading.norm() > 1e-9 {
+                Quat::look_at(heading, Vec3::Y)
+            } else {
+                Quat::IDENTITY
+            };
+            poses.push(Pose::new(pos, look));
+        }
+        Trace {
+            user_id,
+            device: DeviceClass::Headset,
+            rate_hz: self.rate_hz,
+            poses,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic_and_order_independent() {
+        let gen = RoamingTraceGenerator::new(7, 30.0, 12.0);
+        let a = gen.generate(5, 200);
+        let b = gen.generate(5, 200);
+        for f in 0..200 {
+            assert_eq!(a.pose(f).position, b.pose(f).position, "frame {f}");
+        }
+        // Another user's trace differs (its own stream).
+        let other = gen.generate(6, 200);
+        assert_ne!(a.pose(100).position, other.pose(100).position);
+    }
+
+    #[test]
+    fn walkers_stay_on_campus_and_actually_move() {
+        let gen = RoamingTraceGenerator::new(42, 40.0, 16.0);
+        for u in 0..8 {
+            let t = gen.generate(u, 600);
+            let mut travelled = 0.0;
+            for f in 1..600 {
+                let p = t.pose(f).position;
+                assert!(
+                    p.x.abs() <= 20.0 + 1e-9 && p.z.abs() <= 8.0 + 1e-9,
+                    "user {u} off campus"
+                );
+                travelled += (p - t.pose(f - 1).position).norm();
+            }
+            assert!(travelled > 5.0, "user {u} barely moved ({travelled:.1} m)");
+            assert!(t.pose(50).orientation.is_finite());
+        }
+    }
+}

@@ -15,6 +15,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (warnings denied)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> cargo doc (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "==> cargo build --release"
 cargo build --workspace --release
 

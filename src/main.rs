@@ -30,12 +30,12 @@ USAGE:
   volcast info
 
 Fault injection: --faults (or the VOLCAST_FAULTS env var) takes a spec like
-  seed=7,outage=0.02:6,blockage=0.05:4,stall=0.01:3,loss=0.03,decode=0.02,blackout=30:10
-(per-frame rates, ':' suffixes are episode lengths in frames; blackout is a
-scripted all-user outage window start:frames).
+  seed=7,outage=0.02:6,loss=0.03,blackout=30:10
+The full grammar (every class, defaults, error behaviour) is documented on
+the `volcast_net::faults` module (`cargo doc --open`).
 
 Run the paper's experiments with `cargo run -p volcast-bench --bin <name>`
-(table1, fig2a, fig2b, fig3b, fig3d, fig3e, ext_*)."
+(table1, fig2a, fig2b, fig3b, fig3d, fig3e, ext_*, faults, campus)."
 }
 
 /// Parses `--key value` pairs after the subcommand.
