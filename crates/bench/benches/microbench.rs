@@ -22,8 +22,10 @@ use volcast_core::{GroupPlanner, GroupingInputs, PlayerKind, SystemConfig};
 use volcast_geom::Vec3;
 use volcast_mmwave::{Channel, Codebook, McsTable, MultiLobeDesigner};
 use volcast_net::{EventQueue, SimTime};
-use volcast_pointcloud::codec::{decode, encode, CodecConfig, Decoder, EncodedCloud, Encoder};
-use volcast_pointcloud::{CellGrid, QualityLevel, SyntheticBody};
+use volcast_pointcloud::codec::{
+    decode, encode, CodecConfig, Decoder, EncodedCloud, Encoder, GopEncoder,
+};
+use volcast_pointcloud::{CellGrid, QualityLevel, SyntheticBody, VideoSequence};
 use volcast_util::json::{JsonValue, ToJson};
 use volcast_util::par;
 use volcast_util::timing::Harness;
@@ -417,6 +419,26 @@ fn bench_codec_arena(h: &mut Harness) {
     h.bench_function("codec/decode_reused_330k_d7", |b| {
         b.iter(|| dec.decode_into(black_box(&encoded), &mut decoded).unwrap())
     });
+
+    // GOP-batched generate+encode: 8 reduced-density frames per iteration
+    // through one deterministic slot sweep (reduced density bounds the
+    // bench's working set; the per-frame arms above measure full density).
+    // Pinned to 1 worker so the record stays comparable across hosts; a
+    // gated 4-worker arm records the sweep's scaling where the host allows.
+    let video = VideoSequence::new(7, 8);
+    let mut gop = GopEncoder::new();
+    let orig_threads = par::thread_count();
+    par::set_thread_count(1);
+    h.bench_function("codec/encode_gop_8x50k_d7", |b| {
+        b.iter(|| gop.encode_video_gop_into(black_box(&video), 0, 8, 50_000, &cfg))
+    });
+    if can_bench_threads(4, "codec/encode_gop_8x50k_d7_t4") {
+        par::set_thread_count(4);
+        h.bench_function("codec/encode_gop_8x50k_d7_t4", |b| {
+            b.iter(|| gop.encode_video_gop_into(black_box(&video), 0, 8, 50_000, &cfg))
+        });
+    }
+    par::set_thread_count(orig_threads);
 }
 
 /// The full session frame loop (pose -> blockage -> visibility -> ABR ->

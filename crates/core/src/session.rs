@@ -97,6 +97,10 @@ pub struct SessionParams {
     pub radio: RadioKind,
     /// Deterministic fault injection, or `None` for a fault-free run.
     pub faults: Option<FaultConfig>,
+    /// Also octree-encode each GOP of analysis frames (batched, parallel).
+    /// Measurement-only: codec counters land in `volcast_util::obs` when
+    /// tracing is on, and the session outcome is unchanged.
+    pub encode_gop: bool,
 }
 
 impl Default for SessionParams {
@@ -114,6 +118,7 @@ impl Default for SessionParams {
             body_blockage: true,
             radio: RadioKind::MmWave,
             faults: None,
+            encode_gop: false,
         }
     }
 }
@@ -304,6 +309,15 @@ impl StreamingSession {
         let mut needed_bytes = vec![0.0f64; n];
         let mut outage_pending: Vec<f64> = Vec::with_capacity(n);
         let mut analysis_cloud = volcast_pointcloud::PointCloud::new();
+        // Analysis clouds are produced a GOP (one second of frames) at a
+        // time: each slot generates its frame independently, so the batch
+        // sweeps across the `par` workers while staying byte-identical to
+        // the old per-frame generation at any thread count. With
+        // `encode_gop` set the same sweep also octree-encodes every frame
+        // (codec stats go to `obs`; outcomes are unaffected).
+        let gop_len = (cfg.target_fps.round() as usize).max(1);
+        let mut gop = volcast_pointcloud::codec::GopEncoder::new();
+        let gop_cfg = volcast_pointcloud::codec::CodecConfig::default();
         // Degradation-ladder state (see DESIGN.md §11): per-user distress
         // counters drive the quality fall-down, `retransmitted` marks users
         // whose lost payload was re-sent within the frame's airtime budget.
@@ -517,11 +531,22 @@ impl StreamingSession {
             unicast_phy.extend(rss.iter().map(|&r| mcs_table.phy_rate_mbps(r)));
 
             // --- 3. visibility maps ------------------------------------
-            self.video.frame_with_density_into(
-                f as u64,
-                self.params.analysis_points,
-                &mut analysis_cloud,
-            );
+            if f % gop_len == 0 {
+                let len = gop_len.min(self.params.frames - f);
+                if self.params.encode_gop {
+                    gop.encode_video_gop_into(
+                        &self.video,
+                        f as u64,
+                        len,
+                        self.params.analysis_points,
+                        &gop_cfg,
+                    );
+                } else {
+                    gop.generate_gop(&self.video, f as u64, len, self.params.analysis_points);
+                }
+            }
+            gop.frame_points(f % gop_len)
+                .to_cloud_into(&mut analysis_cloud);
             let partition = grid.partition(&analysis_cloud);
             // Per-user maps are independent; the fan-out is the frame
             // step's biggest cost at scale (one frustum + occlusion pass
@@ -1165,7 +1190,8 @@ volcast_util::impl_json_struct!(SessionParams {
     use_prediction,
     body_blockage,
     radio,
-    faults
+    faults,
+    encode_gop
 });
 volcast_util::impl_json_struct!(SessionOutcome {
     qoe,

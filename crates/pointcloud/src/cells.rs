@@ -6,7 +6,7 @@
 //! grid is also the unit over which inter-user viewport similarity (IoU of
 //! visibility maps) is computed.
 
-use crate::point::PointCloud;
+use crate::point::{PointCloud, SoAPoints};
 use std::collections::BTreeMap;
 use volcast_geom::{Aabb, Vec3};
 
@@ -121,6 +121,19 @@ impl CellGrid {
         out.points
             .extend(info.point_indices.iter().map(|&i| cloud.points[i as usize]));
     }
+
+    /// Extracts one cell's sub-cloud straight into SoA storage (cleared
+    /// first). Same points in the same order as
+    /// [`CellGrid::extract_into`], so per-cell encodes are byte-identical
+    /// whichever layout the pipeline uses.
+    pub fn extract_soa_into(&self, cloud: &PointCloud, info: &CellInfo, out: &mut SoAPoints) {
+        out.clear();
+        out.reserve(info.point_indices.len());
+        for &i in &info.point_indices {
+            let p = &cloud.points[i as usize];
+            out.push(p.pos, p.color);
+        }
+    }
 }
 
 // JSON serialization (replaces the former serde derives; see volcast-util).
@@ -205,6 +218,22 @@ mod tests {
         assert_eq!(sub.len(), 2);
         for p in &sub.points {
             assert!(g.cell_bounds(first.id).contains(p.position()));
+        }
+    }
+
+    #[test]
+    fn extract_soa_matches_aos_extract() {
+        let body = crate::synthetic::SyntheticBody::default();
+        let cloud = body.frame(2, 4_000);
+        let g = CellGrid::new(0.5);
+        let mut soa = SoAPoints::new();
+        for info in &g.partition(&cloud) {
+            g.extract_soa_into(&cloud, info, &mut soa);
+            let aos = g.extract(&cloud, info);
+            assert_eq!(soa.len(), aos.len());
+            for (i, p) in aos.points.iter().enumerate() {
+                assert_eq!(soa.point(i), *p);
+            }
         }
     }
 

@@ -20,10 +20,17 @@
 //! 235-364 Mbps @ 30 FPS ladder reported in the paper.
 //!
 //! Frame pipelines should hold a stateful [`Encoder`]/[`Decoder`]: all
-//! codec working memory (voxel staging, radix scratch, contexts, range
-//! coder) persists across frames, making steady-state encode/decode
+//! codec working memory (voxel staging, radix/bitmap scratch, contexts,
+//! range coder) persists across frames, making steady-state encode/decode
 //! allocation-free with byte-identical bitstreams. The free
 //! [`encode`]/[`decode`] functions delegate to thread-local instances.
+//!
+//! The encode hot path (quantization + Morton interleave) runs through the
+//! explicit SIMD kernels in [`simd`], selected at runtime per CPU with a
+//! byte-identical scalar fallback (`VOLCAST_NO_SIMD=1` forces it). Whole
+//! groups of frames batch through [`GopEncoder`], which sweeps one private
+//! encoder arena per frame across the `volcast_util::par` workers — same
+//! bitstreams as the serial loop at any thread count.
 //!
 //! ```
 //! use volcast_pointcloud::codec::{encode, decode, CodecConfig};
@@ -37,12 +44,15 @@
 //! ```
 
 mod cells;
+mod gop;
 mod octree;
 mod range;
+pub mod simd;
 
 pub use cells::{
     decode_cells, decode_cells_into, encode_cells, encode_cells_into, total_bytes, EncodedCell,
 };
+pub use gop::GopEncoder;
 pub use octree::{
     decode, encode, CodecConfig, CodecError, CodecStats, Decoder, EncodedCloud, Encoder,
 };

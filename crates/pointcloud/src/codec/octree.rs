@@ -8,6 +8,23 @@
 //! free [`encode`]/[`decode`] functions delegate to a thread-local instance
 //! and stay the convenient entry points; bitstreams are byte-for-byte
 //! identical either way.
+//!
+//! Encode internals (all proven bitstream-identical to the scalar
+//! pre-SoA pipeline by the `bitstream_matches_pre_simd_reference_pipeline`
+//! test and the bench harness's faithful-copy gate):
+//!
+//! - Quantization + Morton encoding run through [`super::simd`] (runtime
+//!   backend dispatch, scalar fallback). For `depth <=`
+//!   [`PACKED_MAX_DEPTH`] each point becomes a single packed
+//!   `(code << 24) | rgb` word, halving radix-sort traffic; deeper trees
+//!   fall back to scalar `(code, rgb)` pairs.
+//! - The stable LSD radix sort is generic over the element type with a key
+//!   extractor, up to 15-bit digits.
+//! - The occupancy tree is built *flat*: one linear scan of the sorted
+//!   unique codes per level collects each node's 8-bit child mask into a
+//!   level-major byte array (no per-node allocations, no pointers), then an
+//!   iterative pre-order cursor walk feeds the masks to the range coder in
+//!   exactly the order the old recursive DFS did.
 // Fixed-size index loops (angle dims, octree children, AP slots) read
 // clearer than iterator chains in this module.
 #![allow(clippy::needless_range_loop)]
@@ -15,7 +32,11 @@
 use std::cell::RefCell;
 
 use super::range::{BitModel, RangeDecoder, RangeEncoder};
-use crate::point::{Point, PointCloud};
+use super::simd::{
+    self, morton_decode, morton_encode, pack_color, Backend, QuantParams, COLOR_SHIFT,
+    PACKED_MAX_DEPTH,
+};
+use crate::point::{Point, PointCloud, SoAPoints};
 use volcast_geom::{Aabb, Vec3};
 use volcast_util::obs;
 use volcast_util::scratch::ScratchVec;
@@ -93,104 +114,65 @@ const MAGIC: [u8; 4] = *b"VOCT";
 const HEADER_LEN: usize = 4 + 1 + 1 + 4 + 24;
 const MAX_DEPTH: u32 = 16;
 
-/// Spreads the low 21 bits of `v` so each lands at bit `3i` (the classic
-/// magic-mask "part1by2" used by fast Morton coders).
-#[inline(always)]
-fn part1by2(v: u64) -> u64 {
-    let mut x = v & 0x1F_FFFF;
-    x = (x | (x << 32)) & 0x1F_0000_0000_FFFF;
-    x = (x | (x << 16)) & 0x1F_0000_FF00_00FF;
-    x = (x | (x << 8)) & 0x100F_00F0_0F00_F00F;
-    x = (x | (x << 4)) & 0x10C3_0C30_C30C_30C3;
-    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
-    x
-}
-
-/// Inverse of [`part1by2`]: gathers every third bit back into the low bits.
-#[inline(always)]
-fn compact1by2(v: u64) -> u32 {
-    let mut x = v & 0x1249_2492_4924_9249;
-    x = (x | (x >> 2)) & 0x10C3_0C30_C30C_30C3;
-    x = (x | (x >> 4)) & 0x100F_00F0_0F00_F00F;
-    x = (x | (x >> 8)) & 0x1F_0000_FF00_00FF;
-    x = (x | (x >> 16)) & 0x1F_0000_0000_FFFF;
-    x = (x | (x >> 32)) & 0x1F_FFFF;
-    x as u32
-}
-
-/// 3D Morton encode: interleaves the low `depth` bits of x, y, z
-/// (x at bit `3i+2`, y at `3i+1`, z at `3i`).
-#[inline(always)]
-fn morton_encode(x: u32, y: u32, z: u32, depth: u32) -> u64 {
-    debug_assert!(depth <= MAX_DEPTH && (x | y | z) >> depth == 0);
-    (part1by2(x as u64) << 2) | (part1by2(y as u64) << 1) | part1by2(z as u64)
-}
-
-/// Inverse of [`morton_encode`].
-#[inline(always)]
-fn morton_decode(code: u64, _depth: u32) -> (u32, u32, u32) {
-    (
-        compact1by2(code >> 2),
-        compact1by2(code >> 1),
-        compact1by2(code),
-    )
-}
-
-/// A quantized point mid-sort: (morton code, packed RGB color). Keeping the
-/// element at 16 bytes (colors packed `r | g<<8 | b<<16`) instead of a
-/// 24-byte sums-and-count tuple cuts radix-sort memory traffic by a third;
-/// per-voxel color sums are expanded only at merge time.
+/// A quantized point on the deep (`depth > PACKED_MAX_DEPTH`) path:
+/// (morton code, packed RGB color). The shallow path packs both into one
+/// `u64` instead (see [`super::simd`]), halving sort traffic.
 type Voxel = (u64, u32);
 
-/// Widest radix digit; 2^11 counters (8 KiB) still live comfortably in L1.
-const RADIX_MAX_DIGIT_BITS: u32 = 11;
+/// Widest radix digit; chosen so a 30-bit key (depth 10) sorts in two
+/// passes instead of three. Keys narrower than one digit still split
+/// evenly (a 21-bit key sorts as two 11-bit passes, tables L1-resident).
+const RADIX_MAX_DIGIT_BITS: u32 = 15;
 
-/// Stable LSD radix sort of voxels by Morton code, ping-ponging between
-/// `voxels` and `tmp`. The digit width adapts to the key: passes are
-/// minimized first (`ceil(key_bits / 11)`), then the bits are split evenly
-/// across them, so a depth-7 tree (21-bit keys) sorts in two 11-bit passes
-/// and a depth-10 tree (30 bits) in three 10-bit passes. Passes whose digit
-/// is constant across all keys are skipped. Any digit split of a stable LSD
-/// sort yields the same permutation (keys ordered, ties in input order), so
-/// the downstream bitstream is unaffected by the width choice. The sorted
-/// data always ends up back in `voxels`.
-/// Histogram tables for [`radix_sort_by_code`]: one per possible pass
-/// (48-bit keys need at most `ceil(48/11) = 5`). Owned by the [`Encoder`]
-/// so repeated encodes never re-zero the full 40 KiB — only the prefixes a
-/// given key width actually uses.
-type RadixCounts = [[u32; 1 << RADIX_MAX_DIGIT_BITS]; 5];
+/// Largest Morton key (`3 * depth` bits) deduplicated through the flat
+/// occupancy bitmap instead of a sort: 2^24 bits = 2 MiB of persistent
+/// encoder scratch at the cap, falling fast with depth (256 KiB at depth
+/// 7). Beyond this the bitmap would dwarf the point data and the radix
+/// sort takes over.
+const BITMAP_MAX_KEY_BITS: u32 = 24;
 
-fn radix_sort_by_code(
-    voxels: &mut Vec<Voxel>,
-    tmp: &mut Vec<Voxel>,
-    counts: &mut RadixCounts,
+/// Stable LSD radix sort by an extracted `u64` key, ping-ponging between
+/// `items` and `tmp`. The digit width adapts to the key: passes are
+/// minimized first (`ceil(key_bits / 15)`), then the bits are split evenly
+/// across them. Passes whose digit is constant across all keys are skipped.
+/// Any digit split of a stable LSD sort yields the same permutation (keys
+/// ordered, ties in input order), so the downstream bitstream is unaffected
+/// by the width choice. The sorted data always ends up back in `items`.
+/// `counts` holds all pass histograms in one flat buffer (cleared and
+/// resized per call; capacity is retained, so steady state allocates
+/// nothing) and they are filled in a single read of the data.
+fn radix_sort<T, K>(
+    items: &mut Vec<T>,
+    tmp: &mut Vec<T>,
+    counts: &mut Vec<u32>,
     key_bits: u32,
-) {
-    if voxels.len() < 2 {
+    key: K,
+) where
+    T: Copy + Default,
+    K: Fn(&T) -> u64,
+{
+    if items.len() < 2 {
         return;
     }
     tmp.clear();
-    tmp.resize(voxels.len(), (0, 0));
+    tmp.resize(items.len(), T::default());
     let passes = key_bits.div_ceil(RADIX_MAX_DIGIT_BITS);
     let digit_bits = key_bits.div_ceil(passes);
-    let mask = (1u64 << digit_bits) - 1;
-    // All pass histograms in one read of the data (the tables are a few
-    // KiB each and L1-resident), instead of a separate counting pass per
-    // scatter.
-    for table in counts.iter_mut().take(passes as usize) {
-        table[..1usize << digit_bits].fill(0);
-    }
-    for v in voxels.iter() {
-        let mut k = v.0;
-        for table in counts.iter_mut().take(passes as usize) {
+    let width = 1usize << digit_bits;
+    let mask = (width - 1) as u64;
+    counts.clear();
+    counts.resize(passes as usize * width, 0);
+    for it in items.iter() {
+        let mut k = key(it);
+        for table in counts.chunks_exact_mut(width) {
             table[(k & mask) as usize] += 1;
             k >>= digit_bits;
         }
     }
     for pass in 0..passes {
         let shift = pass * digit_bits;
-        let counts = &mut counts[pass as usize][..1usize << digit_bits];
-        if counts.iter().any(|&c| c as usize == voxels.len()) {
+        let counts = &mut counts[pass as usize * width..][..width];
+        if counts.iter().any(|&c| c as usize == items.len()) {
             continue; // every key shares this digit; nothing to reorder
         }
         let mut sum = 0u32;
@@ -199,12 +181,12 @@ fn radix_sort_by_code(
             *c = sum;
             sum += n;
         }
-        for v in voxels.iter() {
-            let digit = ((v.0 >> shift) & mask) as usize;
-            tmp[counts[digit] as usize] = *v;
+        for it in items.iter() {
+            let digit = ((key(it) >> shift) & mask) as usize;
+            tmp[counts[digit] as usize] = *it;
             counts[digit] += 1;
         }
-        std::mem::swap(voxels, tmp);
+        std::mem::swap(items, tmp);
     }
 }
 
@@ -232,6 +214,98 @@ impl Contexts {
     }
 }
 
+/// Collects the flat occupancy tree: for each level `L` in `0..depth`, one
+/// 8-bit child mask per distinct length-`L` Morton prefix, in prefix
+/// (= first appearance in the sorted codes) order, appended level-major to
+/// `masks`. `level_off[L]..level_off[L+1]` brackets level `L`'s masks.
+fn build_masks(codes: &[u64], depth: u32, masks: &mut Vec<u8>, level_off: &mut [usize]) {
+    masks.reserve(2 * codes.len());
+    for level in 0..depth {
+        level_off[level as usize] = masks.len();
+        let pshift = 3 * (depth - level); // bits below this level's prefix
+        let cshift = pshift - 3;
+        let mut prev_prefix = u64::MAX; // codes are < 2^48: safe sentinel
+        let mut cur = 0u8;
+        for &c in codes {
+            let prefix = c >> pshift;
+            let bit = 1u8 << ((c >> cshift) & 0b111);
+            if prefix == prev_prefix {
+                cur |= bit;
+            } else {
+                if prev_prefix != u64::MAX {
+                    masks.push(cur);
+                }
+                prev_prefix = prefix;
+                cur = bit;
+            }
+        }
+        masks.push(cur);
+    }
+    level_off[depth as usize] = masks.len();
+}
+
+/// Entropy-codes the flat occupancy tree in pre-order. A pre-order walk
+/// with children visited in ascending index order reaches the level-`L`
+/// nodes in Morton-prefix order — exactly the order [`build_masks`] stored
+/// them — so per-level cursors replace child pointers entirely. The
+/// emitted bit sequence (and every adaptive context update) is identical
+/// to the old recursive `encode_node` DFS.
+fn emit_flat(
+    rc: &mut RangeEncoder,
+    ctx: &mut Contexts,
+    masks: &[u8],
+    level_off: &[usize],
+    depth: u32,
+) {
+    fn emit_mask(rc: &mut RangeEncoder, models: &mut [BitModel; 8], mask: u8) {
+        for child in 0..8usize {
+            rc.encode_bit(&mut models[child], mask & (1 << child) != 0);
+        }
+    }
+    let mut cursors = [0usize; MAX_DEPTH as usize];
+    let root = masks[level_off[0]];
+    emit_mask(rc, &mut ctx.occupancy[0], root);
+    cursors[0] = 1;
+    // Explicit DFS stack of (node level, unvisited-children mask); depth is
+    // at most MAX_DEPTH, so it lives on the stack.
+    let mut stack = [(0u8, 0u8); MAX_DEPTH as usize];
+    stack[0] = (0, root);
+    let mut sp = 1usize;
+    while sp > 0 {
+        let (level, rem) = stack[sp - 1];
+        if rem == 0 {
+            sp -= 1;
+            continue;
+        }
+        stack[sp - 1].1 = rem & (rem - 1); // consume the lowest child first
+        let child_level = level as usize + 1;
+        if child_level as u32 == depth {
+            continue; // children at the leaf level carry no mask
+        }
+        let m = masks[level_off[child_level] + cursors[child_level]];
+        cursors[child_level] += 1;
+        emit_mask(rc, &mut ctx.occupancy[child_level], m);
+        stack[sp] = (child_level as u8, m);
+        sp += 1;
+    }
+}
+
+/// Encoder input: AoS or SoA, identical bitstreams (SoA conversion is
+/// value-exact and `SoAPoints::bounds` mirrors `PointCloud::bounds`).
+enum Input<'a> {
+    Aos(&'a [Point]),
+    Soa(&'a SoAPoints),
+}
+
+impl Input<'_> {
+    fn len(&self) -> usize {
+        match self {
+            Input::Aos(points) => points.len(),
+            Input::Soa(soa) => soa.len(),
+        }
+    }
+}
+
 /// A reusable octree encoder owning all codec working memory.
 ///
 /// One instance encodes a stream of frames with zero steady-state heap
@@ -240,14 +314,28 @@ impl Contexts {
 /// are all retained across calls at their high-watermark sizes. Output is
 /// byte-for-byte identical to the free [`encode`] function.
 pub struct Encoder {
-    voxels: ScratchVec<Voxel>,
-    radix_tmp: ScratchVec<Voxel>,
-    radix_counts: Box<RadixCounts>,
+    /// Packed `(code << 24) | rgb` staging (shallow path).
+    packed: ScratchVec<u64>,
+    packed_tmp: ScratchVec<u64>,
+    /// `(code, rgb)` staging (deep path, `depth > PACKED_MAX_DEPTH`).
+    deep: ScratchVec<Voxel>,
+    deep_tmp: ScratchVec<Voxel>,
+    /// Flat radix histograms; cleared+resized per sort, capacity retained.
+    radix_counts: Vec<u32>,
+    /// Morton-space occupancy bitmap (shallow keys only, one bit per
+    /// possible code; <= 2 MiB, see [`BITMAP_MAX_KEY_BITS`]).
+    occ: Vec<u64>,
+    /// Exclusive prefix popcounts over `occ` words: rank of the first code
+    /// in each word among all occupied codes.
+    word_rank: Vec<u32>,
     codes: ScratchVec<u64>,
     /// Per-unique-voxel color channel sums and merged point count.
     csums: ScratchVec<([u32; 3], u32)>,
+    /// Level-major flat occupancy masks.
+    masks: ScratchVec<u8>,
     ctx: Contexts,
     rc: RangeEncoder,
+    backend: Backend,
 }
 
 impl Default for Encoder {
@@ -257,16 +345,29 @@ impl Default for Encoder {
 }
 
 impl Encoder {
-    /// Creates an encoder with empty (cold) scratch buffers.
+    /// Creates an encoder with empty (cold) scratch buffers, using the
+    /// process-wide [`simd::active`] backend.
     pub fn new() -> Self {
+        Self::with_backend(simd::active())
+    }
+
+    /// Creates an encoder pinned to a specific SIMD backend (for tests and
+    /// benchmarks; all backends produce byte-identical bitstreams).
+    pub fn with_backend(backend: Backend) -> Self {
         Encoder {
-            voxels: ScratchVec::new("codec.scratch.voxels"),
-            radix_tmp: ScratchVec::new("codec.scratch.radix_tmp"),
-            radix_counts: Box::new([[0; 1 << RADIX_MAX_DIGIT_BITS]; 5]),
+            packed: ScratchVec::new("codec.scratch.packed"),
+            packed_tmp: ScratchVec::new("codec.scratch.packed_tmp"),
+            deep: ScratchVec::new("codec.scratch.deep"),
+            deep_tmp: ScratchVec::new("codec.scratch.deep_tmp"),
+            radix_counts: Vec::new(),
+            occ: Vec::new(),
+            word_rank: Vec::new(),
             codes: ScratchVec::new("codec.scratch.codes"),
             csums: ScratchVec::new("codec.scratch.csums"),
+            masks: ScratchVec::new("codec.scratch.masks"),
             ctx: Contexts::new(0),
             rc: RangeEncoder::new(),
+            backend,
         }
     }
 
@@ -280,6 +381,40 @@ impl Encoder {
         cfg: &CodecConfig,
         out: &mut Vec<u8>,
     ) -> CodecStats {
+        let bounds = if cloud.is_empty() {
+            Aabb::new(Vec3::ZERO, Vec3::ZERO)
+        } else {
+            cloud.bounds()
+        };
+        self.encode_common(Input::Aos(&cloud.points), bounds, cfg, out)
+    }
+
+    /// Encodes a SoA cloud into `out` (cleared first). The bitstream is
+    /// byte-identical to [`Encoder::encode_into`] on the AoS equivalent.
+    ///
+    /// # Panics
+    /// If `cfg.depth` is outside `1..=16` or `cfg.color_bits` outside `1..=8`.
+    pub fn encode_soa_into(
+        &mut self,
+        soa: &SoAPoints,
+        cfg: &CodecConfig,
+        out: &mut Vec<u8>,
+    ) -> CodecStats {
+        let bounds = if soa.is_empty() {
+            Aabb::new(Vec3::ZERO, Vec3::ZERO)
+        } else {
+            soa.bounds()
+        };
+        self.encode_common(Input::Soa(soa), bounds, cfg, out)
+    }
+
+    fn encode_common(
+        &mut self,
+        input: Input<'_>,
+        bounds: Aabb,
+        cfg: &CodecConfig,
+        out: &mut Vec<u8>,
+    ) -> CodecStats {
         assert!(
             cfg.depth >= 1 && cfg.depth <= MAX_DEPTH,
             "depth must be in 1..=16"
@@ -290,58 +425,153 @@ impl Encoder {
         );
         out.clear();
 
-        let bounds = if cloud.is_empty() {
-            Aabb::new(Vec3::ZERO, Vec3::ZERO)
-        } else {
-            cloud.bounds()
-        };
         let extent = bounds.extent().max_component().max(1e-6);
         let levels = 1u32 << cfg.depth;
         let scale = levels as f64 / extent;
+        let q = QuantParams {
+            min: [bounds.min.x, bounds.min.y, bounds.min.z],
+            scale,
+            max_q: levels - 1,
+            depth: cfg.depth,
+        };
+        let input_points = input.len();
 
-        // Voxelize: quantize into the staging buffer, colors packed so the
-        // sort element stays 16 bytes. Truncation (`as i64`) plus the full
-        // clamp is exactly `floor().clamp(..)`: for v >= 0 they agree, and
-        // any v < 0 clamps to 0 under both (NaN/inf saturate identically).
-        let voxels = self.voxels.begin();
-        let m = (levels - 1) as i64;
-        let (mnx, mny, mnz) = (bounds.min.x, bounds.min.y, bounds.min.z);
-        voxels.extend(cloud.points.iter().map(|p| {
-            let x = (((p.pos[0] as f64 - mnx) * scale) as i64).clamp(0, m) as u32;
-            let y = (((p.pos[1] as f64 - mny) * scale) as i64).clamp(0, m) as u32;
-            let z = (((p.pos[2] as f64 - mnz) * scale) as i64).clamp(0, m) as u32;
-            let packed = p.color[0] as u32 | (p.color[1] as u32) << 8 | (p.color[2] as u32) << 16;
-            (morton_encode(x, y, z, cfg.depth), packed)
-        }));
-        radix_sort_by_code(
-            voxels,
-            self.radix_tmp.begin(),
-            &mut self.radix_counts,
-            3 * cfg.depth,
-        );
-
-        // Merge duplicate voxels (sorted => runs), summing colors and
-        // counts so each voxel's color decodes to the *average* (floor of
-        // sum/count) of its merged points.
+        // Voxelize + sort + merge duplicate voxels (sorted => runs),
+        // summing colors and counts so each voxel's color decodes to the
+        // *average* (floor of sum/count) of its merged points.
         let codes = self.codes.begin();
         let csums = self.csums.begin();
-        codes.reserve(voxels.len());
-        csums.reserve(voxels.len());
-        let mut i = 0usize;
-        while i < voxels.len() {
-            let code = voxels[i].0;
-            let mut sums = [0u32; 3];
-            let mut count = 0u32;
-            while i < voxels.len() && voxels[i].0 == code {
-                let c = voxels[i].1;
-                sums[0] += c & 0xFF;
-                sums[1] += (c >> 8) & 0xFF;
-                sums[2] += (c >> 16) & 0xFF;
-                count += 1;
-                i += 1;
+        if cfg.depth <= PACKED_MAX_DEPTH {
+            // Shallow path: one packed u64 per point through the SIMD
+            // kernels. Stability of the radix sort keeps equal-code words
+            // in input order; color sums are commutative anyway, so the
+            // merged stream matches the pair path bit for bit.
+            let packed = self.packed.begin();
+            match input {
+                Input::Aos(points) => {
+                    simd::quantize_morton_points(self.backend, points, &q, packed)
+                }
+                Input::Soa(soa) => simd::quantize_morton_soa(self.backend, soa, &q, packed),
             }
-            codes.push(code);
-            csums.push((sums, count));
+            if 3 * cfg.depth <= BITMAP_MAX_KEY_BITS && !packed.is_empty() {
+                // Bitmap dedup: the key space is small enough that a flat
+                // occupancy bitmap replaces the sort entirely. Scanning the
+                // bitmap yields the unique codes already in ascending
+                // (Morton) order, and prefix popcounts give each point's
+                // voxel slot in O(1), so color sums accumulate in input
+                // order with no 16-byte scatter passes. Identical output to
+                // sort+merge: the code list is the same sorted set, and the
+                // per-voxel sums are commutative.
+                let words = (1usize << (3 * cfg.depth)).div_ceil(64);
+                self.occ.clear();
+                self.occ.resize(words, 0);
+                for &w in packed.iter() {
+                    let code = (w >> COLOR_SHIFT) as usize;
+                    self.occ[code >> 6] |= 1u64 << (code & 63);
+                }
+                self.word_rank.clear();
+                self.word_rank.reserve(words);
+                codes.reserve(packed.len().min(1usize << (3 * cfg.depth)));
+                let mut total = 0u32;
+                for (wi, &bits) in self.occ.iter().enumerate() {
+                    self.word_rank.push(total);
+                    let base = (wi as u64) << 6;
+                    let mut b = bits;
+                    while b != 0 {
+                        codes.push(base | b.trailing_zeros() as u64);
+                        b &= b - 1;
+                    }
+                    total += bits.count_ones();
+                }
+                csums.resize(codes.len(), ([0; 3], 0));
+                for &w in packed.iter() {
+                    let code = (w >> COLOR_SHIFT) as usize;
+                    let below = self.occ[code >> 6] & ((1u64 << (code & 63)) - 1);
+                    let slot = (self.word_rank[code >> 6] + below.count_ones()) as usize;
+                    let c = (w & ((1 << COLOR_SHIFT) - 1)) as u32;
+                    let e = &mut csums[slot];
+                    e.0[0] += c & 0xFF;
+                    e.0[1] += (c >> 8) & 0xFF;
+                    e.0[2] += (c >> 16) & 0xFF;
+                    e.1 += 1;
+                }
+            } else {
+                radix_sort(
+                    packed,
+                    self.packed_tmp.begin(),
+                    &mut self.radix_counts,
+                    3 * cfg.depth,
+                    |v| v >> COLOR_SHIFT,
+                );
+                codes.reserve(packed.len());
+                csums.reserve(packed.len());
+                let mut i = 0usize;
+                while i < packed.len() {
+                    let code = packed[i] >> COLOR_SHIFT;
+                    let mut sums = [0u32; 3];
+                    let mut count = 0u32;
+                    while i < packed.len() && packed[i] >> COLOR_SHIFT == code {
+                        let c = (packed[i] & ((1 << COLOR_SHIFT) - 1)) as u32;
+                        sums[0] += c & 0xFF;
+                        sums[1] += (c >> 8) & 0xFF;
+                        sums[2] += (c >> 16) & 0xFF;
+                        count += 1;
+                        i += 1;
+                    }
+                    codes.push(code);
+                    csums.push((sums, count));
+                }
+            }
+        } else {
+            // Deep path (depth 14..=16): codes no longer co-pack with the
+            // color, so fall back to scalar (code, rgb) pairs.
+            let deep = self.deep.begin();
+            let m = q.max_q as i64;
+            let quant = |pos: [f32; 3]| {
+                let x = (((pos[0] as f64 - q.min[0]) * q.scale) as i64).clamp(0, m) as u32;
+                let y = (((pos[1] as f64 - q.min[1]) * q.scale) as i64).clamp(0, m) as u32;
+                let z = (((pos[2] as f64 - q.min[2]) * q.scale) as i64).clamp(0, m) as u32;
+                morton_encode(x, y, z, cfg.depth)
+            };
+            match input {
+                Input::Aos(points) => {
+                    deep.extend(points.iter().map(|p| (quant(p.pos), pack_color(p.color))));
+                }
+                Input::Soa(soa) => {
+                    deep.reserve(soa.len());
+                    for i in 0..soa.len() {
+                        deep.push((
+                            quant([soa.xs()[i], soa.ys()[i], soa.zs()[i]]),
+                            soa.colors_packed()[i],
+                        ));
+                    }
+                }
+            }
+            radix_sort(
+                deep,
+                self.deep_tmp.begin(),
+                &mut self.radix_counts,
+                3 * cfg.depth,
+                |v| v.0,
+            );
+            codes.reserve(deep.len());
+            csums.reserve(deep.len());
+            let mut i = 0usize;
+            while i < deep.len() {
+                let code = deep[i].0;
+                let mut sums = [0u32; 3];
+                let mut count = 0u32;
+                while i < deep.len() && deep[i].0 == code {
+                    let c = deep[i].1;
+                    sums[0] += c & 0xFF;
+                    sums[1] += (c >> 8) & 0xFF;
+                    sums[2] += (c >> 16) & 0xFF;
+                    count += 1;
+                    i += 1;
+                }
+                codes.push(code);
+                csums.push((sums, count));
+            }
         }
 
         // Header.
@@ -361,7 +591,10 @@ impl Encoder {
         // Payload.
         self.ctx.reset(cfg.depth);
         if !codes.is_empty() {
-            encode_node(&mut self.rc, &mut self.ctx, codes, 0, cfg.depth);
+            let masks = self.masks.begin();
+            let mut level_off = [0usize; MAX_DEPTH as usize + 1];
+            build_masks(codes, cfg.depth, masks, &mut level_off);
+            emit_flat(&mut self.rc, &mut self.ctx, masks, &level_off, cfg.depth);
             // Colors in Morton (leaf) order.
             let shift = 8 - cfg.color_bits;
             for &(sums, count) in csums.iter() {
@@ -375,13 +608,13 @@ impl Encoder {
         self.rc.finish_into(out);
 
         let stats = CodecStats {
-            input_points: cloud.len(),
+            input_points,
             voxels: codes.len(),
             bytes: out.len(),
-            bits_per_point: if cloud.is_empty() {
+            bits_per_point: if input_points == 0 {
                 0.0
             } else {
-                out.len() as f64 * 8.0 / cloud.len() as f64
+                out.len() as f64 * 8.0 / input_points as f64
             },
         };
         if obs::enabled() {
@@ -535,60 +768,6 @@ pub fn decode(encoded: &EncodedCloud) -> Result<PointCloud, CodecError> {
     })
 }
 
-/// When child ranges are at most this long, partition by linear scan;
-/// longer ranges use binary search (`partition_point`). The bitstream does
-/// not depend on this choice — only the partitioning cost does.
-const LINEAR_SCAN_MAX: usize = 64;
-
-/// Recursive DFS over the sorted Morton codes. `level` counts down; at each
-/// node the 3-bit child group is at bit offset `3 * (level - 1)`.
-fn encode_node(
-    enc: &mut RangeEncoder,
-    ctx: &mut Contexts,
-    codes: &[u64],
-    depth_from_root: u32,
-    total_depth: u32,
-) {
-    let level_shift = 3 * (total_depth - depth_from_root - 1);
-    // Partition children: codes are sorted, so each child occupies a
-    // contiguous range.
-    let mut ranges: [(usize, usize); 8] = [(0, 0); 8];
-    let mut start = 0usize;
-    for child in 0..8u64 {
-        let end = if codes.len() - start > LINEAR_SCAN_MAX {
-            // Digits are ascending in the sorted slice; everything before
-            // `start` has a digit < `child`, so `<= child` flips exactly at
-            // this child's boundary.
-            start + codes[start..].partition_point(|&c| (c >> level_shift) & 0b111 <= child)
-        } else {
-            codes[start..]
-                .iter()
-                .position(|&c| (c >> level_shift) & 0b111 != child)
-                .map(|p| start + p)
-                .unwrap_or(codes.len())
-        };
-        ranges[child as usize] = (start, end);
-        start = end;
-    }
-    // Emit occupancy bits.
-    for child in 0..8usize {
-        let occupied = ranges[child].1 > ranges[child].0;
-        enc.encode_bit(
-            &mut ctx.occupancy[depth_from_root as usize][child],
-            occupied,
-        );
-    }
-    // Recurse.
-    if depth_from_root + 1 < total_depth {
-        for child in 0..8usize {
-            let (s, e) = ranges[child];
-            if e > s {
-                encode_node(enc, ctx, &codes[s..e], depth_from_root + 1, total_depth);
-            }
-        }
-    }
-}
-
 fn decode_node(
     dec: &mut RangeDecoder,
     ctx: &mut Contexts,
@@ -658,6 +837,110 @@ mod tests {
         (x, y, z)
     }
 
+    /// The pre-SoA/SIMD encode pipeline (PR 4 shape): scalar f64
+    /// quantization, stable comparison sort of (code, color) pairs, run
+    /// merge, and the recursive context-coded DFS. Every new-path bitstream
+    /// must match this byte for byte.
+    fn reference_encode(cloud: &PointCloud, cfg: &CodecConfig) -> Vec<u8> {
+        fn ref_encode_node(
+            enc: &mut RangeEncoder,
+            ctx: &mut Contexts,
+            codes: &[u64],
+            depth_from_root: u32,
+            total_depth: u32,
+        ) {
+            let level_shift = 3 * (total_depth - depth_from_root - 1);
+            let mut ranges: [(usize, usize); 8] = [(0, 0); 8];
+            let mut start = 0usize;
+            for child in 0..8u64 {
+                let end = start
+                    + codes[start..]
+                        .iter()
+                        .take_while(|&&c| (c >> level_shift) & 0b111 == child)
+                        .count();
+                ranges[child as usize] = (start, end);
+                start = end;
+            }
+            for child in 0..8usize {
+                enc.encode_bit(
+                    &mut ctx.occupancy[depth_from_root as usize][child],
+                    ranges[child].1 > ranges[child].0,
+                );
+            }
+            if depth_from_root + 1 < total_depth {
+                for &(s, e) in &ranges {
+                    if e > s {
+                        ref_encode_node(enc, ctx, &codes[s..e], depth_from_root + 1, total_depth);
+                    }
+                }
+            }
+        }
+
+        let bounds = if cloud.is_empty() {
+            Aabb::new(Vec3::ZERO, Vec3::ZERO)
+        } else {
+            cloud.bounds()
+        };
+        let extent = bounds.extent().max_component().max(1e-6);
+        let levels = 1u32 << cfg.depth;
+        let scale = levels as f64 / extent;
+        let m = (levels - 1) as i64;
+        let mut voxels: Vec<(u64, u32)> = cloud
+            .points
+            .iter()
+            .map(|p| {
+                let x = (((p.pos[0] as f64 - bounds.min.x) * scale) as i64).clamp(0, m) as u32;
+                let y = (((p.pos[1] as f64 - bounds.min.y) * scale) as i64).clamp(0, m) as u32;
+                let z = (((p.pos[2] as f64 - bounds.min.z) * scale) as i64).clamp(0, m) as u32;
+                (morton_encode(x, y, z, cfg.depth), pack_color(p.color))
+            })
+            .collect();
+        voxels.sort_by_key(|v| v.0); // stable
+        let mut codes = Vec::new();
+        let mut csums: Vec<([u32; 3], u32)> = Vec::new();
+        let mut i = 0usize;
+        while i < voxels.len() {
+            let code = voxels[i].0;
+            let mut sums = [0u32; 3];
+            let mut count = 0u32;
+            while i < voxels.len() && voxels[i].0 == code {
+                let c = voxels[i].1;
+                sums[0] += c & 0xFF;
+                sums[1] += (c >> 8) & 0xFF;
+                sums[2] += (c >> 16) & 0xFF;
+                count += 1;
+                i += 1;
+            }
+            codes.push(code);
+            csums.push((sums, count));
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC);
+        out.push(cfg.depth as u8);
+        out.push(cfg.color_bits as u8);
+        out.extend_from_slice(&(codes.len() as u32).to_le_bytes());
+        for v in [bounds.min.x, bounds.min.y, bounds.min.z] {
+            out.extend_from_slice(&(v as f32).to_le_bytes());
+        }
+        for v in [extent, 0.0, 0.0] {
+            out.extend_from_slice(&(v as f32).to_le_bytes());
+        }
+        let mut rc = RangeEncoder::new();
+        let mut ctx = Contexts::new(cfg.depth);
+        if !codes.is_empty() {
+            ref_encode_node(&mut rc, &mut ctx, &codes, 0, cfg.depth);
+            let shift = 8 - cfg.color_bits;
+            for &(sums, count) in &csums {
+                for ch in 0..3 {
+                    let avg = sums[ch] / count;
+                    rc.encode_bits(&mut ctx.color[ch], avg >> shift, cfg.color_bits);
+                }
+            }
+        }
+        rc.finish_into(&mut out);
+        out
+    }
+
     #[test]
     fn morton_round_trip() {
         for depth in [1u32, 4, 10, 16] {
@@ -708,9 +991,63 @@ mod tests {
             expected.sort_by_key(|v| v.0); // stable comparison sort
             let mut got = voxels;
             let mut tmp = Vec::new();
-            let mut counts = Box::new([[0; 1 << RADIX_MAX_DIGIT_BITS]; 5]);
-            radix_sort_by_code(&mut got, &mut tmp, &mut counts, key_bits);
+            let mut counts = Vec::new();
+            radix_sort(&mut got, &mut tmp, &mut counts, key_bits, |v: &Voxel| v.0);
             assert_eq!(got, expected, "n={n} bits={key_bits}");
+        }
+    }
+
+    #[test]
+    fn radix_sort_packed_words_matches_comparison_sort() {
+        // The shallow path sorts packed (code << 24 | color) words by the
+        // code field only: ties must stay in input order so the merge sees
+        // the same color sequence as the pair path.
+        let mut rng = volcast_util::rng::Rng::seed_from_u64(0xBEEF);
+        let words: Vec<u64> = (0..4000)
+            .map(|i| (rng.gen_range(0..1u64 << 21) << COLOR_SHIFT) | (i as u64 & 0xFF_FFFF))
+            .collect();
+        let mut expected = words.clone();
+        expected.sort_by_key(|w| w >> COLOR_SHIFT);
+        let mut got = words;
+        let mut tmp = Vec::new();
+        let mut counts = Vec::new();
+        radix_sort(&mut got, &mut tmp, &mut counts, 21, |w: &u64| {
+            w >> COLOR_SHIFT
+        });
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn bitstream_matches_pre_simd_reference_pipeline() {
+        // The hard gate for the SoA/SIMD rewrite: every path (AoS, SoA,
+        // forced-scalar backend; shallow packed and deep pair pipelines)
+        // must reproduce the old encoder's bytes exactly.
+        let body = SyntheticBody::default();
+        for (depth, n) in [
+            (1u32, 700usize),
+            (4, 5_000),
+            (7, 20_000),
+            (10, 20_000),
+            (13, 6_000), // deepest packed-word depth
+            (14, 6_000), // shallowest pair-path depth
+            (16, 6_000),
+        ] {
+            let cloud = body.frame(depth as u64, n);
+            let cfg = CodecConfig {
+                depth,
+                color_bits: 6,
+            };
+            let expected = reference_encode(&cloud, &cfg);
+            let mut got = Vec::new();
+            Encoder::new().encode_into(&cloud, &cfg, &mut got);
+            assert_eq!(got, expected, "depth {depth} aos");
+            let soa = SoAPoints::from_cloud(&cloud);
+            let mut got_soa = Vec::new();
+            Encoder::new().encode_soa_into(&soa, &cfg, &mut got_soa);
+            assert_eq!(got_soa, expected, "depth {depth} soa");
+            let mut got_scalar = Vec::new();
+            Encoder::with_backend(Backend::Scalar).encode_into(&cloud, &cfg, &mut got_scalar);
+            assert_eq!(got_scalar, expected, "depth {depth} forced scalar");
         }
     }
 
@@ -796,6 +1133,20 @@ mod tests {
                 "decoded point {dp} off by {best} > {max_err}"
             );
         }
+    }
+
+    #[test]
+    fn deep_tree_round_trip() {
+        // The pair path (depth > PACKED_MAX_DEPTH) must round-trip too.
+        let cloud = SyntheticBody::default().frame(0, 3_000);
+        let cfg = CodecConfig {
+            depth: 15,
+            color_bits: 6,
+        };
+        let (enc, stats) = encode(&cloud, &cfg);
+        let dec = decode(&enc).unwrap();
+        assert_eq!(dec.len(), stats.voxels);
+        assert!(stats.voxels > 0);
     }
 
     #[test]

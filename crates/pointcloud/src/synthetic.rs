@@ -11,7 +11,7 @@
 //! human-sized bounding box (~0.5 x 1.8 x 0.4 m), surface-distributed points,
 //! an exact target point count, and temporal coherence across frames.
 
-use crate::point::{Point, PointCloud};
+use crate::point::{Point, PointCloud, SoAPoints};
 use volcast_geom::Vec3;
 use volcast_util::rng::Rng;
 
@@ -203,15 +203,41 @@ impl SyntheticBody {
     /// allocation. Identical points to [`SyntheticBody::frame`]; a warmed
     /// `out` makes per-frame generation allocation-free.
     pub fn frame_into(&self, frame_idx: u64, target_points: usize, out: &mut PointCloud) {
+        let points = &mut out.points;
+        points.clear();
+        points.reserve(target_points);
+        self.emit_frame(frame_idx, target_points, |pos, col| {
+            points.push(Point::new(pos, col));
+        });
+    }
+
+    /// Generates frame `frame_idx` straight into SoA storage (cleared
+    /// first). Point-for-point identical (same order, same values) to
+    /// [`SyntheticBody::frame_into`]: both run the same sampler over the
+    /// same PRNG sequence, only the destination layout differs.
+    pub fn frame_into_soa(&self, frame_idx: u64, target_points: usize, out: &mut SoAPoints) {
+        out.clear();
+        out.reserve(target_points);
+        self.emit_frame(frame_idx, target_points, |pos, col| {
+            out.push(pos, col);
+        });
+    }
+
+    /// Shared frame sampler: allocates points to capsules proportionally to
+    /// surface area (remainder to the last capsule) and hands each sampled
+    /// point to `emit`. All layout-specific frame generators route through
+    /// here so they draw the identical PRNG sequence.
+    fn emit_frame(
+        &self,
+        frame_idx: u64,
+        target_points: usize,
+        mut emit: impl FnMut([f32; 3], [u8; 3]),
+    ) {
         let t = frame_idx as f64 / self.fps;
         let caps = self.capsules_at(t);
         let total_area: f64 = caps.iter().map(|c| c.area()).sum();
         let mut rng = Rng::seed_from_u64(self.seed ^ frame_idx.wrapping_mul(0x9E37_79B9_7F4A_7C15));
 
-        let points = &mut out.points;
-        points.clear();
-        points.reserve(target_points);
-        // Allocate points proportionally to area; round-robin remainder.
         let mut allocated = 0usize;
         for (i, cap) in caps.iter().enumerate() {
             let share = if i + 1 == caps.len() {
@@ -229,7 +255,7 @@ impl SyntheticBody {
                     (cap.color[1] as i16 + jitter).clamp(0, 255) as u8,
                     (cap.color[2] as i16 + jitter).clamp(0, 255) as u8,
                 ];
-                points.push(Point::new([p.x as f32, p.y as f32, p.z as f32], col));
+                emit([p.x as f32, p.y as f32, p.z as f32], col);
             }
         }
     }
@@ -271,6 +297,20 @@ mod tests {
         for frame in [0u64, 3, 9, 4] {
             body.frame_into(frame, 2_000, &mut reused);
             assert_eq!(reused.points, body.frame(frame, 2_000).points);
+        }
+    }
+
+    #[test]
+    fn frame_into_soa_matches_aos_generation() {
+        let body = SyntheticBody::default();
+        let mut soa = SoAPoints::new();
+        for frame in [0u64, 5, 11] {
+            body.frame_into_soa(frame, 3_000, &mut soa);
+            let aos = body.frame(frame, 3_000);
+            assert_eq!(soa.len(), aos.len());
+            for (i, p) in aos.points.iter().enumerate() {
+                assert_eq!(soa.point(i), *p, "frame {frame} point {i}");
+            }
         }
     }
 

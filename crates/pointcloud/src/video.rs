@@ -2,7 +2,7 @@
 
 use crate::cells::{CellGrid, CellInfo};
 use crate::codec::{encode, CodecConfig, CodecStats, EncodedCloud, Encoder};
-use crate::point::PointCloud;
+use crate::point::{PointCloud, SoAPoints};
 use crate::quality::{Quality, QualityLadder, QualityLevel};
 use crate::synthetic::SyntheticBody;
 
@@ -73,6 +73,14 @@ impl VideoSequence {
     pub fn frame_with_density_into(&self, idx: u64, points: usize, out: &mut PointCloud) {
         self.body
             .frame_into(idx % self.num_frames.max(1), points, out);
+    }
+
+    /// SoA variant of [`VideoSequence::frame_with_density_into`]:
+    /// point-for-point identical frames, generated straight into SoA lanes
+    /// for the codec's vectorized encode path.
+    pub fn frame_with_density_soa_into(&self, idx: u64, points: usize, out: &mut SoAPoints) {
+        self.body
+            .frame_into_soa(idx % self.num_frames.max(1), points, out);
     }
 
     /// Encodes a frame, returning the bitstream and codec statistics.

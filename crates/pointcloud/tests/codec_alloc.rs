@@ -4,10 +4,12 @@
 //! process-global: any sibling test allocating concurrently would make the
 //! counters move. Keep exactly one `#[test]` in this file.
 
-use volcast_pointcloud::codec::{CodecConfig, Encoder};
-use volcast_pointcloud::{codec::Decoder, codec::EncodedCloud, PointCloud, SyntheticBody};
-use volcast_util::obs;
+use volcast_pointcloud::codec::{CodecConfig, Encoder, GopEncoder};
+use volcast_pointcloud::{
+    codec::Decoder, codec::EncodedCloud, PointCloud, SyntheticBody, VideoSequence,
+};
 use volcast_util::scratch::counting;
+use volcast_util::{obs, par};
 
 #[global_allocator]
 static ALLOC: counting::CountingAllocator = counting::CountingAllocator;
@@ -75,5 +77,51 @@ fn steady_state_frame_path_does_not_allocate() {
         deallocs_after - deallocs_before,
         0,
         "steady-state frame path deallocated"
+    );
+
+    // --- GOP-batched path ------------------------------------------------
+    // Same contract for `GopEncoder`: once slots and the output-buffer pool
+    // are warm, whole-GOP generate+encode sweeps are allocation-free. Pin
+    // the worker count to 1 — spawning workers allocates by design, and the
+    // zero-alloc claim is about the per-slot arenas, not thread plumbing
+    // (this also keeps the gate meaningful under VOLCAST_THREADS=4 runs).
+    par::set_thread_count(1);
+    let video = VideoSequence::new(5, FRAMES);
+    // Depth 7 exercises the bitmap-dedup path, the depth-9 `cfg` the radix
+    // path; one warm GopEncoder must stay allocation-free across both.
+    let cfg7 = CodecConfig {
+        depth: 7,
+        color_bits: 6,
+    };
+    let mut gop = GopEncoder::new();
+    let gop_pass = |gop: &mut GopEncoder| {
+        let mut bytes = 0usize;
+        for pass_cfg in [&cfg7, &cfg] {
+            gop.encode_video_gop_into(&video, 0, FRAMES as usize, POINTS, pass_cfg);
+            for i in 0..FRAMES as usize {
+                bytes += gop.frame_data(i).len();
+            }
+        }
+        bytes
+    };
+    for _ in 0..2 {
+        gop_pass(&mut gop);
+    }
+    let gop_allocs_before = counting::allocations();
+    let gop_deallocs_before = counting::deallocations();
+    let mut total_bytes = 0usize;
+    for _ in 0..3 {
+        total_bytes += gop_pass(&mut gop);
+    }
+    assert!(total_bytes > 0, "GOP encode produced no bytes");
+    assert_eq!(
+        counting::allocations() - gop_allocs_before,
+        0,
+        "steady-state GOP batched path allocated"
+    );
+    assert_eq!(
+        counting::deallocations() - gop_deallocs_before,
+        0,
+        "steady-state GOP batched path deallocated"
     );
 }

@@ -185,6 +185,48 @@ where
         .collect()
 }
 
+/// Applies `f` to every item of `items` **in place**, in parallel: the
+/// mutable analogue of [`par_map_indexed`] for pre-allocated slots (e.g. a
+/// GOP of per-frame codec arenas, each owning its scratch and output
+/// buffers).
+///
+/// Work is split into contiguous chunks of `ceil(n / workers)` items, one
+/// chunk per scoped worker, so each slot is touched by exactly one thread
+/// and no result collection or copying happens. Determinism follows the
+/// module contract: `f` must be a pure function of `(index, item)`, and
+/// then the final slot states are independent of the worker budget —
+/// chunking only decides *who* runs an item, never *what* it computes.
+/// Nested calls from inside a parallel region run serially on the calling
+/// worker; panics in `f` propagate to the caller after all workers joined.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let workers = thread_count().min(n);
+    if workers <= 1 || in_parallel_region() {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (ci, run) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move || {
+                IN_PARALLEL_REGION.with(|flag| flag.set(true));
+                for (j, item) in run.iter_mut().enumerate() {
+                    f(ci * chunk + j, item);
+                }
+            });
+        }
+        // `scope` joins every worker before returning and re-raises the
+        // first panic, matching par_map's propagation behaviour.
+    });
+}
+
 /// Maps `f` over `items` in parallel with chunked scheduling: workers
 /// claim contiguous runs of `chunk_size` items, which amortizes the
 /// claim-an-item synchronization for very cheap `f`. Results are returned
@@ -291,6 +333,61 @@ mod tests {
         }
         // chunk_size 0 is clamped, not a panic or a hang.
         assert_eq!(chunked(&items, 0, |&x| 3 * x - 1), serial);
+    }
+
+    #[test]
+    fn par_for_each_mut_matches_serial_at_every_thread_count() {
+        let serial: Vec<u64> = (0..257u64).map(|x| x.wrapping_mul(x) ^ 7).collect();
+        for threads in [1, 2, 4, 8] {
+            set_thread_count(threads);
+            let mut items: Vec<u64> = (0..257).collect();
+            par_for_each_mut(&mut items, |i, x| {
+                assert_eq!(i as u64, *x);
+                *x = x.wrapping_mul(*x) ^ 7;
+            });
+            assert_eq!(items, serial, "threads={threads}");
+        }
+        set_thread_count(4);
+    }
+
+    #[test]
+    fn par_for_each_mut_empty_and_singleton() {
+        set_thread_count(4);
+        let mut empty: Vec<u32> = Vec::new();
+        par_for_each_mut(&mut empty, |_, _| unreachable!());
+        let mut one = vec![5u32];
+        par_for_each_mut(&mut one, |i, x| *x += i as u32 + 1);
+        assert_eq!(one, vec![6]);
+    }
+
+    #[test]
+    fn par_for_each_mut_nested_runs_serially() {
+        set_thread_count(4);
+        let outer: Vec<u32> = (0..8).collect();
+        let out = par_map(&outer, |&x| {
+            let mut inner: Vec<u32> = (0..4).collect();
+            par_for_each_mut(&mut inner, |_, y| {
+                assert!(in_parallel_region());
+                *y += x * 10;
+            });
+            inner.iter().sum::<u32>()
+        });
+        let expect: Vec<u32> = (0..8).map(|x| 4 * (x * 10) + 6).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_for_each_mut_panics_propagate() {
+        set_thread_count(4);
+        let mut items: Vec<u32> = (0..64).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_for_each_mut(&mut items, |_, x| {
+                if *x == 33 {
+                    panic!("boom at {x}");
+                }
+            })
+        }));
+        assert!(result.is_err(), "panic must propagate");
     }
 
     #[test]

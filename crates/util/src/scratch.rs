@@ -216,6 +216,9 @@ pub mod counting {
     #[derive(Debug, Default, Clone, Copy)]
     pub struct CountingAllocator;
 
+    // SAFETY: delegates every method to `System`, which upholds the
+    // `GlobalAlloc` contract; the atomic counter updates on the side never
+    // touch the returned memory or the layout.
     unsafe impl GlobalAlloc for CountingAllocator {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);

@@ -9,8 +9,16 @@
 # loop end to end. Commit the refreshed files alongside perf-relevant
 # changes so regressions are visible in review as a plain diff.
 #
+# After the run, the fresh codec medians are compared against the
+# previously committed BENCH_codec.json: any tracked kernel slower by more
+# than VOLCAST_BENCH_TOLERANCE percent (default 25) fails the script, so a
+# codec perf regression cannot be recorded silently. The comparison is
+# skipped (with a warning) when the baseline was recorded with a different
+# host thread budget — those medians are not comparable.
+#
 # Usage: scripts/bench_baseline.sh [extra args passed to the bench binary]
-# Knobs: VOLCAST_BENCH_SAMPLES (default 20 timed samples per bench).
+# Knobs: VOLCAST_BENCH_SAMPLES   (default 20 timed samples per bench)
+#        VOLCAST_BENCH_TOLERANCE (default 25, percent slowdown tolerated)
 
 set -eu
 
@@ -29,4 +37,63 @@ if [ "${host_threads}" -lt 4 ]; then
     echo "WARNING: do not commit BENCH_*.json from this host over baselines that have _t4 rows." >&2
 fi
 
+# Stash the committed codec baseline before the bench overwrites it.
+baseline=""
+if [ -f BENCH_codec.json ]; then
+    baseline=$(mktemp)
+    cp BENCH_codec.json "${baseline}"
+    trap 'rm -f "${baseline}"' EXIT
+fi
+
 cargo bench -p volcast-bench --bench microbench -- --json "$@"
+
+[ -n "${baseline}" ] || exit 0
+
+# "name median_ns" per bench record (the reports are single-line JSON from
+# our own writer, so one record per '{' split is reliable).
+medians() {
+    tr '{' '\n' <"$1" | awk -F'"' '
+        /"name":/ {
+            name = ""
+            for (i = 1; i <= NF; i++) if ($i == "name") name = $(i + 2)
+            if (name != "" && match($0, /"median_ns":[0-9.]+/))
+                print name, substr($0, RSTART + 12, RLENGTH - 12)
+        }'
+}
+threads_of() {
+    sed -n 's/.*"host_threads":\([0-9]*\).*/\1/p' "$1" | head -1
+}
+
+tolerance="${VOLCAST_BENCH_TOLERANCE:-25}"
+old_threads=$(threads_of "${baseline}")
+new_threads=$(threads_of BENCH_codec.json)
+if [ "${old_threads}" != "${new_threads}" ]; then
+    echo "WARNING: baseline host_threads=${old_threads} != current ${new_threads}; skipping codec regression check." >&2
+    exit 0
+fi
+
+echo "codec regression check (tolerance ${tolerance}%):"
+if ! {
+    medians "${baseline}" | sed 's/^/old /'
+    medians BENCH_codec.json | sed 's/^/new /'
+} | awk -v tol="${tolerance}" '
+    $1 == "old" { old[$2] = $3 }
+    $1 == "new" { new[$2] = $3 }
+    END {
+        fail = 0
+        for (n in new) {
+            if (!(n in old)) { printf "  new:  %s median %.0f ns (no baseline)\n", n, new[n]; continue }
+            limit = old[n] * (1 + tol / 100)
+            if (new[n] > limit) {
+                printf "  FAIL: %s median %.0f ns > %.0f ns allowed (baseline %.0f ns + %s%%)\n", n, new[n], limit, old[n], tol
+                fail = 1
+            } else {
+                printf "  ok:   %s median %.0f ns (baseline %.0f ns)\n", n, new[n], old[n]
+            }
+        }
+        exit fail
+    }'; then
+    echo "ERROR: codec kernel(s) regressed more than ${tolerance}% vs the committed BENCH_codec.json." >&2
+    echo "Fix the regression, or raise VOLCAST_BENCH_TOLERANCE if the slowdown is intended." >&2
+    exit 1
+fi
