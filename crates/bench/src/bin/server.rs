@@ -1,0 +1,198 @@
+//! Session-server benchmark (ROADMAP item 2): thousands of simulated
+//! clients streaming the wire-format container.
+//!
+//! Builds a real stream — synthetic-body frames, octree-encoded as one
+//! GOP batch, wrapped in the `volcast-net::wire` container — then drives
+//! it through `volcast_core::SessionServer`: admission control over the
+//! offered load, per-client send queues with backpressure, viewport-trace
+//! replay as per-client link quality, and deterministic network faults
+//! (mid-chunk disconnects, reorder-free loss, AP stalls, decode
+//! overruns). Reports p50/p99 frame-delivery latency into
+//! `BENCH_server.json` at the repository root.
+//!
+//! Everything printed to **stdout** is deterministic and byte-identical
+//! at `VOLCAST_THREADS=1` and `=8` (or any other worker count) — the
+//! outcome hash is the witness `scripts/verify.sh` diffs. Wall-clock
+//! numbers go to **stderr** and the JSON report only.
+//!
+//! Flags (all optional):
+//!
+//! ```text
+//! cargo run --release -p volcast-bench --bin server -- \
+//!     [--clients N] [--cap N] [--frames N] [--points N] [--seed N] \
+//!     [--base-rate BYTES_PER_TICK] [--faults SPEC]
+//! ```
+//!
+//! `--faults ''` disables the default fault spec.
+
+use std::time::Instant;
+use volcast_core::{ServerParams, SessionServer};
+use volcast_net::{FaultConfig, StreamWriter};
+use volcast_pointcloud::codec::{CodecConfig, GopEncoder};
+use volcast_pointcloud::synthetic::SyntheticBody;
+use volcast_util::json::{JsonValue, ToJson};
+use volcast_viewport::UserStudy;
+
+/// Default fault spec: enough churn to exercise reconnects, loss
+/// re-sends, stalls, and decode deferrals on every run.
+const DEFAULT_FAULTS: &str = "seed=11,outage=0.01:3,loss=0.02,stall=0.005:2,decode=0.01";
+
+fn flag(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parsed<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T {
+    match flag(args, key) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: bad value for {key}: '{v}'");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let clients = parsed(&args, "--clients", 1_200usize);
+    let cap = parsed(&args, "--cap", 1_024usize);
+    let frames = parsed(&args, "--frames", 120usize);
+    let points = parsed(&args, "--points", 4_000usize);
+    let seed = parsed(&args, "--seed", 42u64);
+    let base_rate = parsed(&args, "--base-rate", 2_048u32);
+    let fault_spec = flag(&args, "--faults").unwrap_or_else(|| DEFAULT_FAULTS.into());
+    let faults = if fault_spec.trim().is_empty() {
+        FaultConfig::default()
+    } else {
+        FaultConfig::from_spec(&fault_spec).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    };
+
+    println!(
+        "Server: {clients} clients (cap {cap}), {frames} frames x {points} points, \
+         base rate {base_rate} B/tick, seed {seed}"
+    );
+    println!(
+        "faults: {}\n",
+        if fault_spec.trim().is_empty() {
+            "off"
+        } else {
+            &fault_spec
+        }
+    );
+
+    // Encode the stream content: one GOP batch of synthetic-body frames,
+    // wrapped into the wire container.
+    let t0 = Instant::now();
+    let cfg = CodecConfig::default();
+    let body = SyntheticBody::default();
+    let clouds: Vec<_> = (0..frames).map(|f| body.frame(f as u64, points)).collect();
+    let mut gop = GopEncoder::new();
+    gop.encode_gop_into(&clouds, &cfg);
+    let mut writer = StreamWriter::new(cfg.depth as u8, cfg.color_bits as u8, frames as u32);
+    let mut payload_bytes = 0u64;
+    for f in 0..frames {
+        let data = gop.frame_data(f);
+        payload_bytes += data.len() as u64;
+        writer.push_frame(data);
+    }
+    let stream = writer.finish();
+    let encode_s = t0.elapsed().as_secs_f64();
+    println!(
+        "stream: {} frames, {} payload bytes ({} on the wire)",
+        frames,
+        payload_bytes,
+        stream.len()
+    );
+
+    // Load generator: every client replays a viewport trace.
+    let traces = UserStudy::generate_with(seed, frames, clients.div_ceil(2), clients / 2).traces;
+
+    let params = ServerParams {
+        clients,
+        admit_cap: cap,
+        base_bytes_per_tick: base_rate,
+        seed,
+        faults,
+        ..ServerParams::default()
+    };
+    let server = SessionServer::new(params, stream, traces).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+
+    let t1 = Instant::now();
+    let out = server.run().unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let run_s = t1.elapsed().as_secs_f64();
+
+    // Deterministic summary (the thread-invariance contract is on stdout).
+    println!("  admitted            {:>10}", out.admitted);
+    println!("  rejected            {:>10}", out.rejected);
+    println!("  delivered frames    {:>10}", out.delivered_frames);
+    println!("  dropped (backpress) {:>10}", out.dropped_frames);
+    println!("  undelivered         {:>10}", out.undelivered_frames);
+    println!("  reconnects          {:>10}", out.reconnects);
+    println!("  bytes sent          {:>10}", out.bytes_sent);
+    println!("  p50 latency         {:>10} ms", out.p50_latency_ms);
+    println!("  p99 latency         {:>10} ms", out.p99_latency_ms);
+    println!("  mean latency        {:>10.3} ms", out.mean_latency_ms);
+    println!("\noutcome hash 0x{:016x}", out.outcome_hash);
+
+    // Wall-clock throughput: stderr + JSON only (never stdout).
+    let client_frames_per_sec = (out.admitted * frames) as f64 / run_s;
+    eprintln!(
+        "encoded in {encode_s:.2} s, served in {run_s:.2} s \
+         ({client_frames_per_sec:.0} client-frames/sec)"
+    );
+
+    let report = JsonValue::Obj(vec![
+        ("clients".into(), (clients as u64).to_json()),
+        ("admit_cap".into(), (cap as u64).to_json()),
+        ("frames".into(), (frames as u64).to_json()),
+        ("points".into(), (points as u64).to_json()),
+        ("seed".into(), seed.to_json()),
+        ("base_rate".into(), (base_rate as u64).to_json()),
+        ("fault_spec".into(), fault_spec.to_json()),
+        ("encode_s".into(), encode_s.to_json()),
+        ("run_s".into(), run_s.to_json()),
+        (
+            "client_frames_per_sec".into(),
+            client_frames_per_sec.to_json(),
+        ),
+        ("admitted".into(), (out.admitted as u64).to_json()),
+        ("rejected".into(), (out.rejected as u64).to_json()),
+        ("delivered_frames".into(), out.delivered_frames.to_json()),
+        ("dropped_frames".into(), out.dropped_frames.to_json()),
+        (
+            "undelivered_frames".into(),
+            out.undelivered_frames.to_json(),
+        ),
+        ("reconnects".into(), out.reconnects.to_json()),
+        ("bytes_sent".into(), out.bytes_sent.to_json()),
+        (
+            "p50_latency_ms".into(),
+            (out.p50_latency_ms as u64).to_json(),
+        ),
+        (
+            "p99_latency_ms".into(),
+            (out.p99_latency_ms as u64).to_json(),
+        ),
+        ("mean_latency_ms".into(), out.mean_latency_ms.to_json()),
+        (
+            "outcome_hash".into(),
+            format!("0x{:016x}", out.outcome_hash).to_json(),
+        ),
+    ]);
+    let path = format!("{}/../../BENCH_server.json", env!("CARGO_MANIFEST_DIR"));
+    match std::fs::write(&path, report.to_json_string()) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+    volcast_bench::dump_obs("server");
+}

@@ -7,7 +7,7 @@
 //! CLI, the bench harness, future servers) can report and recover.
 
 use std::fmt;
-use volcast_net::NetError;
+use volcast_net::{NetError, WireError};
 
 /// An invalid input to the streaming session.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +20,8 @@ pub enum VolcastError {
     /// The network substrate rejected its configuration (fault specs,
     /// fault configs, simulator setup).
     Net(NetError),
+    /// The wire-format stream handed to the server is malformed.
+    Wire(WireError),
 }
 
 impl fmt::Display for VolcastError {
@@ -28,6 +30,7 @@ impl fmt::Display for VolcastError {
             VolcastError::InvalidParams(msg) => write!(f, "invalid session params: {msg}"),
             VolcastError::InvalidTraces(msg) => write!(f, "invalid traces: {msg}"),
             VolcastError::Net(e) => write!(f, "{e}"),
+            VolcastError::Wire(e) => write!(f, "invalid wire stream: {e}"),
         }
     }
 }
@@ -36,6 +39,7 @@ impl std::error::Error for VolcastError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             VolcastError::Net(e) => Some(e),
+            VolcastError::Wire(e) => Some(e),
             _ => None,
         }
     }
@@ -44,6 +48,12 @@ impl std::error::Error for VolcastError {
 impl From<NetError> for VolcastError {
     fn from(e: NetError) -> Self {
         VolcastError::Net(e)
+    }
+}
+
+impl From<WireError> for VolcastError {
+    fn from(e: WireError) -> Self {
+        VolcastError::Wire(e)
     }
 }
 

@@ -18,6 +18,10 @@
 //!   viewport prediction (§4.1),
 //! - [`session`]: the end-to-end streaming session driving all of the
 //!   above frame by frame, with client buffers and stall accounting,
+//! - [`server`]: the serving story — per-client connection state
+//!   machines streaming the `volcast-net::wire` container with admission
+//!   control, bounded send queues (backpressure), and network faults
+//!   (disconnects, loss, stalls) from the deterministic fault plan,
 //! - [`player`]: the three player baselines of Table 1 — vanilla (full
 //!   frames), multi-user ViVo (visibility-aware unicast) — and volcast
 //!   itself (visibility-aware multicast with custom beams),
@@ -49,6 +53,7 @@ pub mod multi_ap;
 pub mod player;
 pub mod qoe;
 pub mod rate_adapt;
+pub mod server;
 pub mod session;
 
 pub use bandwidth::{BandwidthPredictor, CrossLayerInputs};
@@ -61,4 +66,5 @@ pub use multi_ap::{ApAssignment, MultiApCoordinator};
 pub use player::{max_sustainable_fps, PlayerKind};
 pub use qoe::{QoeReport, UserQoe};
 pub use rate_adapt::{AbrPolicy, RateAction, RateAdapter};
+pub use server::{ClientOutcome, ServerOutcome, ServerParams, SessionServer};
 pub use session::{RadioKind, SessionOutcome, SessionParams, StreamingSession};

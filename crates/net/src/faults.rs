@@ -64,9 +64,9 @@
 //! ```
 //!
 //! Whitespace around parts is ignored; the empty spec is the quiet
-//! configuration. Unknown keys, malformed numbers, out-of-range rates, and
-//! zero-length episodes are hard errors — a typo cannot silently disable a
-//! stress scenario:
+//! configuration. Unknown keys, duplicate keys, malformed numbers,
+//! out-of-range rates, and zero-length episodes are hard errors — a typo
+//! cannot silently disable a stress scenario:
 //!
 //! ```
 //! use volcast_net::FaultConfig;
@@ -86,6 +86,7 @@
 //! assert!(FaultConfig::from_spec("outage=1.5").is_err()); // rate out of [0, 1]
 //! assert!(FaultConfig::from_spec("nosuch=1").is_err()); // unknown key
 //! assert!(FaultConfig::from_spec("loss=0.5:3").is_err()); // loss takes no duration
+//! assert!(FaultConfig::from_spec("loss=0.5,loss=0.1").is_err()); // duplicate key
 //! ```
 
 use crate::error::NetError;
@@ -193,15 +194,23 @@ impl FaultConfig {
     ///
     /// Episodic classes take `rate:frames` (frames optional, defaulting per
     /// class); `loss`/`decode` take a bare rate; `blackout` takes
-    /// `start:frames`. Unknown keys and malformed numbers are errors, so a
-    /// typo cannot silently disable a stress scenario.
+    /// `start:frames`. Unknown keys, duplicate keys, and malformed numbers
+    /// are errors, so a typo cannot silently disable a stress scenario.
     pub fn from_spec(spec: &str) -> Result<FaultConfig, NetError> {
         let bad = |msg: String| NetError::InvalidFaultSpec(msg);
         let mut cfg = FaultConfig::default();
+        let mut seen: Vec<&str> = Vec::new();
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             let (key, value) = part
                 .split_once('=')
                 .ok_or_else(|| bad(format!("expected key=value, got '{part}'")))?;
+            // Duplicate keys are a hard error: silently letting the last
+            // occurrence win would turn `outage=0.5,outage=0.0` into an
+            // unstressed run that *looks* stressed in the logs.
+            if seen.contains(&key) {
+                return Err(bad(format!("duplicate key '{key}'")));
+            }
+            seen.push(key);
             let (head, tail) = match value.split_once(':') {
                 Some((h, t)) => (h, Some(t)),
                 None => (value, None),
@@ -629,7 +638,14 @@ mod tests {
             "seed=1:2",     // seed takes a single integer
             "outage=1.5",   // rate out of range
             "outage=-0.1",  // rate out of range
+            "outage=inf",   // non-finite rate
+            "outage=NaN",   // non-finite rate
             "outage=0.5:0", // zero-length episodes
+            // Duplicate keys must fail loudly, not last-write-win: the
+            // second value would silently decide the whole stress run.
+            "outage=0.5,outage=0.1",
+            "seed=1,seed=2",
+            "loss=0.1, loss=0.1", // even identical duplicates are errors
         ] {
             assert!(
                 matches!(

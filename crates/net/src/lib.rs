@@ -16,7 +16,11 @@
 //! - [`FaultPlan`]: seeded, deterministic fault schedules (link-outage
 //!   bursts, blockage episodes, AP stalls, transmission-item loss,
 //!   decode-deadline overruns) injected into the simulator and the
-//!   session layer, with invalid inputs surfaced as [`NetError`].
+//!   session layer, with invalid inputs surfaced as [`NetError`],
+//! - [`wire`]: the versioned, length-prefixed stream container (a
+//!   manifest plus per-frame payload chunks) the session server speaks;
+//!   every read path is bounds-checked and returns [`wire::WireError`]
+//!   instead of panicking on malformed or hostile input.
 //!
 //! ```
 //! use volcast_net::{EventQueue, SimTime};
@@ -41,6 +45,7 @@ pub mod queue;
 pub mod sim;
 pub mod time;
 pub mod wifi5;
+pub mod wire;
 
 pub use error::NetError;
 pub use faults::{FaultConfig, FaultPlan, FrameFaults};
@@ -51,3 +56,4 @@ pub use queue::EventQueue;
 pub use sim::{BacklogPolicy, FrameOutcome, Simulator};
 pub use time::SimTime;
 pub use wifi5::Wifi5Channel;
+pub use wire::{StreamManifest, StreamReader, StreamWriter, WireCursor, WireError, WireEvent};

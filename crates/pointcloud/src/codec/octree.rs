@@ -69,6 +69,12 @@ pub enum CodecError {
     BadMagic,
     /// Header fields are inconsistent (e.g. zero depth, absurd counts).
     InvalidHeader(&'static str),
+    /// The entropy-coded payload is truncated or internally inconsistent
+    /// with the header (e.g. it decodes fewer voxels than declared, or the
+    /// range decoder ran off the end of the buffer). Bit flips that keep
+    /// the payload self-consistent are *not* detectable here — integrity
+    /// checks belong to the transport (see `volcast-net::wire` checksums).
+    CorruptPayload(&'static str),
 }
 
 impl std::fmt::Display for CodecError {
@@ -77,6 +83,7 @@ impl std::fmt::Display for CodecError {
             CodecError::TruncatedHeader => write!(f, "truncated header"),
             CodecError::BadMagic => write!(f, "bad magic"),
             CodecError::InvalidHeader(why) => write!(f, "invalid header: {why}"),
+            CodecError::CorruptPayload(why) => write!(f, "corrupt payload: {why}"),
         }
     }
 }
@@ -695,15 +702,35 @@ impl Decoder {
             return Ok(0);
         }
 
+        // A depth-d tree holds at most 8^d leaves; a count beyond that can
+        // only come from a corrupted or hostile header.
+        if depth < 11 && count as u64 > 1u64 << (3 * depth) {
+            return Err(CodecError::InvalidHeader("count exceeds tree capacity"));
+        }
+
         let levels = 1u32 << depth;
         let voxel = extent / levels as f64;
 
         self.ctx.reset(depth);
         let mut dec = RangeDecoder::new(&data[HEADER_LEN..]);
         let codes = self.codes.begin();
-        codes.reserve(count);
+        // `count` is attacker-controlled (up to u32::MAX = 32 GiB of u64s);
+        // cap the up-front reservation and let a genuine large stream grow
+        // amortized. `decode_node` never pushes past `count` either way.
+        codes.reserve(count.min(1 << 22));
         decode_node(&mut dec, &mut self.ctx, 0u64, 0, depth, codes, count);
+        if codes.len() != count {
+            return Err(CodecError::CorruptPayload(
+                "payload decodes fewer voxels than the header declares",
+            ));
+        }
+        if dec.is_exhausted() {
+            return Err(CodecError::CorruptPayload(
+                "range decoder ran past the end of the occupancy stream",
+            ));
+        }
 
+        let appended_from = out.points.len();
         out.points.reserve(codes.len());
         let shift = 8 - color_bits;
         // Reconstruct quantized colors at bucket centers.
@@ -725,6 +752,15 @@ impl Decoder {
             out.points.push(Point::new(
                 [pos.x as f32, pos.y as f32, pos.z as f32],
                 [dequant(r), dequant(g), dequant(b)],
+            ));
+        }
+        if dec.is_exhausted() {
+            // Truncation hit inside the color stream: the positions were
+            // fine but the colors are garbage. Roll back the append so the
+            // caller never observes a half-decoded cloud.
+            out.points.truncate(appended_from);
+            return Err(CodecError::CorruptPayload(
+                "range decoder ran past the end of the color stream",
             ));
         }
         obs::inc("codec.clouds_decoded");
@@ -1274,11 +1310,74 @@ mod tests {
     #[test]
     fn corrupt_payload_does_not_panic_or_overrun() {
         let cloud = SyntheticBody::default().frame(0, 2_000);
-        let (mut enc, stats) = encode(&cloud, &CodecConfig::default());
-        // Truncate the payload savagely.
+        let (mut enc, _) = encode(&cloud, &CodecConfig::default());
+        // Truncate the payload savagely: an error, never a panic, and
+        // never more voxels than the header declares.
         enc.data.truncate(HEADER_LEN + 8);
-        let dec = decode(&enc).unwrap();
-        assert!(dec.len() <= stats.voxels);
+        assert!(matches!(decode(&enc), Err(CodecError::CorruptPayload(_))));
+    }
+
+    #[test]
+    fn truncated_payloads_error_and_leave_output_untouched() {
+        let cloud = SyntheticBody::default().frame(1, 2_000);
+        let (enc, _) = encode(&cloud, &CodecConfig::default());
+        let full = decode(&enc).unwrap();
+        let mut dec = Decoder::new();
+        // Cut the stream at a spread of points across both the occupancy
+        // and color regions; every cut must surface as CorruptPayload and
+        // must not leave partial points behind in the output cloud.
+        let payload_len = enc.data.len() - HEADER_LEN;
+        for i in 0..32 {
+            let cut = HEADER_LEN + payload_len * i / 32;
+            let truncated = EncodedCloud {
+                data: enc.data[..cut].to_vec(),
+            };
+            let mut out = PointCloud::new();
+            out.points.push(full.points[0]);
+            let err = dec.decode_append(&truncated, &mut out).unwrap_err();
+            assert!(
+                matches!(err, CodecError::CorruptPayload(_)),
+                "cut at {cut}: {err}"
+            );
+            assert_eq!(out.len(), 1, "cut at {cut} leaked partial points");
+        }
+    }
+
+    #[test]
+    fn bit_flipped_payloads_never_panic() {
+        let cloud = SyntheticBody::default().frame(2, 2_000);
+        let (enc, stats) = encode(&cloud, &CodecConfig::default());
+        let mut rng = volcast_util::rng::Rng::seed_from_u64(0x0c7_f11b);
+        let mut dec = Decoder::new();
+        for _ in 0..200 {
+            let mut mutated = enc.data.clone();
+            let byte = rng.gen_range(HEADER_LEN as u64..mutated.len() as u64) as usize;
+            let bit = rng.gen_range(0..8u32);
+            mutated[byte] ^= 1 << bit;
+            let mut out = PointCloud::new();
+            // A flip that keeps the stream self-consistent may still decode
+            // Ok (integrity is the wire layer's job); what is forbidden is
+            // a panic or exceeding the declared voxel budget.
+            if let Ok(n) = dec.decode_append(&EncodedCloud { data: mutated }, &mut out) {
+                assert!(n <= stats.voxels);
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_count_is_rejected_without_allocation() {
+        // depth 5 caps the tree at 8^5 = 32768 leaves; a header claiming
+        // u32::MAX voxels must be rejected before any proportional reserve.
+        let mut data = vec![0u8; HEADER_LEN + 16];
+        data[0..4].copy_from_slice(&MAGIC);
+        data[4] = 5;
+        data[5] = 6;
+        data[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        data[22..26].copy_from_slice(&1.0f32.to_le_bytes());
+        assert_eq!(
+            decode(&EncodedCloud { data }),
+            Err(CodecError::InvalidHeader("count exceeds tree capacity"))
+        );
     }
 
     #[test]

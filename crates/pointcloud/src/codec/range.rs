@@ -235,6 +235,15 @@ impl<'a> RangeDecoder<'a> {
     pub fn bytes_consumed(&self) -> usize {
         self.pos
     }
+
+    /// True once the decoder has read past the end of its input (reads
+    /// past the end zero-fill rather than panic). A well-formed stream is
+    /// never over-read — [`RangeEncoder::finish`] emits exactly the bytes
+    /// the matching decode consumes — so exhaustion means the payload was
+    /// truncated or corrupted and the decoded symbols are garbage.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos > self.input.len()
+    }
 }
 
 #[cfg(test)]
@@ -379,8 +388,39 @@ mod tests {
         // the caller validates counts); this exercises the zero-fill path.
         let mut m = BitModel::new();
         let mut dec = RangeDecoder::new(&[1, 2, 3]);
+        assert!(dec.is_exhausted(), "priming already over-read 3 bytes");
         for _ in 0..64 {
             let _ = dec.decode_bit(&mut m);
+        }
+    }
+
+    #[test]
+    fn full_decode_never_exhausts_valid_input() {
+        let mut rng = Rng::seed_from_u64(21);
+        let bits: Vec<bool> = (0..10_000).map(|_| rng.gen::<f64>() < 0.3).collect();
+        let mut models = [BitModel::new(); 4];
+        let mut enc = RangeEncoder::new();
+        for (i, &b) in bits.iter().enumerate() {
+            enc.encode_bit(&mut models[i % 4], b);
+        }
+        let data = enc.finish();
+        let mut models = [BitModel::new(); 4];
+        let mut dec = RangeDecoder::new(&data);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(dec.decode_bit(&mut models[i % 4]), b);
+            assert!(!dec.is_exhausted(), "over-read at bit {i}");
+        }
+        // Any truncation of the same stream is detected by the time the
+        // full symbol count has been pulled out: the decode is byte-exact
+        // with the true decode up to the cut, so the byte the true decode
+        // would read there becomes the first zero-fill read.
+        for cut in 0..data.len() {
+            let mut models = [BitModel::new(); 4];
+            let mut dec = RangeDecoder::new(&data[..cut]);
+            for i in 0..bits.len() {
+                let _ = dec.decode_bit(&mut models[i % 4]);
+            }
+            assert!(dec.is_exhausted(), "cut at {cut} went undetected");
         }
     }
 }

@@ -401,14 +401,25 @@ impl<'a> Parser<'a> {
     }
 
     /// Reads exactly four hex digits, returning the code unit.
+    ///
+    /// Each byte is validated as an ASCII hex digit individually;
+    /// `from_str_radix` would also accept a leading `+`, so `"\u+0bc"`
+    /// used to slip through as a valid escape.
     fn hex4(&mut self) -> Result<u32, JsonError> {
         let end = self.pos + 4;
         if end > self.bytes.len() {
             return Err(self.err("truncated \\u escape"));
         }
-        let s = std::str::from_utf8(&self.bytes[self.pos..end])
-            .map_err(|_| self.err("bad \\u escape"))?;
-        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        let mut v = 0u32;
+        for &b in &self.bytes[self.pos..end] {
+            let digit = match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                b'A'..=b'F' => b - b'A' + 10,
+                _ => return Err(self.err("bad \\u escape")),
+            };
+            v = (v << 4) | digit as u32;
+        }
         self.pos = end;
         Ok(v)
     }
@@ -834,6 +845,38 @@ mod tests {
         ] {
             assert!(JsonValue::parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn rejects_malformed_unicode_escapes() {
+        // Each case names the precise failure: signs and whitespace inside
+        // the four digit positions (from_str_radix would take a leading
+        // '+'), short escapes, lone/inverted/truncated surrogate halves.
+        let cases: &[(&str, &str)] = &[
+            (r#""\u+123""#, "bad \\u escape"),
+            (r#""\u-123""#, "bad \\u escape"),
+            (r#""\u 123""#, "bad \\u escape"),
+            (r#""\u12g4""#, "bad \\u escape"),
+            (r#""\u12""#, "truncated \\u escape"),
+            (r#""\u12"4""#, "bad \\u escape"),
+            (r#""\u""#, "truncated \\u escape"),
+            (r#""\ud800""#, "unpaired surrogate"),
+            (r#""\ud800abcd""#, "unpaired surrogate"),
+            (r#""\ud800\n""#, "unpaired surrogate"),
+            (r#""\ud800\ud801""#, "invalid low surrogate"),
+            (r#""\udc00\ud800""#, "invalid \\u escape"),
+            (r#""\udfff""#, "invalid \\u escape"),
+            (r#""\ud800\u+c00""#, "bad \\u escape"),
+        ];
+        for (bad, want) in cases {
+            let err = JsonValue::parse(bad).expect_err(bad);
+            let msg = err.to_string();
+            assert!(msg.contains(want), "{bad:?}: got {msg:?}, want {want:?}");
+        }
+        // A truncated escape at end-of-input reports truncation, not a
+        // generic bad-digit error.
+        let err = JsonValue::parse("\"\\u00").unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
     }
 
     #[test]

@@ -68,6 +68,46 @@ proptest! {
     }
 
     #[test]
+    fn adversarial_unicode_escapes_error_precisely(seed in 0u64..50_000) {
+        // Assemble a hostile \uXXXX escape from pieces a fuzzer would find:
+        // sign characters in digit positions, short digit runs, lone and
+        // inverted surrogate halves. Parsing must never panic, and when it
+        // fails the error must be a positioned parse error whose message
+        // names the escape, not a generic failure.
+        let mut rng = Rng::seed_from_u64(seed);
+        const DIGITS: &[&str] = &["0", "9", "a", "F", "+", "-", " ", "g"];
+        let n_digits = rng.gen_range(0..6usize);
+        let mut esc = String::from("\\u");
+        for _ in 0..n_digits {
+            esc.push_str(DIGITS[rng.gen_range(0..DIGITS.len())]);
+        }
+        // Half the time, prefix a high surrogate so the escape under test
+        // sits in the low-surrogate slot.
+        let doc = if rng.gen::<bool>() {
+            format!("\"\\ud83d{esc}\"")
+        } else {
+            format!("\"{esc}\"")
+        };
+        match JsonValue::parse(&doc) {
+            Ok(JsonValue::Str(s)) => {
+                // Only a full 4-hex-digit escape may succeed, and it must
+                // re-serialize to parseable JSON.
+                prop_assert!(n_digits >= 4, "accepted short escape {doc:?} -> {s:?}");
+                let text = JsonValue::Str(s).to_json_string();
+                prop_assert!(JsonValue::parse(&text).is_ok());
+            }
+            Ok(other) => prop_assert!(false, "string doc parsed as {other:?}"),
+            Err(e) => {
+                let msg = e.to_string();
+                prop_assert!(
+                    msg.contains("\\u escape") || msg.contains("surrogate"),
+                    "imprecise error for {doc:?}: {msg}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn uniform_mean_and_variance(seed in 0u64..10_000) {
         // U[0,1): mean 1/2, variance 1/12. 20k samples put the sample mean
         // within ~0.01 with overwhelming probability.

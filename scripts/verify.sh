@@ -72,4 +72,23 @@ echo "==> fault-scenario matrix is deterministic across thread counts"
 # snapshot must match the committed references at 1 and 4 workers.
 sh scripts/fault_matrix.sh
 
+echo "==> wire-format fuzz smoke (1000 seeded mutations, no panics)"
+# The server-facing robustness gate: random bit flips, splats,
+# truncations, and duplications over a valid stream must never panic the
+# parser, and a payload served as valid must hash to its checksum.
+cargo test --release -q -p volcast-net --test wire fuzz_smoke_random_mutations_never_panic
+
+echo "==> server bench is byte-identical at VOLCAST_THREADS=1 and 8"
+# The session server at its full default scale (1200 offered clients,
+# admission cap 1024, 120 frames; runs in well under a second). stdout
+# carries only deterministic metrics and the outcome hash, so a plain
+# diff is the thread-invariance witness — and the run leaves
+# BENCH_server.json regenerated at the canonical scale.
+tmp_srv1="$(mktemp)"
+tmp_srv8="$(mktemp)"
+VOLCAST_THREADS=1 cargo run -q --release -p volcast-bench --bin server > "$tmp_srv1" 2> /dev/null
+VOLCAST_THREADS=8 cargo run -q --release -p volcast-bench --bin server > "$tmp_srv8" 2> /dev/null
+diff "$tmp_srv1" "$tmp_srv8"
+rm -f "$tmp_srv1" "$tmp_srv8"
+
 echo "verify: all checks passed"
