@@ -16,12 +16,15 @@
 //!
 //! ```text
 //! cargo run --release -p volcast-bench --bin campus -- \
-//!     [--users N] [--aps N] [--frames N] [--epoch N] [--seed N] [--faults SPEC]
+//!     [--users N] [--aps N] [--frames N] [--epoch N] [--seed N] \
+//!     [--faults SPEC] [--report PATH]
 //! ```
 //!
 //! `--aps` must be even (two per room); the room grid is chosen as the
 //! most square factorization of `aps / 2`. `--faults ''` disables the
-//! default fault spec.
+//! default fault spec. `--report ''` skips writing the JSON report (so
+//! smoke configurations don't clobber the committed full-scale baseline);
+//! any other value overrides the output path.
 
 use std::time::Instant;
 use volcast_core::campus::{Campus, CampusParams};
@@ -119,6 +122,11 @@ fn main() {
     // Deterministic summary (the thread-invariance contract is on stdout).
     let airtime_mean = volcast_bench::mean(&out.per_ap_airtime_s);
     let airtime_max = out.per_ap_airtime_s.iter().cloned().fold(0.0f64, f64::max);
+    let airtime_min = out
+        .per_ap_airtime_s
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
     println!("  handoffs            {:>10}", out.handoffs);
     println!("  reassociations      {:>10}", out.reassociations);
     println!("  regroup exclusions  {:>10}", out.regroup_exclusions);
@@ -153,6 +161,12 @@ fn main() {
          ({users_per_sec:.0} users/sec, {user_frames_per_sec:.0} user-frames/sec)"
     );
 
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
+    // The full per-AP airtime array lives in `outcome` (it is part of the
+    // hashed CampusOutcome); the top level carries summary stats only, so
+    // a 1000-AP report does not serialize the array twice.
     let report = JsonValue::Obj(vec![
         ("users".into(), (users as u64).to_json()),
         ("aps".into(), (aps as u64).to_json()),
@@ -160,6 +174,7 @@ fn main() {
         ("epoch_frames".into(), (epoch_frames as u64).to_json()),
         ("seed".into(), seed.to_json()),
         ("fault_spec".into(), fault_spec.to_json()),
+        ("host_threads".into(), host_threads.to_json()),
         ("build_s".into(), build_s.to_json()),
         ("run_s".into(), run_s.to_json()),
         ("users_per_sec".into(), users_per_sec.to_json()),
@@ -167,14 +182,19 @@ fn main() {
         ("handoffs".into(), out.handoffs.to_json()),
         ("per_ap_airtime_mean_s".into(), airtime_mean.to_json()),
         ("per_ap_airtime_max_s".into(), airtime_max.to_json()),
-        ("per_ap_airtime_s".into(), out.per_ap_airtime_s.to_json()),
+        ("per_ap_airtime_min_s".into(), airtime_min.to_json()),
         ("outcome".into(), out.to_json()),
         ("outcome_hash".into(), format!("0x{hash:016x}").to_json()),
     ]);
-    let path = format!("{}/../../BENCH_campus.json", env!("CARGO_MANIFEST_DIR"));
-    match std::fs::write(&path, report.to_json_string()) {
-        Ok(()) => eprintln!("wrote {path}"),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+    let path = flag(&args, "--report")
+        .unwrap_or_else(|| format!("{}/../../BENCH_campus.json", env!("CARGO_MANIFEST_DIR")));
+    if path.is_empty() {
+        eprintln!("report writing disabled (--report '')");
+    } else {
+        match std::fs::write(&path, report.to_json_string()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
     }
     volcast_bench::dump_obs("campus");
 }

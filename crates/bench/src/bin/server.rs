@@ -151,6 +151,9 @@ fn main() {
          ({client_frames_per_sec:.0} client-frames/sec)"
     );
 
+    let host_threads = std::thread::available_parallelism()
+        .map(|n| n.get() as u64)
+        .unwrap_or(1);
     let report = JsonValue::Obj(vec![
         ("clients".into(), (clients as u64).to_json()),
         ("admit_cap".into(), (cap as u64).to_json()),
@@ -158,6 +161,7 @@ fn main() {
         ("points".into(), (points as u64).to_json()),
         ("seed".into(), seed.to_json()),
         ("base_rate".into(), (base_rate as u64).to_json()),
+        ("host_threads".into(), host_threads.to_json()),
         ("fault_spec".into(), fault_spec.to_json()),
         ("encode_s".into(), encode_s.to_json()),
         ("run_s".into(), run_s.to_json()),

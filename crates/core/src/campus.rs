@@ -1,11 +1,11 @@
 //! Campus-scale sharded simulation with roaming AP handoff (ROADMAP
-//! item 1; DESIGN.md §12).
+//! item 1; DESIGN.md §12, hot path §15).
 //!
 //! The paper evaluates one room with one AP. A *campus* scales the world
 //! out: a `grid_w x grid_h` grid of identical rooms, each room an
 //! independent deterministic event domain with two mmWave APs on opposite
-//! walls, its own [`MultiApCoordinator`], its own [`Simulator`] per AP,
-//! and its own fault-injection RNG streams. Users walk the campus on
+//! walls, its own epoch coordinator, its own [`Simulator`] per AP, and its
+//! own fault-injection RNG streams. Users walk the campus on
 //! [`RoamingTraceGenerator`] trajectories and *hand off* between rooms.
 //!
 //! # Sharding and the epoch barrier
@@ -24,13 +24,25 @@
 //!    AP by RSS and admit arrivals as singleton groups, which then merge
 //!    into under-capacity groups on the same AP.
 //!
+//! # The hot path (DESIGN.md §15)
+//!
+//! Everything inside an epoch is epoch-invariant except the per-frame
+//! fault masks, so each room owns a persistent `RoomSlot` arena:
+//! prepared receivers, group buffers, transmission-plan skeletons, fault
+//! plans, and simulator scratch all survive across epochs, and the
+//! per-(room, epoch) association runs on the pruned
+//! [`SweepEngine`] instead of exhaustive
+//! sector sweeps. Steady-state epochs allocate nothing (enforced by the
+//! `campus_alloc` gate test), and outcomes are bit-identical to the
+//! historical per-epoch-allocating driver.
+//!
 //! # Determinism contract
 //!
 //! `VOLCAST_THREADS` is a wall-clock knob only. Room advancement uses
-//! `par_map` (positional merge), every per-room schedule derives from
-//! `Rng::for_stream` streams keyed on (seed, room, epoch, AP), and all
-//! cross-room aggregation happens in room order at the barrier — so a
-//! campus run is byte-identical at any thread count.
+//! [`par::par_for_each_mut`] (disjoint slots, positional), every per-room
+//! schedule derives from `Rng::for_stream` streams keyed on (seed, room,
+//! epoch, AP), and all cross-room aggregation happens in room order at
+//! the barrier — so a campus run is byte-identical at any thread count.
 //!
 //! ```
 //! use volcast_core::campus::{Campus, CampusParams};
@@ -51,15 +63,15 @@
 
 use crate::error::VolcastError;
 use crate::grouping::Group;
-use crate::multi_ap::MultiApCoordinator;
+use crate::multi_ap::EpochCoordinator;
 use volcast_geom::Vec3;
-use volcast_mmwave::{Channel, Codebook, McsTable, PlanarArray, Room};
+use volcast_mmwave::{Channel, Codebook, McsTable, PlanarArray, Room, SweepEngine};
 use volcast_net::{
-    AdMac, BacklogPolicy, FaultConfig, FaultPlan, MacModel, SimTime, Simulator, TransmissionPlan,
-    TxItem,
+    AdMac, BacklogPolicy, FaultConfig, FaultPlan, FrameOutcome, MacModel, SimScratch, SimTime,
+    Simulator, TransmissionPlan, TxItem, TxKind,
 };
 use volcast_util::{obs, par};
-use volcast_viewport::{RoamingTraceGenerator, VisibilityMap};
+use volcast_viewport::RoamingTraceGenerator;
 
 /// APs per room: one on each of the two opposite walls.
 const APS_PER_ROOM: usize = 2;
@@ -214,13 +226,6 @@ volcast_util::impl_json_struct!(CampusOutcome {
     min_interference_margin_db
 });
 
-/// Per-room state carried across epochs: the multicast groups of each AP
-/// (members are global user ids).
-#[derive(Debug, Clone, Default)]
-struct RoomState {
-    groups: [Vec<Group>; APS_PER_ROOM],
-}
-
 /// Per-room, per-epoch statistics, merged in room order at the barrier.
 #[derive(Debug, Clone, Default)]
 struct RoomEpochStats {
@@ -242,6 +247,111 @@ struct RoomEpochStats {
     unreachable_user_frames: u64,
 }
 
+/// Per-group, per-epoch plan-skeleton cache: the slice of reachable
+/// receivers in [`RoomSlot::base_rx`], plus the admission constants every
+/// frame re-uses (airtime is a pure function of epoch-invariant inputs,
+/// so caching the value preserves bit-identical float accumulation).
+#[derive(Debug, Clone, Copy, Default)]
+struct GroupMeta {
+    rx_start: usize,
+    rx_end: usize,
+    unreachable: u64,
+    mc_airtime_s: f64,
+    mc_bytes: f64,
+}
+
+/// One room's persistent arena: carried multicast-group state plus every
+/// buffer the epoch hot path needs, reused across epochs so steady-state
+/// epochs allocate nothing.
+#[derive(Debug, Default)]
+struct RoomSlot {
+    /// Carried multicast groups per AP (members are global user ids).
+    groups: [Vec<Group>; APS_PER_ROOM],
+    /// This epoch's members (global ids, ascending), filled at the barrier.
+    members: Vec<usize>,
+    /// Room-local positions aligned with `members`.
+    local_pos: Vec<Vec3>,
+    /// This epoch's statistics, read by the merge phase.
+    stats: RoomEpochStats,
+    /// Scratch-backed RSS / association / beam-design engine.
+    coord: EpochCoordinator,
+    /// Per-member unicast PHY rate (Mbps), aligned with `members`.
+    rate_of: Vec<f64>,
+    /// Reconcile marker per member.
+    grouped: Vec<bool>,
+    /// Double buffer for group reconciliation; swapped into `groups` at
+    /// the end of the epoch, recycling last epoch's vectors.
+    next_groups: [Vec<Group>; APS_PER_ROOM],
+    /// Pool of retired member vectors, refilled by severing and swapping.
+    member_pool: Vec<Vec<usize>>,
+    /// Current AP's members (global ids, ascending).
+    ap_members: Vec<usize>,
+    /// Per-sim-index PHY rate for the current AP.
+    rate_of_si: Vec<f64>,
+    /// Per-sim-index full-payload airtime (s) for the current AP.
+    full_air: Vec<f64>,
+    /// Per-sim-index residual-payload airtime (s) for the current AP.
+    residual_air: Vec<f64>,
+    /// Flattened per-group reachable sim indices (see [`GroupMeta`]).
+    base_rx: Vec<usize>,
+    /// Per-group skeleton cache, aligned with the current AP's groups.
+    group_meta: Vec<GroupMeta>,
+    /// Per-frame receiver list under construction.
+    rx_tmp: Vec<usize>,
+    /// Pool of retired multicast receiver vectors from old plan items.
+    item_pool: Vec<Vec<usize>>,
+    /// Reusable fault schedule, regenerated per (room, epoch, AP) domain.
+    fault_plan: FaultPlan,
+    /// Transmission-plan skeletons, one per frame of the epoch.
+    plans: Vec<TransmissionPlan>,
+    /// Simulator scratch.
+    sim_scratch: SimScratch,
+    /// Simulator outcomes.
+    outcomes: Vec<FrameOutcome>,
+}
+
+/// Pops a recycled vector (or makes one) with capacity for `cap` items,
+/// so member/receiver vectors sized by the group cap never reallocate
+/// mid-epoch once warm.
+fn take_pooled(pool: &mut Vec<Vec<usize>>, cap: usize) -> Vec<usize> {
+    let mut v = pool.pop().unwrap_or_default();
+    v.clear();
+    if v.capacity() < cap {
+        v.reserve_exact(cap);
+    }
+    v
+}
+
+impl RoomSlot {
+    /// Retires every carried group, recycling member vectors.
+    fn clear_groups(&mut self) {
+        for groups in self.groups.iter_mut() {
+            for g in groups.drain(..) {
+                self.member_pool.push(g.members);
+            }
+        }
+    }
+
+    /// Severs user `u` from every carried group: drop the mover, prune
+    /// empties (recycling their vectors), restore canonical order.
+    fn sever(&mut self, u: usize) {
+        for groups in self.groups.iter_mut() {
+            for g in groups.iter_mut() {
+                g.members.retain(|&m| m != u);
+            }
+            let mut i = 0;
+            while i < groups.len() {
+                if groups[i].members.is_empty() {
+                    self.member_pool.push(groups.swap_remove(i).members);
+                } else {
+                    i += 1;
+                }
+            }
+            groups.sort_unstable_by(|a, b| a.members.cmp(&b.members));
+        }
+    }
+}
+
 /// A campus of rooms ready to run.
 pub struct Campus {
     /// The run's configuration.
@@ -256,6 +366,26 @@ pub struct Campus {
     /// Per-user world-space positions per frame (orientation is not needed
     /// at campus granularity).
     positions: Vec<Vec<Vec3>>,
+}
+
+/// The stepping driver behind [`Campus::run`]: owns the persistent
+/// [`RoomSlot`] arenas and advances the campus one epoch per call.
+///
+/// Public (but hidden) so the `campus_alloc` gate test can warm the
+/// arenas and then assert that steady-state epochs allocate nothing.
+#[doc(hidden)]
+pub struct CampusRunner<'a> {
+    campus: &'a Campus,
+    engines: [SweepEngine<'a>; APS_PER_ROOM],
+    slots: Vec<RoomSlot>,
+    prev_room: Vec<Option<usize>>,
+    epoch: usize,
+    n_epochs: usize,
+    epoch_len: usize,
+    interval_s: f64,
+    handoffs: u64,
+    totals: RoomEpochStats,
+    per_ap_airtime_s: Vec<f64>,
 }
 
 impl Campus {
@@ -322,68 +452,500 @@ impl Campus {
 
     /// Runs the campus simulation.
     pub fn run(&self) -> Result<CampusOutcome, VolcastError> {
+        let mut runner = self.runner();
+        while runner.step_epoch() {}
+        Ok(runner.finish())
+    }
+
+    /// Builds the reusable epoch driver (see [`CampusRunner`]).
+    #[doc(hidden)]
+    pub fn runner(&self) -> CampusRunner<'_> {
         let p = &self.params;
         let n_rooms = p.n_rooms();
-        let epoch_len = p.epoch_frames;
-        let n_epochs = p.frames.div_ceil(epoch_len);
-        let interval_s = 1.0 / 30.0;
+        CampusRunner {
+            campus: self,
+            engines: [
+                SweepEngine::new(&self.channels[0], &self.codebooks[0]),
+                SweepEngine::new(&self.channels[1], &self.codebooks[1]),
+            ],
+            slots: (0..n_rooms).map(|_| RoomSlot::default()).collect(),
+            prev_room: vec![None; p.users],
+            epoch: 0,
+            n_epochs: p.frames.div_ceil(p.epoch_frames),
+            epoch_len: p.epoch_frames,
+            interval_s: 1.0 / 30.0,
+            handoffs: 0,
+            totals: RoomEpochStats {
+                interference_margin_db: f64::INFINITY,
+                ..RoomEpochStats::default()
+            },
+            per_ap_airtime_s: vec![0.0f64; p.n_aps()],
+        }
+    }
 
-        let mut states: Vec<RoomState> = vec![RoomState::default(); n_rooms];
-        let mut prev_room: Vec<Option<usize>> = vec![None; p.users];
-        let mut handoffs = 0u64;
-        let mut epoch_handoffs;
-        let mut totals = RoomEpochStats {
+    /// Advances one room through one epoch, entirely inside its slot's
+    /// arena: re-associate members to APs, reconcile multicast groups,
+    /// build per-frame transmission plans from the epoch's skeleton
+    /// caches, and execute them on one simulator per AP.
+    #[allow(clippy::too_many_arguments)]
+    fn step_room(
+        &self,
+        engines: &[SweepEngine<'_>; APS_PER_ROOM],
+        slot: &mut RoomSlot,
+        room: usize,
+        epoch: usize,
+        frames_in_epoch: usize,
+        interval_s: f64,
+    ) {
+        slot.stats = RoomEpochStats {
             interference_margin_db: f64::INFINITY,
             ..RoomEpochStats::default()
         };
-        let mut per_ap_airtime_s = vec![0.0f64; p.n_aps()];
+        if slot.members.is_empty() {
+            slot.clear_groups();
+            return;
+        }
 
-        for epoch in 0..n_epochs {
-            let start_frame = epoch * epoch_len;
-            let frames_in_epoch = epoch_len.min(p.frames - start_frame);
+        let RoomSlot {
+            groups,
+            members,
+            local_pos,
+            stats,
+            coord,
+            rate_of,
+            grouped,
+            next_groups,
+            member_pool,
+            ap_members,
+            rate_of_si,
+            full_air,
+            residual_air,
+            base_rx,
+            group_meta,
+            rx_tmp,
+            item_pool,
+            fault_plan,
+            plans,
+            sim_scratch,
+            outcomes,
+        } = slot;
 
-            // --- Barrier: re-bin users, sever movers from old groups. ---
-            epoch_handoffs = 0u64;
-            let mut room_members: Vec<Vec<usize>> = vec![Vec::new(); n_rooms];
-            let mut local_pos: Vec<Vec<Vec3>> = vec![Vec::new(); n_rooms];
-            for (u, prev) in prev_room.iter_mut().enumerate() {
-                let (r, local) = self.locate(self.positions[u][start_frame]);
+        // Re-associate: pure-RSS assignment (roamers carry no shared
+        // subject, so viewport similarity is left to the grouping step).
+        {
+            let _span = obs::span("campus.room.rss");
+            coord.assign(engines, local_pos);
+        }
+        stats.interference_margin_db = coord.min_interference_margin_db;
+        let ap_of = &coord.user_ap;
+        rate_of.clear();
+        rate_of.extend(
+            coord
+                .user_rss_dbm
+                .iter()
+                .map(|&rss| self.mcs.phy_rate_mbps(rss)),
+        );
+        // Map global user id -> local index.
+        let local_of = |gid: usize| members.binary_search(&gid).expect("member");
+
+        // --- Reconcile groups with this epoch's membership. ---
+        // Carry over surviving groups; members whose AP changed are
+        // severed and re-admitted as singletons on the new AP.
+        let grouping_span = obs::span("campus.room.grouping");
+        grouped.clear();
+        grouped.resize(members.len(), false);
+        for ng in next_groups.iter_mut() {
+            for g in ng.drain(..) {
+                member_pool.push(g.members);
+            }
+        }
+        for (ap, carried) in groups.iter().enumerate() {
+            for g in carried {
+                let mut survivors = take_pooled(member_pool, self.params.group_cap);
+                for &gid in &g.members {
+                    // Members may have left the room (severed at the
+                    // barrier) — or switched AP here.
+                    let Ok(li) = members.binary_search(&gid) else {
+                        continue;
+                    };
+                    if ap_of[li] == ap {
+                        survivors.push(gid);
+                        grouped[li] = true;
+                    } else {
+                        stats.reassociations += 1;
+                    }
+                }
+                if !survivors.is_empty() {
+                    next_groups[ap].push(Group::unpriced(survivors));
+                } else {
+                    member_pool.push(survivors);
+                }
+            }
+        }
+        // Arrivals (and re-associated members) join as singletons, then
+        // merge into the smallest under-capacity group on their AP.
+        for (li, &gid) in members.iter().enumerate() {
+            if grouped[li] {
+                continue;
+            }
+            let ap = ap_of[li];
+            let target = next_groups[ap]
+                .iter_mut()
+                .filter(|g| g.members.len() < self.params.group_cap)
+                .min_by_key(|g| (g.members.len(), g.members[0]));
+            match target {
+                Some(g) => {
+                    g.members.push(gid);
+                    g.members.sort_unstable();
+                }
+                None => {
+                    let mut m = take_pooled(member_pool, self.params.group_cap);
+                    m.push(gid);
+                    next_groups[ap].push(Group::unpriced(m));
+                }
+            }
+        }
+        for ng in next_groups.iter_mut() {
+            // Unstable sort: group member sets are disjoint and nonempty,
+            // so the keys are unique and the result matches a stable sort
+            // without its temporary allocation.
+            ng.sort_unstable_by(|a, b| a.members.cmp(&b.members));
+        }
+
+        // Price the groups: multicast burst at the worst *reachable*
+        // member's rate, residual unicast at each member's own rate.
+        // Members below MCS sensitivity (rate 0) ride no burst — they are
+        // excluded per frame and counted as unreachable.
+        for ng in next_groups.iter_mut() {
+            for g in ng.iter_mut() {
+                stats.group_members += g.members.len() as u64;
+                stats.group_count += 1;
+                let mut n_reachable = 0usize;
+                let mut min_rate = f64::INFINITY;
+                for &gid in &g.members {
+                    let r = rate_of[local_of(gid)];
+                    if r > 0.0 {
+                        n_reachable += 1;
+                        min_rate = min_rate.min(r);
+                    }
+                }
+                if n_reachable >= 2 {
+                    g.multicast_bytes = MULTICAST_SHARE * FRAME_BYTES;
+                    g.multicast_rate_mbps = min_rate;
+                } else {
+                    g.multicast_bytes = 0.0;
+                    g.multicast_rate_mbps = 0.0;
+                }
+            }
+        }
+        drop(grouping_span);
+
+        // --- Per-AP fault plans, plan skeletons, and simulation. ---
+        for (ap, ap_groups) in next_groups.iter().enumerate() {
+            ap_members.clear();
+            for (li, &gid) in members.iter().enumerate() {
+                if ap_of[li] == ap {
+                    ap_members.push(gid);
+                }
+            }
+            if ap_members.is_empty() {
+                continue;
+            }
+            let n_active = ap_members.len();
+            let sim_index = |gid: usize| ap_members.binary_search(&gid).expect("ap member");
+
+            let quiet;
+            let fp: &FaultPlan = match &self.params.faults {
+                Some(cfg) => {
+                    let mut cfg = *cfg;
+                    cfg.seed = Self::domain_fault_seed(cfg.seed, room, epoch, ap);
+                    fault_plan
+                        .regenerate(cfg, frames_in_epoch, n_active)
+                        .expect("validated at Campus::new");
+                    fault_plan
+                }
+                None => {
+                    quiet = FaultPlan::quiet();
+                    &quiet
+                }
+            };
+
+            let plan_span = obs::span("campus.room.plan");
+            // Rung-1 quality clamp: compute the AP's *nominal* per-frame
+            // airtime demand (multicast bursts + residual/singleton
+            // unicasts for every reachable member) and scale payload bytes
+            // so that one frame's demand fits inside the frame interval.
+            // This is the campus analogue of the session's rate adaptation:
+            // under oversubscription everybody drops to a proportionally
+            // lower quality level instead of most users receiving nothing.
+            let mut demand_s = 0.0f64;
+            for g in ap_groups {
+                let n_rx = g
+                    .members
+                    .iter()
+                    .filter(|&&gid| rate_of[local_of(gid)] > 0.0)
+                    .count();
+                if n_rx >= 2 && g.multicast_rate_mbps > 0.0 {
+                    demand_s +=
+                        self.mac
+                            .airtime_s(g.multicast_bytes, g.multicast_rate_mbps, n_active);
+                    for &gid in &g.members {
+                        let r = rate_of[local_of(gid)];
+                        if r > 0.0 {
+                            demand_s += self.mac.airtime_s(
+                                (1.0 - MULTICAST_SHARE) * FRAME_BYTES,
+                                r,
+                                n_active,
+                            );
+                        }
+                    }
+                } else {
+                    for &gid in &g.members {
+                        let r = rate_of[local_of(gid)];
+                        if r > 0.0 {
+                            demand_s += self.mac.airtime_s(FRAME_BYTES, r, n_active);
+                        }
+                    }
+                }
+            }
+            let quality_scale = if demand_s > interval_s && demand_s.is_finite() {
+                interval_s / demand_s
+            } else {
+                1.0
+            };
+            stats.quality_scale_weighted += quality_scale * n_active as f64;
+            stats.quality_scale_weight += n_active as u64;
+
+            // Epoch-invariant skeleton caches: per-member airtimes (the
+            // MAC goodput is hoisted — it depends only on the member's
+            // rate and the epoch-frozen contender count) and per-group
+            // reachable receiver lists. Frames below only filter by the
+            // frame's outage mask and re-run the admission arithmetic,
+            // preserving the original per-item float accumulation order.
+            let full_bytes = quality_scale * FRAME_BYTES;
+            let residual_bytes = quality_scale * (1.0 - MULTICAST_SHARE) * FRAME_BYTES;
+            rate_of_si.clear();
+            full_air.clear();
+            residual_air.clear();
+            for &gid in ap_members.iter() {
+                let r = rate_of[local_of(gid)];
+                let goodput = self.mac.goodput_mbps(r, n_active);
+                rate_of_si.push(r);
+                full_air.push(self.mac.airtime_from_goodput_s(full_bytes, goodput));
+                residual_air.push(self.mac.airtime_from_goodput_s(residual_bytes, goodput));
+            }
+            base_rx.clear();
+            group_meta.clear();
+            for g in ap_groups {
+                let rx_start = base_rx.len();
+                let mut unreachable = 0u64;
+                for &gid in &g.members {
+                    if rate_of[local_of(gid)] > 0.0 {
+                        base_rx.push(sim_index(gid));
+                    } else {
+                        unreachable += 1;
+                    }
+                }
+                let mc_bytes = quality_scale * g.multicast_bytes;
+                group_meta.push(GroupMeta {
+                    rx_start,
+                    rx_end: base_rx.len(),
+                    unreachable,
+                    mc_airtime_s: self
+                        .mac
+                        .airtime_s(mc_bytes, g.multicast_rate_mbps, n_active),
+                    mc_bytes,
+                });
+            }
+
+            let budget_s = AIRTIME_BUDGET_X * interval_s;
+            while plans.len() < frames_in_epoch {
+                plans.push(TransmissionPlan::new());
+            }
+            for (f, plan) in plans.iter_mut().enumerate().take(frames_in_epoch) {
+                let faults = fp.at(f);
+                for item in plan.items.drain(..) {
+                    if let TxKind::Multicast { members } = item.kind {
+                        item_pool.push(members);
+                    }
+                }
+                let mut spent_s = 0.0f64;
+                // The admission arithmetic of the historical per-frame
+                // `admit` closure, fed from the skeleton caches.
+                macro_rules! admit {
+                    ($bytes:expr, $airtime:expr, $multicast:expr) => {{
+                        let airtime: f64 = $airtime;
+                        if !airtime.is_finite() || spent_s + airtime > budget_s {
+                            stats.over_budget_items += 1;
+                            false
+                        } else {
+                            spent_s += airtime;
+                            stats.ap_airtime_s[ap] += airtime;
+                            stats.total_bytes += $bytes;
+                            if $multicast {
+                                stats.multicast_bytes += $bytes;
+                            }
+                            true
+                        }
+                    }};
+                }
+                for (g, meta) in ap_groups.iter().zip(group_meta.iter()) {
+                    // Rung-3 inside the epoch: members under an injected
+                    // outage are excluded from the burst for this frame;
+                    // members below MCS sensitivity (rate 0) cannot be
+                    // served at any quality and are counted as unreachable.
+                    stats.scheduled_user_frames += g.members.len() as u64;
+                    stats.unreachable_user_frames += meta.unreachable;
+                    rx_tmp.clear();
+                    for &si in &base_rx[meta.rx_start..meta.rx_end] {
+                        if faults.outage_for(si) {
+                            stats.regroup_exclusions += 1;
+                        } else {
+                            rx_tmp.push(si);
+                        }
+                    }
+                    if rx_tmp.is_empty() {
+                        continue;
+                    }
+                    if rx_tmp.len() > 1 && g.multicast_rate_mbps > 0.0 {
+                        if admit!(meta.mc_bytes, meta.mc_airtime_s, true) {
+                            let mut mv = take_pooled(item_pool, self.params.group_cap);
+                            mv.extend_from_slice(rx_tmp);
+                            plan.items.push(TxItem::multicast(
+                                mv,
+                                meta.mc_bytes,
+                                g.multicast_rate_mbps,
+                            ));
+                        }
+                        for &si in rx_tmp.iter() {
+                            if admit!(residual_bytes, residual_air[si], false) {
+                                plan.items.push(TxItem::unicast(
+                                    si,
+                                    residual_bytes,
+                                    rate_of_si[si],
+                                ));
+                            }
+                        }
+                    } else {
+                        for &si in rx_tmp.iter() {
+                            if admit!(full_bytes, full_air[si], false) {
+                                plan.items
+                                    .push(TxItem::unicast(si, full_bytes, rate_of_si[si]));
+                            }
+                        }
+                    }
+                }
+                for si in 0..n_active {
+                    if faults.outage_for(si) || faults.loss_for(si) {
+                        stats.fault_user_frames += 1;
+                    }
+                }
+            }
+            drop(plan_span);
+
+            let _sim_span = obs::span("campus.room.sim");
+            let sim = Simulator::new(
+                &self.mac,
+                n_active,
+                n_active,
+                SimTime::from_secs(interval_s),
+                BacklogPolicy::Drop,
+            )
+            .expect("nonzero stations and interval")
+            .with_faults(fp);
+            sim.run_into(&plans[..frames_in_epoch], sim_scratch, outcomes);
+            for outcome in outcomes.iter() {
+                let deadline = outcome.start + SimTime::from_secs(interval_s);
+                for completion in outcome.user_completion.iter().flatten() {
+                    stats.delivered_user_frames += 1;
+                    if *completion <= deadline {
+                        stats.on_time_user_frames += 1;
+                    }
+                }
+            }
+        }
+
+        // The priced groups become the carried state; the retired state's
+        // vectors are recycled at the next reconcile.
+        for ap in 0..APS_PER_ROOM {
+            std::mem::swap(&mut groups[ap], &mut next_groups[ap]);
+        }
+    }
+}
+
+impl CampusRunner<'_> {
+    /// Rewinds the runner to epoch 0, keeping every arena's capacity: a
+    /// re-run after a reset is byte-identical to the first run and, once
+    /// all high-watermarks are reached, allocation-free (the alloc-gate
+    /// contract; also the bench-rerun idiom).
+    pub fn reset(&mut self) {
+        self.epoch = 0;
+        self.handoffs = 0;
+        self.totals = RoomEpochStats {
+            interference_margin_db: f64::INFINITY,
+            ..RoomEpochStats::default()
+        };
+        self.per_ap_airtime_s.fill(0.0);
+        self.prev_room.fill(None);
+        for slot in self.slots.iter_mut() {
+            slot.clear_groups();
+            slot.members.clear();
+            slot.local_pos.clear();
+        }
+    }
+
+    /// Advances the campus by one epoch. Returns `false` once every epoch
+    /// has run.
+    pub fn step_epoch(&mut self) -> bool {
+        if self.epoch >= self.n_epochs {
+            return false;
+        }
+        let epoch = self.epoch;
+        let p = &self.campus.params;
+        let start_frame = epoch * self.epoch_len;
+        let frames_in_epoch = self.epoch_len.min(p.frames - start_frame);
+
+        // --- Barrier: re-bin users, sever movers from old groups. ---
+        let mut epoch_handoffs = 0u64;
+        {
+            let _span = obs::span("campus.epoch.barrier");
+            for slot in self.slots.iter_mut() {
+                slot.members.clear();
+                slot.local_pos.clear();
+            }
+            for (u, prev) in self.prev_room.iter_mut().enumerate() {
+                let (r, local) = self.campus.locate(self.campus.positions[u][start_frame]);
                 if let Some(old) = *prev {
                     if old != r {
                         epoch_handoffs += 1;
                         // PR-5 sever: drop the mover from its old room's
                         // groups, prune empties, restore canonical order.
-                        for groups in states[old].groups.iter_mut() {
-                            for g in groups.iter_mut() {
-                                g.members.retain(|&m| m != u);
-                            }
-                            groups.retain(|g| !g.members.is_empty());
-                            groups.sort_by(|a, b| a.members.cmp(&b.members));
-                        }
+                        self.slots[old].sever(u);
                     }
                 }
                 *prev = Some(r);
-                room_members[r].push(u);
-                local_pos[r].push(local);
+                self.slots[r].members.push(u);
+                self.slots[r].local_pos.push(local);
             }
+        }
 
-            // --- Parallel phase: every room advances independently. ---
-            let room_ids: Vec<usize> = (0..n_rooms).collect();
-            let results: Vec<(RoomState, RoomEpochStats)> = par::par_map(&room_ids, |&r| {
-                self.run_room_epoch(
-                    &states[r],
-                    &room_members[r],
-                    &local_pos[r],
-                    r,
-                    epoch,
-                    frames_in_epoch,
-                    interval_s,
-                )
+        // --- Parallel phase: every room advances independently. ---
+        {
+            let _span = obs::span("campus.epoch.rooms");
+            let campus = self.campus;
+            let engines = &self.engines;
+            let interval_s = self.interval_s;
+            par::par_for_each_mut(&mut self.slots, |r, slot| {
+                campus.step_room(engines, slot, r, epoch, frames_in_epoch, interval_s);
             });
+        }
 
-            // --- Merge in room order (deterministic). ---
-            for (r, (state, stats)) in results.into_iter().enumerate() {
-                states[r] = state;
+        // --- Merge in room order (deterministic). ---
+        {
+            let _span = obs::span("campus.epoch.merge");
+            let totals = &mut self.totals;
+            for (r, slot) in self.slots.iter().enumerate() {
+                let stats = &slot.stats;
                 totals.reassociations += stats.reassociations;
                 totals.regroup_exclusions += stats.regroup_exclusions;
                 totals.fault_user_frames += stats.fault_user_frames;
@@ -402,22 +964,29 @@ impl Campus {
                     .interference_margin_db
                     .min(stats.interference_margin_db);
                 for ap in 0..APS_PER_ROOM {
-                    per_ap_airtime_s[r * APS_PER_ROOM + ap] += stats.ap_airtime_s[ap];
+                    self.per_ap_airtime_s[r * APS_PER_ROOM + ap] += stats.ap_airtime_s[ap];
                 }
             }
-            handoffs += epoch_handoffs;
-            if obs::enabled() {
-                obs::add("campus.handoffs", epoch_handoffs);
-                obs::inc("campus.epochs");
-            }
         }
+        self.handoffs += epoch_handoffs;
+        if obs::enabled() {
+            obs::add("campus.handoffs", epoch_handoffs);
+            obs::inc("campus.epochs");
+        }
+        self.epoch += 1;
+        true
+    }
 
+    /// Builds the aggregate outcome after the final epoch.
+    pub fn finish(self) -> CampusOutcome {
+        let p = &self.campus.params;
+        let totals = &self.totals;
         let sched = totals.scheduled_user_frames.max(1) as f64;
-        Ok(CampusOutcome {
+        CampusOutcome {
             users: p.users,
             aps: p.n_aps(),
             frames: p.frames,
-            handoffs,
+            handoffs: self.handoffs,
             reassociations: totals.reassociations,
             regroup_exclusions: totals.regroup_exclusions,
             fault_user_frames: totals.fault_user_frames,
@@ -429,315 +998,10 @@ impl Campus {
             unreachable_user_frames: totals.unreachable_user_frames,
             mean_group_size: totals.group_members as f64 / totals.group_count.max(1) as f64,
             multicast_byte_fraction: totals.multicast_bytes / totals.total_bytes.max(1e-9),
-            per_ap_airtime_s,
+            per_ap_airtime_s: self.per_ap_airtime_s,
             over_budget_items: totals.over_budget_items,
             min_interference_margin_db: totals.interference_margin_db,
-        })
-    }
-
-    /// Advances one room through one epoch: re-associate members to APs,
-    /// reconcile multicast groups, build per-frame transmission plans, and
-    /// execute them on one simulator per AP.
-    #[allow(clippy::too_many_arguments)]
-    fn run_room_epoch(
-        &self,
-        state: &RoomState,
-        members: &[usize],
-        local_pos: &[Vec3],
-        room: usize,
-        epoch: usize,
-        frames_in_epoch: usize,
-        interval_s: f64,
-    ) -> (RoomState, RoomEpochStats) {
-        let mut stats = RoomEpochStats {
-            interference_margin_db: f64::INFINITY,
-            ..RoomEpochStats::default()
-        };
-        if members.is_empty() {
-            return (RoomState::default(), stats);
         }
-
-        // Re-associate: pure-RSS assignment (roamers carry no shared
-        // subject, so viewport similarity is left to the grouping step).
-        let mut coord = MultiApCoordinator::new(
-            self.channels.iter().collect(),
-            self.codebooks.iter().collect(),
-        );
-        coord.similarity_weight = 0.0;
-        let maps = vec![VisibilityMap::new(); members.len()];
-        let assignment = coord.assign(local_pos, &maps);
-        stats.interference_margin_db = assignment.min_interference_margin_db;
-
-        // Map global user id -> (local index, assigned AP, unicast rate).
-        let local_of = |gid: usize| members.binary_search(&gid).expect("member");
-        let ap_of: Vec<usize> = assignment.user_ap.clone();
-        let rate_of: Vec<f64> = assignment
-            .user_rss_dbm
-            .iter()
-            .map(|&rss| self.mcs.phy_rate_mbps(rss))
-            .collect();
-
-        // --- Reconcile groups with this epoch's membership. ---
-        // Carry over surviving groups; members whose AP changed are
-        // severed and re-admitted as singletons on the new AP.
-        let mut groups: [Vec<Group>; APS_PER_ROOM] = Default::default();
-        let mut grouped = vec![false; members.len()];
-        for (ap, carried) in state.groups.iter().enumerate() {
-            for g in carried {
-                let mut survivors: Vec<usize> = Vec::new();
-                for &gid in &g.members {
-                    // Members may have left the room (severed at the
-                    // barrier) — or switched AP here.
-                    let Ok(li) = members.binary_search(&gid) else {
-                        continue;
-                    };
-                    if ap_of[li] == ap {
-                        survivors.push(gid);
-                        grouped[li] = true;
-                    } else {
-                        stats.reassociations += 1;
-                    }
-                }
-                if !survivors.is_empty() {
-                    groups[ap].push(Group {
-                        members: survivors,
-                        multicast_bytes: 0.0,
-                        multicast_rate_mbps: 0.0,
-                        iou: 0.0,
-                    });
-                }
-            }
-        }
-        // Arrivals (and re-associated members) join as singletons, then
-        // merge into the smallest under-capacity group on their AP.
-        for (li, &gid) in members.iter().enumerate() {
-            if grouped[li] {
-                continue;
-            }
-            let ap = ap_of[li];
-            let target = groups[ap]
-                .iter_mut()
-                .filter(|g| g.members.len() < self.params.group_cap)
-                .min_by_key(|g| (g.members.len(), g.members[0]));
-            match target {
-                Some(g) => {
-                    g.members.push(gid);
-                    g.members.sort_unstable();
-                }
-                None => groups[ap].push(Group {
-                    members: vec![gid],
-                    multicast_bytes: 0.0,
-                    multicast_rate_mbps: 0.0,
-                    iou: 0.0,
-                }),
-            }
-        }
-        for ap_groups in groups.iter_mut() {
-            ap_groups.sort_by(|a, b| a.members.cmp(&b.members));
-        }
-
-        // Price the groups: multicast burst at the worst *reachable*
-        // member's rate, residual unicast at each member's own rate.
-        // Members below MCS sensitivity (rate 0) ride no burst — they are
-        // excluded per frame and counted as unreachable.
-        for ap_groups in groups.iter_mut() {
-            for g in ap_groups.iter_mut() {
-                stats.group_members += g.members.len() as u64;
-                stats.group_count += 1;
-                let reachable: Vec<f64> = g
-                    .members
-                    .iter()
-                    .map(|&gid| rate_of[local_of(gid)])
-                    .filter(|r| *r > 0.0)
-                    .collect();
-                if reachable.len() >= 2 {
-                    g.multicast_bytes = MULTICAST_SHARE * FRAME_BYTES;
-                    g.multicast_rate_mbps = reachable.iter().fold(f64::INFINITY, |a, &b| a.min(b));
-                } else {
-                    g.multicast_bytes = 0.0;
-                    g.multicast_rate_mbps = 0.0;
-                }
-            }
-        }
-
-        // --- Per-AP fault plans and per-frame transmission plans. ---
-        let mut out_state = RoomState::default();
-        for (ap, ap_groups) in groups.iter().enumerate() {
-            let ap_members: Vec<usize> = members
-                .iter()
-                .enumerate()
-                .filter(|&(li, _)| ap_of[li] == ap)
-                .map(|(_, &gid)| gid)
-                .collect();
-            if ap_members.is_empty() {
-                out_state.groups[ap] = Vec::new();
-                continue;
-            }
-            let sim_index = |gid: usize| ap_members.binary_search(&gid).expect("ap member");
-
-            let fault_plan = match &self.params.faults {
-                Some(cfg) => {
-                    let mut cfg = *cfg;
-                    cfg.seed = Self::domain_fault_seed(cfg.seed, room, epoch, ap);
-                    FaultPlan::generate(cfg, frames_in_epoch, ap_members.len())
-                        .expect("validated at Campus::new")
-                }
-                None => FaultPlan::quiet(),
-            };
-
-            // Rung-1 quality clamp: compute the AP's *nominal* per-frame
-            // airtime demand (multicast bursts + residual/singleton
-            // unicasts for every reachable member) and scale payload bytes
-            // so that one frame's demand fits inside the frame interval.
-            // This is the campus analogue of the session's rate adaptation:
-            // under oversubscription everybody drops to a proportionally
-            // lower quality level instead of most users receiving nothing.
-            let reachable = |gid: usize| rate_of[local_of(gid)] > 0.0;
-            let mut demand_s = 0.0f64;
-            for g in ap_groups {
-                let rx: Vec<usize> = g
-                    .members
-                    .iter()
-                    .copied()
-                    .filter(|&gid| reachable(gid))
-                    .collect();
-                if rx.len() >= 2 && g.multicast_rate_mbps > 0.0 {
-                    demand_s += self.mac.airtime_s(
-                        g.multicast_bytes,
-                        g.multicast_rate_mbps,
-                        ap_members.len(),
-                    );
-                    for &gid in &rx {
-                        demand_s += self.mac.airtime_s(
-                            (1.0 - MULTICAST_SHARE) * FRAME_BYTES,
-                            rate_of[local_of(gid)],
-                            ap_members.len(),
-                        );
-                    }
-                } else {
-                    for &gid in &rx {
-                        demand_s += self.mac.airtime_s(
-                            FRAME_BYTES,
-                            rate_of[local_of(gid)],
-                            ap_members.len(),
-                        );
-                    }
-                }
-            }
-            let quality_scale = if demand_s > interval_s && demand_s.is_finite() {
-                interval_s / demand_s
-            } else {
-                1.0
-            };
-            stats.quality_scale_weighted += quality_scale * ap_members.len() as f64;
-            stats.quality_scale_weight += ap_members.len() as u64;
-
-            let budget_s = AIRTIME_BUDGET_X * interval_s;
-            let mut plans: Vec<TransmissionPlan> = Vec::with_capacity(frames_in_epoch);
-            for f in 0..frames_in_epoch {
-                let faults = fault_plan.at(f);
-                let mut plan = TransmissionPlan::new();
-                let mut spent_s = 0.0f64;
-                let mut admit = |item: TxItem, stats: &mut RoomEpochStats| {
-                    let airtime = self
-                        .mac
-                        .airtime_s(item.bytes, item.phy_mbps, ap_members.len());
-                    if !airtime.is_finite() || spent_s + airtime > budget_s {
-                        stats.over_budget_items += 1;
-                        return;
-                    }
-                    spent_s += airtime;
-                    stats.ap_airtime_s[ap] += airtime;
-                    stats.total_bytes += item.bytes;
-                    if item.receivers().len() > 1 {
-                        stats.multicast_bytes += item.bytes;
-                    }
-                    plan.items.push(item);
-                };
-                for g in ap_groups {
-                    // Rung-3 inside the epoch: members under an injected
-                    // outage are excluded from the burst for this frame;
-                    // members below MCS sensitivity (rate 0) cannot be
-                    // served at any quality and are counted as unreachable.
-                    stats.scheduled_user_frames += g.members.len() as u64;
-                    let mut receivers: Vec<usize> = Vec::new();
-                    for &gid in &g.members {
-                        if !reachable(gid) {
-                            stats.unreachable_user_frames += 1;
-                            continue;
-                        }
-                        let si = sim_index(gid);
-                        if faults.outage_for(si) {
-                            stats.regroup_exclusions += 1;
-                            continue;
-                        }
-                        receivers.push(si);
-                    }
-                    if receivers.is_empty() {
-                        continue;
-                    }
-                    if receivers.len() > 1 && g.multicast_rate_mbps > 0.0 {
-                        admit(
-                            TxItem::multicast(
-                                receivers.clone(),
-                                quality_scale * g.multicast_bytes,
-                                g.multicast_rate_mbps,
-                            ),
-                            &mut stats,
-                        );
-                        for &si in &receivers {
-                            let gid = ap_members[si];
-                            let residual = quality_scale * (1.0 - MULTICAST_SHARE) * FRAME_BYTES;
-                            admit(
-                                TxItem::unicast(si, residual, rate_of[local_of(gid)]),
-                                &mut stats,
-                            );
-                        }
-                    } else {
-                        for &si in &receivers {
-                            let gid = ap_members[si];
-                            admit(
-                                TxItem::unicast(
-                                    si,
-                                    quality_scale * FRAME_BYTES,
-                                    rate_of[local_of(gid)],
-                                ),
-                                &mut stats,
-                            );
-                        }
-                    }
-                }
-                for si in 0..ap_members.len() {
-                    if faults.outage_for(si) || faults.loss_for(si) {
-                        stats.fault_user_frames += 1;
-                    }
-                }
-                plans.push(plan);
-            }
-
-            let sim = Simulator::new(
-                &self.mac,
-                ap_members.len(),
-                ap_members.len(),
-                SimTime::from_secs(interval_s),
-                BacklogPolicy::Drop,
-            )
-            .expect("nonzero stations and interval")
-            .with_faults(&fault_plan);
-            let outcomes = sim.run(&plans);
-            for outcome in &outcomes {
-                let deadline = outcome.start + SimTime::from_secs(interval_s);
-                for completion in outcome.user_completion.iter().flatten() {
-                    stats.delivered_user_frames += 1;
-                    if *completion <= deadline {
-                        stats.on_time_user_frames += 1;
-                    }
-                }
-            }
-            out_state.groups[ap] = ap_groups.clone();
-        }
-
-        (out_state, stats)
     }
 }
 
@@ -833,5 +1097,18 @@ mod tests {
         let out = Campus::new(small()).unwrap().run().unwrap();
         let back = CampusOutcome::from_json(&out.to_json()).unwrap();
         assert_eq!(back, out);
+    }
+
+    #[test]
+    fn stepped_runner_matches_run() {
+        let campus = Campus::new(small()).unwrap();
+        let want = campus.run().unwrap();
+        let mut runner = campus.runner();
+        let mut epochs = 0;
+        while runner.step_epoch() {
+            epochs += 1;
+        }
+        assert_eq!(epochs, 4);
+        assert_eq!(runner.finish(), want);
     }
 }

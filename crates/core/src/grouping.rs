@@ -38,12 +38,37 @@ pub struct Group {
 }
 
 impl Group {
+    /// An unpriced group over `members` — pricing (`multicast_bytes`,
+    /// `multicast_rate_mbps`, `iou`) is zeroed until a planner fills it
+    /// in. Takes the member vector by value so arena-based callers (the
+    /// campus reconcile loop) can hand in recycled buffers.
+    pub fn unpriced(members: Vec<usize>) -> Group {
+        Group {
+            members,
+            multicast_bytes: 0.0,
+            multicast_rate_mbps: 0.0,
+            iou: 0.0,
+        }
+    }
+
     /// Per-member residual unicast bytes: `S_i - S_m` (never negative).
     pub fn residual_bytes(&self, member_bytes: &[f64]) -> Vec<f64> {
         self.members
             .iter()
             .map(|&u| (member_bytes[u] - self.multicast_bytes).max(0.0))
             .collect()
+    }
+
+    /// Per-member residual unicast bytes written into `out` — the
+    /// allocation-free form of [`Group::residual_bytes`] for hot paths
+    /// that price the same groups every frame.
+    pub fn residual_bytes_into(&self, member_bytes: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(
+            self.members
+                .iter()
+                .map(|&u| (member_bytes[u] - self.multicast_bytes).max(0.0)),
+        );
     }
 }
 
@@ -281,6 +306,25 @@ volcast_util::impl_json_struct!(GroupPlan {
 mod tests {
     use super::*;
     use volcast_pointcloud::CellId;
+
+    #[test]
+    fn unpriced_group_is_zeroed_and_reusable() {
+        let g = Group::unpriced(vec![3, 7]);
+        assert_eq!(g.members, [3, 7]);
+        assert_eq!(g.multicast_bytes, 0.0);
+        assert_eq!(g.multicast_rate_mbps, 0.0);
+        assert_eq!(g.iou, 0.0);
+        // The into-variant matches the allocating form and reuses `out`.
+        let g = Group {
+            multicast_bytes: 40.0,
+            ..Group::unpriced(vec![0, 2])
+        };
+        let member_bytes = [100.0, 0.0, 30.0];
+        let mut out = Vec::with_capacity(2);
+        g.residual_bytes_into(&member_bytes, &mut out);
+        assert_eq!(out, g.residual_bytes(&member_bytes));
+        assert_eq!(out, [60.0, 0.0]); // clamped at zero
+    }
 
     fn map_of(ids: &[i32]) -> VisibilityMap {
         let mut m = VisibilityMap::new();

@@ -10,8 +10,8 @@
 // clearer than iterator chains in this module.
 #![allow(clippy::needless_range_loop)]
 
-use volcast_geom::Vec3;
-use volcast_mmwave::{Channel, Codebook, MultiLobeDesigner};
+use volcast_geom::{Complex, Vec3};
+use volcast_mmwave::{Channel, Codebook, MultiLobeDesigner, SweepEngine, SweepRx};
 use volcast_viewport::{iou, VisibilityMap};
 
 /// Assignment of users to APs.
@@ -207,6 +207,228 @@ impl<'a> MultiApCoordinator<'a> {
     }
 }
 
+/// One AP's designed group beam inside an [`EpochCoordinator`], kept in
+/// reusable buffers instead of freshly-allocated `GroupBeam`s.
+#[derive(Debug, Default)]
+struct BeamSlot {
+    /// AP serves at least one user this epoch.
+    active: bool,
+    /// Custom multi-lobe beam beat the best common sector.
+    customized: bool,
+    /// Best common sector index (valid when `!customized`).
+    sector: usize,
+    /// Custom combined weights (valid when `customized`).
+    weights: Vec<Complex>,
+    /// Per-member RSS (dBm) under the best common sector, member order.
+    default_rss: Vec<f64>,
+    /// Per-member RSS (dBm) under the custom beam, member order.
+    custom_rss: Vec<f64>,
+}
+
+/// Scratch-backed re-association engine for the campus hot path.
+///
+/// Produces results bit-identical to [`MultiApCoordinator::assign`] with
+/// `similarity_weight = 0.0` and empty visibility maps (the campus
+/// configuration: roamers carry no shared subject, so the score reduces
+/// to normalized RSS), but evaluates sectors through the pruned
+/// [`SweepEngine`] and reuses every buffer across calls — steady-state
+/// calls allocate nothing.
+#[derive(Debug, Default)]
+pub struct EpochCoordinator {
+    /// `assignment[user] = ap index` (the [`ApAssignment::user_ap`] analogue).
+    pub user_ap: Vec<usize>,
+    /// Best-sector RSS (dBm) of each user at its assigned AP.
+    pub user_rss_dbm: Vec<f64>,
+    /// Worst-case inter-AP interference margin in dB.
+    pub min_interference_margin_db: f64,
+    /// Prepared receivers, AP-major: `rxs[a * n_users + u]`.
+    rxs: Vec<SweepRx>,
+    /// Best-sector RSS matrix, AP-major flattened.
+    rss: Vec<f64>,
+    /// Per-AP member lists (local user indices, ascending).
+    ap_users: Vec<Vec<usize>>,
+    /// Per-AP designed beams.
+    beams: Vec<BeamSlot>,
+    /// Joint-sweep scratch.
+    tmp: Vec<f64>,
+}
+
+impl EpochCoordinator {
+    /// Creates an empty coordinator; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-derives the full assignment for one epoch: per-(AP, user) RSS,
+    /// greedy pure-RSS association, per-AP group-beam design, and the
+    /// inter-AP interference margin.
+    ///
+    /// `engines[a]` must wrap the same `(channel, codebook)` pair as AP
+    /// `a`; results are bit-identical to
+    /// `MultiApCoordinator { similarity_weight: 0.0, .. }.assign(positions,
+    /// &vec![VisibilityMap::new(); n])`.
+    pub fn assign(&mut self, engines: &[SweepEngine<'_>], positions: &[Vec3]) {
+        let n_aps = engines.len();
+        let n_users = positions.len();
+        if self.ap_users.len() < n_aps {
+            self.ap_users.resize_with(n_aps, Vec::new);
+            self.beams.resize_with(n_aps, BeamSlot::default);
+        }
+        let need = n_aps * n_users;
+        if self.rxs.len() < need {
+            self.rxs.resize_with(need, SweepRx::default);
+        }
+        self.rss.clear();
+        self.user_ap.clear();
+        self.user_ap.resize(n_users, usize::MAX);
+        self.user_rss_dbm.clear();
+        self.min_interference_margin_db = f64::INFINITY;
+        for slot in &mut self.beams {
+            slot.active = false;
+        }
+        if n_users == 0 {
+            return;
+        }
+
+        // Per (ap, user) best-sector RSS via the pruned sweep; the fold
+        // order below matches the original a-major flatten exactly.
+        for (a, engine) in engines.iter().enumerate() {
+            for (u, &pos) in positions.iter().enumerate() {
+                let rx = &mut self.rxs[a * n_users + u];
+                rx.prepare(engine, pos, &[]);
+                let (_, r) = engine.best_sector(rx);
+                self.rss.push(r);
+            }
+        }
+        let (lo, hi) = self
+            .rss
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &r| {
+                (lo.min(r), hi.max(r))
+            });
+        let span = (hi - lo).max(1e-9);
+        // With w = 0 the assignment score `(1-w)·rss_norm + w·sim`
+        // collapses to rss_norm exactly (sim is finite, `0.0 * sim`
+        // contributes a signed zero that never flips a comparison), so
+        // seeding and attachment reduce to normalized-RSS argmaxes. The
+        // `Iterator::max_by` being replicated keeps the LAST maximal
+        // element on ties: replace unless the candidate compares Less.
+        let rss_norm = |rss: &[f64], a: usize, u: usize| (rss[a * n_users + u] - lo) / span;
+        for a in 0..n_aps {
+            let mut best: Option<(usize, f64)> = None;
+            for u in 0..n_users {
+                if self.user_ap[u] != usize::MAX {
+                    continue;
+                }
+                let score = rss_norm(&self.rss, a, u);
+                best = match best {
+                    Some((bu, bs))
+                        if score.partial_cmp(&bs).unwrap() == std::cmp::Ordering::Less =>
+                    {
+                        Some((bu, bs))
+                    }
+                    _ => Some((u, score)),
+                };
+            }
+            if let Some((u, _)) = best {
+                self.user_ap[u] = a;
+            }
+        }
+        for u in 0..n_users {
+            if self.user_ap[u] != usize::MAX {
+                continue;
+            }
+            let mut best = (0usize, rss_norm(&self.rss, 0, u));
+            for a in 1..n_aps {
+                let score = rss_norm(&self.rss, a, u);
+                if score.partial_cmp(&best.1).unwrap() != std::cmp::Ordering::Less {
+                    best = (a, score);
+                }
+            }
+            self.user_ap[u] = best.0;
+        }
+        for u in 0..n_users {
+            self.user_rss_dbm
+                .push(self.rss[self.user_ap[u] * n_users + u]);
+        }
+
+        // --- Finalize: per-AP group beams + interference margin. ---
+        for list in self.ap_users.iter_mut() {
+            list.clear();
+        }
+        for (u, &a) in self.user_ap.iter().enumerate() {
+            self.ap_users[a].push(u);
+        }
+        for (a, engine) in engines.iter().enumerate() {
+            let members = &self.ap_users[a];
+            let slot = &mut self.beams[a];
+            slot.active = !members.is_empty();
+            if members.is_empty() {
+                continue;
+            }
+            let row = &mut self.rxs[a * n_users..(a + 1) * n_users];
+            let idx = engine.best_joint(row, members, &mut self.tmp, &mut slot.default_rss);
+            slot.sector = idx;
+            if members.len() == 1 {
+                slot.customized = false;
+                continue;
+            }
+            let default_min = slot
+                .default_rss
+                .iter()
+                .fold(f64::INFINITY, |m, &r| m.min(r));
+            let BeamSlot {
+                weights,
+                custom_rss,
+                customized,
+                ..
+            } = slot;
+            engine.combine_into(row, members, weights);
+            custom_rss.clear();
+            for &u in members {
+                custom_rss.push(row[u].eval_weights(weights));
+            }
+            let custom_min = custom_rss.iter().fold(f64::INFINITY, |m, &r| m.min(r));
+            *customized = custom_min > default_min;
+        }
+
+        // Interference margin, in the original loop order: victim APs
+        // ascending, members ascending, aggressor APs ascending. Leakage
+        // re-uses the already-prepared receivers — a memoized sector eval
+        // for default beams, a direct weight eval for custom ones.
+        let mut min_margin = f64::INFINITY;
+        for a in 0..n_aps {
+            if !self.beams[a].active {
+                continue;
+            }
+            for idx in 0..self.ap_users[a].len() {
+                let victim = self.ap_users[a][idx];
+                let desired = if self.beams[a].customized {
+                    self.beams[a].custom_rss[idx]
+                } else {
+                    self.beams[a].default_rss[idx]
+                };
+                for (b, engine) in engines.iter().enumerate() {
+                    if a == b || !self.beams[b].active {
+                        continue;
+                    }
+                    let rx = &mut self.rxs[b * n_users + victim];
+                    let leak = if self.beams[b].customized {
+                        rx.eval_weights(&self.beams[b].weights)
+                    } else {
+                        rx.eval_sector(engine, self.beams[b].sector)
+                    };
+                    min_margin = min_margin.min(desired - leak);
+                }
+            }
+        }
+        if !min_margin.is_finite() {
+            min_margin = f64::INFINITY;
+        }
+        self.min_interference_margin_db = min_margin;
+    }
+}
+
 // JSON serialization (replaces the former serde derives; see volcast-util).
 volcast_util::impl_json_struct!(ApAssignment {
     user_ap,
@@ -319,6 +541,46 @@ mod tests {
         let a = coord.assign(&[], &[]);
         assert!(a.user_ap.is_empty());
         assert_eq!(a.min_interference_margin_db, f64::INFINITY);
+    }
+
+    #[test]
+    fn epoch_coordinator_matches_pure_rss_assign() {
+        use volcast_util::rng::Rng;
+        let (c1, c2) = two_ap_setup();
+        let cb1 = Codebook::default_for(&c1.array);
+        let cb2 = Codebook::default_for(&c2.array);
+        let mut coord = MultiApCoordinator::new(vec![&c1, &c2], vec![&cb1, &cb2]);
+        coord.similarity_weight = 0.0;
+        let engines = [SweepEngine::new(&c1, &cb1), SweepEngine::new(&c2, &cb2)];
+        let mut epoch = EpochCoordinator::new();
+        let room = Room::default();
+        let mut rng = Rng::seed_from_u64(0xE90C);
+        // Reuse one EpochCoordinator across all cases — also exercises
+        // the buffer-reuse path (shrinking and growing populations).
+        for &n in &[1usize, 2, 5, 16, 3, 40, 0, 7] {
+            let positions: Vec<Vec3> = (0..n)
+                .map(|_| {
+                    Vec3::new(
+                        (rng.gen_range(0.0..1.0) - 0.5) * (room.width - 0.4),
+                        0.8 + rng.gen_range(0.0..1.0) * 1.2,
+                        (rng.gen_range(0.0..1.0) - 0.5) * (room.depth - 0.4),
+                    )
+                })
+                .collect();
+            let maps = vec![VisibilityMap::new(); n];
+            let want = coord.assign(&positions, &maps);
+            epoch.assign(&engines, &positions);
+            assert_eq!(epoch.user_ap, want.user_ap, "n={n}");
+            assert_eq!(epoch.user_rss_dbm.len(), want.user_rss_dbm.len());
+            for (got, exp) in epoch.user_rss_dbm.iter().zip(&want.user_rss_dbm) {
+                assert_eq!(got.to_bits(), exp.to_bits(), "n={n}");
+            }
+            assert_eq!(
+                epoch.min_interference_margin_db.to_bits(),
+                want.min_interference_margin_db.to_bits(),
+                "n={n}"
+            );
+        }
     }
 
     #[test]

@@ -67,6 +67,47 @@ fn campus_outcome_is_thread_invariant_and_pinned() {
     );
 }
 
+/// An *odd* worker budget (3) over a *non-square* grid (4x2) is pinned
+/// too: odd counts make uneven room-to-worker splits, and `grid_w !=
+/// grid_h` catches any accidental width/height transposition in room
+/// binning — both invisible to the square, even-budget pin above.
+#[test]
+fn campus_is_invariant_at_odd_thread_counts_and_rect_grids() {
+    let params = CampusParams {
+        grid_w: 4,
+        grid_h: 2,
+        users: 40,
+        frames: 32,
+        seed: 13,
+        group_cap: 5,
+        ..campus_params()
+    };
+    let run = || {
+        Campus::new(params.clone())
+            .unwrap()
+            .run()
+            .unwrap()
+            .to_json()
+            .to_json_string()
+    };
+    let json = {
+        let _guard = THREAD_KNOB.lock().unwrap_or_else(|e| e.into_inner());
+        let orig = par::thread_count();
+        par::set_thread_count(1);
+        let serial = run();
+        par::set_thread_count(3);
+        let three = run();
+        par::set_thread_count(orig);
+        assert_eq!(serial, three, "output depends on VOLCAST_THREADS=3");
+        serial
+    };
+    assert_eq!(
+        fnv1a(json.as_bytes()),
+        0x3edd_6eb7_6053_0bee,
+        "rect-grid campus outcome drifted; if intentional re-pin this hash\n{json}"
+    );
+}
+
 /// Long roaming runs must actually cross room boundaries — a campus where
 /// nobody hands off is not exercising the barrier at all.
 #[test]

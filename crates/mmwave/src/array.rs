@@ -124,21 +124,29 @@ impl PlanarArray {
     /// The steering vector toward an array-local direction: unit-magnitude
     /// phase terms `exp(j k (x_m sin_az cos_el + y_n sin_el))`.
     pub fn steering(&self, dir: Spherical) -> AntennaWeights {
+        let mut w = Vec::with_capacity(self.elements());
+        self.steering_into(dir, &mut w);
+        AntennaWeights { w }
+    }
+
+    /// Appends the steering phases toward `dir` to `out` — the single
+    /// float program behind [`PlanarArray::steering`], shared with the
+    /// allocation-free sweep engine so every caller produces bit-identical
+    /// phase vectors.
+    pub fn steering_into(&self, dir: Spherical, out: &mut Vec<Complex>) {
         let k = 2.0 * std::f64::consts::PI / WAVELENGTH_M;
         let d = self.spacing_wl * WAVELENGTH_M;
         let u = dir.azimuth.sin() * dir.elevation.cos();
         let v = dir.elevation.sin();
-        let mut w = Vec::with_capacity(self.elements());
         let cx = (self.nx as f64 - 1.0) / 2.0;
         let cy = (self.ny as f64 - 1.0) / 2.0;
         for iy in 0..self.ny {
             for ix in 0..self.nx {
                 let x = (ix as f64 - cx) * d;
                 let y = (iy as f64 - cy) * d;
-                w.push(Complex::cis(k * (x * u + y * v)));
+                out.push(Complex::cis(k * (x * u + y * v)));
             }
         }
-        AntennaWeights { w }
     }
 
     /// The conjugate-beamforming weights that maximize gain toward `dir`,
@@ -157,10 +165,7 @@ impl PlanarArray {
     pub fn steering_sample(&self, dir: Spherical) -> SteeringSample {
         SteeringSample {
             steering: self.steering(dir),
-            // Element pattern: cosine roll-off away from boresight, floored
-            // to a -20 dB backlobe so reflections behind the array stay
-            // finite.
-            element: (dir.azimuth.cos() * dir.elevation.cos()).max(0.01),
+            element: element_pattern(dir),
         }
     }
 
@@ -202,6 +207,14 @@ impl PlanarArray {
             None => 0.0,
         }
     }
+}
+
+/// Element pattern at an array-local direction: cosine roll-off away from
+/// boresight, floored to a -20 dB backlobe so reflections behind the array
+/// stay finite. The single float program shared by
+/// [`PlanarArray::steering_sample`] and the sweep engine.
+pub fn element_pattern(dir: Spherical) -> f64 {
+    (dir.azimuth.cos() * dir.elevation.cos()).max(0.01)
 }
 
 // JSON serialization (replaces the former serde derives; see volcast-util).

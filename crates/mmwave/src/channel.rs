@@ -135,8 +135,17 @@ impl Channel {
     /// Enumerates propagation paths from the AP to `rx`: LoS plus
     /// first-order reflections via the image method.
     pub fn paths(&self, rx: Vec3) -> Vec<Path> {
-        let tx = self.array.position;
         let mut out = Vec::with_capacity(6);
+        self.paths_into(rx, &mut out);
+        out
+    }
+
+    /// [`Channel::paths`] into a caller-owned buffer (cleared first) — the
+    /// single enumeration program, shared with the allocation-free sweep
+    /// engine so path lists are bit-identical however they are produced.
+    pub fn paths_into(&self, rx: Vec3, out: &mut Vec<Path>) {
+        out.clear();
+        let tx = self.array.position;
         out.push(Path {
             via: rx,
             length: tx.distance(rx),
@@ -146,22 +155,19 @@ impl Channel {
 
         let (hw, hd) = (self.room.width / 2.0, self.room.depth / 2.0);
         // (axis, plane coordinate) for each reflecting surface.
-        let mut surfaces = vec![
+        let surfaces = [
             (0usize, -hw),
             (0, hw),
             (2, -hd),
             (2, hd),
             (1, self.room.height),
         ];
-        if self.room.floor_reflection {
-            surfaces.push((1, 0.0));
-        }
-        for (axis, plane) in surfaces {
+        let floor = self.room.floor_reflection.then_some((1usize, 0.0));
+        for (axis, plane) in surfaces.into_iter().chain(floor) {
             if let Some(p) = self.reflection_path(tx, rx, axis, plane) {
                 out.push(p);
             }
         }
-        out
     }
 
     /// Image-method reflection off the plane `coord[axis] = plane`.
@@ -264,24 +270,34 @@ impl Channel {
                 // A path whose departure direction is degenerate contributes
                 // zero gain in rss_dbm; dropping it here is equivalent.
                 let dir = self.array.local_direction(path.via - self.array.position)?;
-                let mut loss_db = calib::fspl_db(path.length)
-                    + calib::O2_ABSORPTION_DB_PER_M * path.length
-                    + path.extra_loss_db
-                    + calib::IMPLEMENTATION_LOSS_DB;
-                // Blockage: check both legs of the path.
-                let blocked = if path.is_los {
-                    self.segment_blocked(self.array.position, rx, blockers)
-                } else {
-                    self.segment_blocked(self.array.position, path.via, blockers)
-                        || self.segment_blocked(path.via, rx, blockers)
-                };
-                if blocked {
-                    loss_db += calib::BODY_BLOCKAGE_DB;
-                }
+                let loss_db = self.path_loss_db(path, rx, blockers);
                 Some((self.array.steering_sample(dir), loss_db))
             })
             .collect();
         PreparedRx { paths }
+    }
+
+    /// Total loss in dB of one enumerated path toward `rx` — propagation,
+    /// reflection, implementation, and (if any blocker cylinder interrupts
+    /// a leg) body blockage. The single loss program behind
+    /// [`Channel::prepare_rx_paths`], shared with the allocation-free
+    /// sweep engine.
+    pub fn path_loss_db(&self, path: &Path, rx: Vec3, blockers: &[Blocker]) -> f64 {
+        let mut loss_db = calib::fspl_db(path.length)
+            + calib::O2_ABSORPTION_DB_PER_M * path.length
+            + path.extra_loss_db
+            + calib::IMPLEMENTATION_LOSS_DB;
+        // Blockage: check both legs of the path.
+        let blocked = if path.is_los {
+            self.segment_blocked(self.array.position, rx, blockers)
+        } else {
+            self.segment_blocked(self.array.position, path.via, blockers)
+                || self.segment_blocked(path.via, rx, blockers)
+        };
+        if blocked {
+            loss_db += calib::BODY_BLOCKAGE_DB;
+        }
+        loss_db
     }
 
     /// RSS using the best dedicated (conjugate) beam toward `rx` — the

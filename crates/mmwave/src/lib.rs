@@ -43,6 +43,7 @@ pub mod channel;
 pub mod codebook;
 pub mod mcs;
 pub mod multilobe;
+pub mod sweep;
 
 pub use array::{AntennaWeights, PlanarArray, SteeringSample};
 pub use beamsearch::BeamSearch;
@@ -50,3 +51,4 @@ pub use channel::{Blocker, Channel, Path, PreparedRx, Room};
 pub use codebook::Codebook;
 pub use mcs::{McsEntry, McsTable};
 pub use multilobe::{combine_weights, combine_weights_multi, MultiLobeDesigner};
+pub use sweep::{SweepEngine, SweepRx};

@@ -365,6 +365,13 @@ pub struct FaultPlan {
     frames: Vec<FrameFaults>,
 }
 
+impl Default for FaultPlan {
+    /// Same as [`FaultPlan::quiet`].
+    fn default() -> FaultPlan {
+        FaultPlan::quiet()
+    }
+}
+
 impl FaultPlan {
     /// An empty plan: no faults, any frame queries return the quiet frame.
     pub fn quiet() -> FaultPlan {
@@ -388,8 +395,34 @@ impl FaultPlan {
         frames: usize,
         n_users: usize,
     ) -> Result<FaultPlan, NetError> {
+        let mut plan = FaultPlan::quiet();
+        plan.regenerate(config, frames, n_users)?;
+        Ok(plan)
+    }
+
+    /// Regenerates the schedule in place for a new `(config, frames,
+    /// n_users)` domain. Produces exactly the schedule
+    /// [`FaultPlan::generate`] would, but reuses the frame vector and the
+    /// per-frame bit-set words — steady-state regeneration over domains of
+    /// similar size allocates nothing.
+    pub fn regenerate(
+        &mut self,
+        config: FaultConfig,
+        frames: usize,
+        n_users: usize,
+    ) -> Result<(), NetError> {
         config.validate()?;
-        let mut masks = vec![FrameFaults::default(); frames];
+        self.config = config;
+        self.frames.truncate(frames);
+        for mask in self.frames.iter_mut() {
+            mask.outage.clear();
+            mask.blockage.clear();
+            mask.loss.clear();
+            mask.decode_overrun.clear();
+            mask.ap_stall = false;
+        }
+        self.frames.resize_with(frames, FrameFaults::default);
+        let masks = &mut self.frames;
 
         // Episodic per-user classes: walk each user's own stream once.
         let mut episodes =
@@ -467,10 +500,7 @@ impl FaultPlan {
             obs::add("faults.plan.loss_frames", loss_events);
             obs::add("faults.plan.decode_overruns", decode_events);
         }
-        Ok(FaultPlan {
-            config,
-            frames: masks,
-        })
+        Ok(())
     }
 
     /// The faults active at `frame` (the quiet frame beyond the schedule).
@@ -526,6 +556,20 @@ mod tests {
         let b = FaultPlan::generate(stress(), 120, 5).unwrap();
         assert_eq!(a, b);
         assert!(a.total_activations() > 0, "stress config injected nothing");
+    }
+
+    #[test]
+    fn regenerate_matches_generate_across_domains() {
+        // One plan regenerated across shifting (seed, frames, users)
+        // domains must equal a fresh generation each time — including
+        // shrinking, where stale frames and set bits must not leak.
+        let mut plan = FaultPlan::generate(stress(), 120, 5).unwrap();
+        for (seed, frames, users) in [(11u64, 60, 9), (12, 200, 3), (11, 10, 1), (13, 120, 5)] {
+            let cfg = FaultConfig { seed, ..stress() };
+            plan.regenerate(cfg, frames, users).unwrap();
+            let fresh = FaultPlan::generate(cfg, frames, users).unwrap();
+            assert_eq!(plan, fresh, "domain ({seed}, {frames}, {users})");
+        }
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub use link::LinkState;
 pub use mac::{AcMac, AdMac, MacModel};
 pub use plan::{PlanTiming, TransmissionPlan, TxItem, TxKind};
 pub use queue::EventQueue;
-pub use sim::{BacklogPolicy, FrameOutcome, Simulator};
+pub use sim::{BacklogPolicy, FrameOutcome, SimScratch, Simulator};
 pub use time::SimTime;
 pub use wifi5::Wifi5Channel;
 pub use wire::{StreamManifest, StreamReader, StreamWriter, WireCursor, WireError, WireEvent};

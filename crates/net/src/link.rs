@@ -42,6 +42,16 @@ impl LinkState {
         Self::default()
     }
 
+    /// Resets the tracker to its pristine state while keeping the tuned
+    /// `alpha` / threshold knobs — the reuse idiom for pooled per-user
+    /// trackers that are re-bound to a new link at an epoch boundary.
+    pub fn reset(&mut self) {
+        self.ewma_rss = None;
+        self.prev_ewma = None;
+        self.outage_run = 0;
+        self.samples = 0;
+    }
+
     /// Feeds one RSS sample (dBm).
     pub fn observe(&mut self, rss_dbm: f64) {
         self.prev_ewma = self.ewma_rss;
@@ -110,6 +120,25 @@ mod tests {
         assert_eq!(l.rss_dbm(), Some(-55.0));
         assert_eq!(l.trend_db(), 0.0);
         assert_eq!(l.sample_count(), 1);
+    }
+
+    #[test]
+    fn reset_restores_pristine_tracking_but_keeps_knobs() {
+        let mut l = LinkState {
+            alpha: 0.5,
+            outage_threshold_dbm: -60.0,
+            ..LinkState::new()
+        };
+        l.observe(-70.0);
+        l.observe(-72.0);
+        assert!(l.in_outage(2));
+        l.reset();
+        assert_eq!(l.rss_dbm(), None);
+        assert_eq!(l.trend_db(), 0.0);
+        assert_eq!(l.sample_count(), 0);
+        assert!(!l.in_outage(1));
+        assert_eq!(l.alpha, 0.5);
+        assert_eq!(l.outage_threshold_dbm, -60.0);
     }
 
     #[test]

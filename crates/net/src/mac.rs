@@ -20,11 +20,19 @@ pub trait MacModel {
     /// Airtime (seconds) to deliver `bytes` at `phy_mbps` with `n_active`
     /// stations sharing the medium.
     fn airtime_s(&self, bytes: f64, phy_mbps: f64, n_active: usize) -> f64 {
-        let rate = self.goodput_mbps(phy_mbps, n_active);
-        if rate <= 0.0 {
+        self.airtime_from_goodput_s(bytes, self.goodput_mbps(phy_mbps, n_active))
+    }
+
+    /// The [`MacModel::airtime_s`] tail over an already-computed goodput,
+    /// for callers that hoist `goodput_mbps` out of per-item loops —
+    /// goodput depends only on `(phy_mbps, n_active)`, both invariant
+    /// across a scheduling epoch. Bit-identical to `airtime_s` when fed
+    /// `goodput_mbps(phy_mbps, n_active)`.
+    fn airtime_from_goodput_s(&self, bytes: f64, goodput_mbps: f64) -> f64 {
+        if goodput_mbps <= 0.0 {
             f64::INFINITY
         } else {
-            bytes * 8.0 / (rate * 1e6)
+            bytes * 8.0 / (goodput_mbps * 1e6)
         }
     }
 

@@ -18,7 +18,6 @@ use crate::error::NetError;
 use crate::faults::{FaultPlan, FrameFaults};
 use crate::mac::MacModel;
 use crate::plan::TransmissionPlan;
-use crate::queue::EventQueue;
 use crate::time::SimTime;
 use volcast_util::obs;
 
@@ -56,23 +55,16 @@ impl FrameOutcome {
     }
 }
 
-/// Internal event type.
-#[derive(Debug)]
-enum Event {
-    /// A new frame's plan enters the queue.
-    FrameStart(usize),
-    /// The currently transmitting item finishes.
-    ItemDone,
-    /// An injected AP stall ends; transmission may resume.
-    ApResume,
-}
-
-/// One queued burst (flattened from the plans).
-#[derive(Debug, Clone)]
-struct QueuedItem {
-    frame: usize,
-    receivers: Vec<usize>,
-    airtime: SimTime,
+/// Reusable buffers for [`Simulator::run_into`]: the flattened pending
+/// queue. Steady-state reuse allocates nothing once the high-watermark
+/// capacity is reached.
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// Pending bursts as `(frame, item index, airtime)`, referencing the
+    /// caller's plans instead of cloning receiver lists. Consumed by a
+    /// head cursor — frames start in time order, so the `Drop` policy's
+    /// stale-frame purge is a prefix advance, never a `retain`.
+    pending: Vec<(usize, usize, SimTime)>,
 }
 
 /// Event-driven pipelined executor over per-frame plans.
@@ -136,115 +128,157 @@ impl<'a, M: MacModel> Simulator<'a, M> {
     /// Runs one plan per frame, frame `f` released at `f * interval`.
     /// Items with infinite airtime (outage) are dropped immediately.
     pub fn run(&self, plans: &[TransmissionPlan]) -> Vec<FrameOutcome> {
-        let mut outcomes: Vec<FrameOutcome> = (0..plans.len())
-            .map(|frame| FrameOutcome {
+        let mut scratch = SimScratch::default();
+        let mut outcomes = Vec::new();
+        self.run_into(plans, &mut scratch, &mut outcomes);
+        outcomes
+    }
+
+    /// [`Simulator::run`] into caller-owned buffers.
+    ///
+    /// The event loop is flattened: at most three future events can exist
+    /// at once — the next frame release, the in-flight burst's completion,
+    /// and the pending stall-resume — so the scheduler is a 3-way minimum
+    /// instead of a binary heap, and the pending queue is a cursor over an
+    /// append-only vector. Results are identical to the historical
+    /// heap-based loop: on time ties, frame starts (scheduled upfront with
+    /// the lowest sequence numbers) precede completions and resumes, and
+    /// completion/resume order is interchangeable (a resume while a burst
+    /// is on the air is a no-op; a completion at the resume instant starts
+    /// the next burst itself).
+    pub fn run_into(
+        &self,
+        plans: &[TransmissionPlan],
+        scratch: &mut SimScratch,
+        outcomes: &mut Vec<FrameOutcome>,
+    ) {
+        outcomes.truncate(plans.len());
+        for (frame, o) in outcomes.iter_mut().enumerate() {
+            o.frame = frame;
+            o.start = SimTime(self.interval.0 * frame as u64);
+            o.user_completion.clear();
+            o.user_completion.resize(self.n_users, None);
+            o.dropped_items = 0;
+        }
+        for frame in outcomes.len()..plans.len() {
+            outcomes.push(FrameOutcome {
                 frame,
                 start: SimTime(self.interval.0 * frame as u64),
                 user_completion: vec![None; self.n_users],
                 dropped_items: 0,
-            })
-            .collect();
-
-        let mut queue: EventQueue<Event> = EventQueue::new();
-        for f in 0..plans.len() {
-            queue.schedule(SimTime(self.interval.0 * f as u64), Event::FrameStart(f));
+            });
         }
 
-        let mut pending: Vec<QueuedItem> = Vec::new();
-        let mut transmitting: Option<QueuedItem> = None;
-        // The AP transmits nothing before this time (injected stalls).
+        let pending = &mut scratch.pending;
+        pending.clear();
+        let mut head = 0usize;
+        let mut next_frame = 0usize;
+        // The in-flight burst as (frame, item index), finishing at `done_at`.
+        let mut transmitting: Option<(usize, usize)> = None;
+        let mut done_at = SimTime(0);
+        // The AP transmits nothing before this time (injected stalls);
+        // `resume_pending` marks an un-fired resume at `stalled_until`
+        // (several queued resumes collapse to the latest — earlier ones
+        // were no-ops against the monotone `stalled_until`).
         let mut stalled_until = SimTime(0);
+        let mut resume_pending = false;
 
-        while let Some((now, event)) = queue.pop() {
-            match event {
-                Event::FrameStart(f) => {
-                    obs::inc("net.sim.frames");
-                    obs::record("net.sim.queue_depth", pending.len() as u64);
-                    if self.policy == BacklogPolicy::Drop {
-                        // Abandon unfinished items of older frames (the one
-                        // on the air completes; preemption is not modeled).
-                        let before = pending.len();
-                        pending.retain(|item| item.frame >= f);
-                        let dropped = before - pending.len();
-                        obs::add("net.sim.dropped_items", dropped as u64);
-                        if dropped > 0 {
-                            // Attribution is approximate: count the drops
-                            // against the newest stale frame.
-                            outcomes[f.saturating_sub(1)].dropped_items += dropped;
-                        }
+        loop {
+            let t_frame =
+                (next_frame < plans.len()).then(|| SimTime(self.interval.0 * next_frame as u64));
+            let t_done = transmitting.map(|_| done_at);
+            let t_resume = resume_pending.then_some(stalled_until);
+
+            let is_frame = t_frame.is_some()
+                && t_done.is_none_or(|t| t_frame.unwrap() <= t)
+                && t_resume.is_none_or(|t| t_frame.unwrap() <= t);
+            if is_frame {
+                let f = next_frame;
+                next_frame += 1;
+                let now = t_frame.unwrap();
+                obs::inc("net.sim.frames");
+                obs::record("net.sim.queue_depth", (pending.len() - head) as u64);
+                if self.policy == BacklogPolicy::Drop {
+                    // Abandon unfinished items of older frames (the one
+                    // on the air completes; preemption is not modeled).
+                    let before = head;
+                    while head < pending.len() && pending[head].0 < f {
+                        head += 1;
                     }
-                    if self.faults_at(f).ap_stall {
-                        // The AP is down for this frame's slot: nothing new
-                        // airs until the slot ends (the item already on the
-                        // air completes — the stall hits the transmit path,
-                        // not frames already serialized to the radio).
-                        obs::inc("net.sim.faults.ap_stall_frames");
-                        let resume = now + self.interval;
-                        if resume > stalled_until {
-                            stalled_until = resume;
-                            queue.schedule(resume, Event::ApResume);
-                        }
-                    }
-                    for item in &plans[f].items {
-                        let airtime_s = item.beam_switch_s
-                            + self.mac.airtime_s(item.bytes, item.phy_mbps, self.n_active);
-                        if !airtime_s.is_finite() {
-                            outcomes[f].dropped_items += 1;
-                            obs::inc("net.sim.dropped_items");
-                            continue;
-                        }
-                        pending.push(QueuedItem {
-                            frame: f,
-                            receivers: item.receivers().to_vec(),
-                            airtime: SimTime::from_secs(airtime_s),
-                        });
-                    }
-                    if transmitting.is_none() && now >= stalled_until {
-                        self.start_next(&mut queue, &mut pending, &mut transmitting);
+                    let dropped = head - before;
+                    obs::add("net.sim.dropped_items", dropped as u64);
+                    if dropped > 0 {
+                        // Attribution is approximate: count the drops
+                        // against the newest stale frame.
+                        outcomes[f.saturating_sub(1)].dropped_items += dropped;
                     }
                 }
-                Event::ItemDone => {
-                    if let Some(done) = transmitting.take() {
-                        let faults = self.faults_at(done.frame);
-                        for &u in &done.receivers {
-                            if u >= self.n_users {
-                                continue;
-                            }
-                            if faults.loss_for(u) || faults.outage_for(u) {
-                                // Airtime was burned, but this receiver got
-                                // nothing usable.
-                                obs::inc("net.sim.faults.lost_receptions");
-                                continue;
-                            }
-                            outcomes[done.frame].user_completion[u] = Some(now);
-                        }
-                    }
-                    if now >= stalled_until {
-                        self.start_next(&mut queue, &mut pending, &mut transmitting);
+                if self.faults_at(f).ap_stall {
+                    // The AP is down for this frame's slot: nothing new
+                    // airs until the slot ends (the item already on the
+                    // air completes — the stall hits the transmit path,
+                    // not frames already serialized to the radio).
+                    obs::inc("net.sim.faults.ap_stall_frames");
+                    let resume = now + self.interval;
+                    if resume > stalled_until {
+                        stalled_until = resume;
+                        resume_pending = true;
                     }
                 }
-                Event::ApResume => {
-                    if transmitting.is_none() && now >= stalled_until {
-                        self.start_next(&mut queue, &mut pending, &mut transmitting);
+                for (idx, item) in plans[f].items.iter().enumerate() {
+                    let airtime_s = item.beam_switch_s
+                        + self.mac.airtime_s(item.bytes, item.phy_mbps, self.n_active);
+                    if !airtime_s.is_finite() {
+                        outcomes[f].dropped_items += 1;
+                        obs::inc("net.sim.dropped_items");
+                        continue;
+                    }
+                    pending.push((f, idx, SimTime::from_secs(airtime_s)));
+                }
+                if transmitting.is_none() && now >= stalled_until {
+                    if let Some(&(pf, pi, airtime)) = pending.get(head) {
+                        head += 1;
+                        transmitting = Some((pf, pi));
+                        done_at = now + airtime;
                     }
                 }
+            } else if t_done.is_some() && t_resume.is_none_or(|t| done_at <= t) {
+                let now = done_at;
+                let (frame, idx) = transmitting.take().expect("in-flight burst");
+                let faults = self.faults_at(frame);
+                for &u in plans[frame].items[idx].receivers() {
+                    if u >= self.n_users {
+                        continue;
+                    }
+                    if faults.loss_for(u) || faults.outage_for(u) {
+                        // Airtime was burned, but this receiver got
+                        // nothing usable.
+                        obs::inc("net.sim.faults.lost_receptions");
+                        continue;
+                    }
+                    outcomes[frame].user_completion[u] = Some(now);
+                }
+                if now >= stalled_until {
+                    if let Some(&(pf, pi, airtime)) = pending.get(head) {
+                        head += 1;
+                        transmitting = Some((pf, pi));
+                        done_at = now + airtime;
+                    }
+                }
+            } else if resume_pending {
+                let now = stalled_until;
+                resume_pending = false;
+                if transmitting.is_none() {
+                    if let Some(&(pf, pi, airtime)) = pending.get(head) {
+                        head += 1;
+                        transmitting = Some((pf, pi));
+                        done_at = now + airtime;
+                    }
+                }
+            } else {
+                break;
             }
         }
-        outcomes
-    }
-
-    fn start_next(
-        &self,
-        queue: &mut EventQueue<Event>,
-        pending: &mut Vec<QueuedItem>,
-        transmitting: &mut Option<QueuedItem>,
-    ) {
-        if pending.is_empty() {
-            return;
-        }
-        let item = pending.remove(0); // FIFO in plan order
-        queue.schedule_in(item.airtime, Event::ItemDone);
-        *transmitting = Some(item);
     }
 }
 

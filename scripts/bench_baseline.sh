@@ -16,9 +16,16 @@
 # skipped (with a warning) when the baseline was recorded with a different
 # host thread budget — those medians are not comparable.
 #
+# The two end-to-end throughput benches are ratcheted the same way: the
+# campus bin's users_per_sec (BENCH_campus.json) and the server bin's
+# client_frames_per_sec (BENCH_server.json) must not drop more than
+# VOLCAST_BENCH_TOLERANCE percent below their committed baselines (note
+# the inverted direction: throughput regresses *downward*). Same
+# host_threads skip applies.
+#
 # Usage: scripts/bench_baseline.sh [extra args passed to the bench binary]
 # Knobs: VOLCAST_BENCH_SAMPLES   (default 20 timed samples per bench)
-#        VOLCAST_BENCH_TOLERANCE (default 25, percent slowdown tolerated)
+#        VOLCAST_BENCH_TOLERANCE (default 25, percent regression tolerated)
 
 set -eu
 
@@ -37,15 +44,76 @@ if [ "${host_threads}" -lt 4 ]; then
     echo "WARNING: do not commit BENCH_*.json from this host over baselines that have _t4 rows." >&2
 fi
 
-# Stash the committed codec baseline before the bench overwrites it.
+# Stash the committed baselines before the benches overwrite them.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "${tmpdir}"' EXIT
 baseline=""
 if [ -f BENCH_codec.json ]; then
-    baseline=$(mktemp)
+    baseline="${tmpdir}/codec.json"
     cp BENCH_codec.json "${baseline}"
-    trap 'rm -f "${baseline}"' EXIT
 fi
+for f in BENCH_campus.json BENCH_server.json; do
+    [ -f "$f" ] && cp "$f" "${tmpdir}/$f"
+done
 
 cargo bench -p volcast-bench --bench microbench -- --json "$@"
+
+# --- End-to-end throughput benches (campus + session server). ----------
+cargo build --release -p volcast-bench --bin campus --bin server
+./target/release/campus
+./target/release/server
+
+tolerance="${VOLCAST_BENCH_TOLERANCE:-25}"
+threads_of() {
+    sed -n 's/.*"host_threads":\([0-9]*\).*/\1/p' "$1" | head -1
+}
+field_of() {
+    sed -n 's/.*"'"$2"'":\([0-9.]*\).*/\1/p' "$1" | head -1
+}
+
+# Throughput ratchet: fresh $2 in $1 must not drop more than tolerance %
+# below the stashed baseline (higher is better — inverted vs the codec
+# latency check). Skipped when there is no baseline, the baseline predates
+# the field, or host_threads differ.
+ratchet_throughput() {
+    report="$1"
+    metric="$2"
+    old="${tmpdir}/${report}"
+    if [ ! -f "${old}" ]; then
+        echo "NOTE: no committed ${report}; recording fresh baseline." >&2
+        return 0
+    fi
+    old_v=$(field_of "${old}" "${metric}")
+    new_v=$(field_of "${report}" "${metric}")
+    if [ -z "${old_v}" ] || [ -z "${new_v}" ]; then
+        echo "NOTE: ${report} baseline predates ${metric}; skipping ratchet." >&2
+        return 0
+    fi
+    old_t=$(threads_of "${old}")
+    new_t=$(threads_of "${report}")
+    if [ -z "${old_t}" ] || [ "${old_t}" != "${new_t}" ]; then
+        echo "WARNING: ${report} baseline host_threads=${old_t:-unset} != current ${new_t}; skipping ratchet." >&2
+        return 0
+    fi
+    awk -v old="${old_v}" -v new="${new_v}" -v tol="${tolerance}" \
+        -v report="${report}" -v metric="${metric}" '
+        BEGIN {
+            floor = old * (1 - tol / 100)
+            if (new < floor) {
+                printf "  FAIL: %s %s %.1f < %.1f allowed (baseline %.1f - %s%%)\n", report, metric, new, floor, old, tol
+                exit 1
+            }
+            printf "  ok:   %s %s %.1f (baseline %.1f)\n", report, metric, new, old
+        }' || {
+        echo "ERROR: ${report} ${metric} regressed more than ${tolerance}% vs the committed baseline." >&2
+        echo "Fix the regression, or raise VOLCAST_BENCH_TOLERANCE if the slowdown is intended." >&2
+        exit 1
+    }
+}
+
+echo "throughput regression check (tolerance ${tolerance}%):"
+ratchet_throughput BENCH_campus.json users_per_sec
+ratchet_throughput BENCH_server.json client_frames_per_sec
 
 [ -n "${baseline}" ] || exit 0
 

@@ -91,4 +91,24 @@ VOLCAST_THREADS=8 cargo run -q --release -p volcast-bench --bin server > "$tmp_s
 diff "$tmp_srv1" "$tmp_srv8"
 rm -f "$tmp_srv1" "$tmp_srv8"
 
+echo "==> campus smoke is byte-identical at VOLCAST_THREADS=1 and 8, hash pinned"
+# A fast campus configuration (500 users, 8 APs, 30 frames; ~50 ms) with
+# the outcome hash pinned: the room-epoch hot path — epoch-invariant RSS
+# caching, plan-skeleton reuse, the flattened simulator core — cannot
+# drift without failing this diff. --report '' keeps the committed
+# full-scale BENCH_campus.json untouched.
+tmp_cmp1="$(mktemp)"
+tmp_cmp8="$(mktemp)"
+VOLCAST_THREADS=1 cargo run -q --release -p volcast-bench --bin campus -- \
+    --users 500 --aps 8 --frames 30 --report '' > "$tmp_cmp1" 2> /dev/null
+VOLCAST_THREADS=8 cargo run -q --release -p volcast-bench --bin campus -- \
+    --users 500 --aps 8 --frames 30 --report '' > "$tmp_cmp8" 2> /dev/null
+diff "$tmp_cmp1" "$tmp_cmp8"
+grep -q "outcome hash 0x671fa175dde52bf0" "$tmp_cmp1" || {
+    echo "ERROR: campus smoke outcome hash drifted (expected 0x671fa175dde52bf0):" >&2
+    tail -1 "$tmp_cmp1" >&2
+    exit 1
+}
+rm -f "$tmp_cmp1" "$tmp_cmp8"
+
 echo "verify: all checks passed"
