@@ -16,7 +16,7 @@
 //! Run: `cargo run --release -p volcast-bench --bin faults`
 
 use volcast_core::session::quick_session_with_device;
-use volcast_core::PlayerKind;
+use volcast_core::{DeliveryMode, PlayerKind};
 use volcast_net::FaultConfig;
 use volcast_util::hash::fnv1a;
 use volcast_util::json::ToJson;
@@ -52,6 +52,7 @@ fn main() {
     );
     println!("{}", "-".repeat(78));
 
+    let mut legacy: Vec<(f64, f64)> = Vec::new(); // (stall_ratio, quality) per scenario
     for &(name, spec) in SCENARIOS {
         obs::reset();
         let cfg = FaultConfig::from_spec(spec).unwrap_or_else(|e| panic!("scenario {name}: {e}"));
@@ -75,7 +76,50 @@ fn main() {
             out.qoe.mean_stall_ratio() * 100.0,
             out.qoe.mean_quality_score(),
         );
+        legacy.push((out.qoe.mean_stall_ratio(), out.qoe.mean_quality_score()));
         volcast_bench::dump_obs(&format!("faults_{name}"));
+    }
+
+    // The same matrix under layered delivery: multicast base + unicast
+    // enhancements + the proactive XOR-parity FEC rung of the degradation
+    // ladder. The Δstall column is the headline claim — parity absorbing
+    // single erasures before the budgeted-retransmit rung should cut the
+    // stall-rate in most faulted scenarios.
+    println!("\nLayered delivery + proactive FEC (same scenarios; deltas vs single-stream):\n");
+    println!(
+        "{:<16} {:>18} | {:>6} {:>6} | {:>6} {:>7} {:>7} | {:>8} {:>6}",
+        "scenario", "outcome-fnv", "fault", "recov", "fps", "stall%", "quality", "dstall%", "dqual"
+    );
+    println!("{}", "-".repeat(95));
+
+    for (i, &(name, spec)) in SCENARIOS.iter().enumerate() {
+        obs::reset();
+        let cfg = FaultConfig::from_spec(spec).unwrap_or_else(|e| panic!("scenario {name}: {e}"));
+        let mut s =
+            quick_session_with_device(PlayerKind::Volcast, USERS, FRAMES, 42, DeviceClass::Phone);
+        s.params.analysis_points = 8_000;
+        s.params.delivery = DeliveryMode::Layered;
+        if !cfg.is_quiet() {
+            s.params.faults = Some(cfg);
+        }
+        let out = s
+            .run()
+            .unwrap_or_else(|e| panic!("layered scenario {name} failed: {e}"));
+        let hash = fnv1a(out.to_json().to_json_string().as_bytes());
+        let (stall0, qual0) = legacy[i];
+        println!(
+            "{:<16} 0x{:016x} | {:>6} {:>6} | {:>6.1} {:>6.1}% {:>7.2} | {:>+7.1}% {:>+6.2}",
+            name,
+            hash,
+            out.fault_user_frames,
+            out.recovered_user_frames,
+            out.qoe.mean_fps(),
+            out.qoe.mean_stall_ratio() * 100.0,
+            out.qoe.mean_quality_score(),
+            (out.qoe.mean_stall_ratio() - stall0) * 100.0,
+            out.qoe.mean_quality_score() - qual0,
+        );
+        volcast_bench::dump_obs(&format!("faults_layered_{name}"));
     }
 
     println!("\nEvery faulted scenario must complete without panics; the blackout");

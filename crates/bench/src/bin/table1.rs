@@ -11,7 +11,7 @@
 use volcast_bench::Context;
 use volcast_core::max_sustainable_fps;
 use volcast_net::{AcMac, AdMac, MacModel};
-use volcast_pointcloud::{CellGrid, DecodeModel, Quality, QualityLevel, SyntheticBody};
+use volcast_pointcloud::{CellGrid, DecodeModel, Ladder, QualityLevel, SyntheticBody};
 use volcast_viewport::{VisibilityComputer, VisibilityOptions};
 
 /// Measures the mean fraction of the frame's points a ViVo player fetches
@@ -72,7 +72,7 @@ fn main() {
 
     for (net, n, rate) in rows {
         let fps = |q: QualityLevel, fraction: f64| -> f64 {
-            let quality = Quality::of(q);
+            let quality = Ladder::paper().quality(q);
             max_sustainable_fps(
                 rate,
                 quality.full_frame_bytes() * fraction,

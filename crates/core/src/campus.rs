@@ -70,6 +70,7 @@ use volcast_net::{
     AdMac, BacklogPolicy, FaultConfig, FaultPlan, FrameOutcome, MacModel, SimScratch, SimTime,
     Simulator, TransmissionPlan, TxItem, TxKind,
 };
+use volcast_pointcloud::Ladder;
 use volcast_util::{obs, par};
 use volcast_viewport::RoamingTraceGenerator;
 
@@ -77,8 +78,10 @@ use volcast_viewport::RoamingTraceGenerator;
 const APS_PER_ROOM: usize = 2;
 
 /// Nominal per-user frame payload in bytes (≈300 Mbps at 30 fps — the
-/// medium rung of the paper's quality ladder).
-const FRAME_BYTES: f64 = 300.0e6 / 8.0 / 30.0;
+/// medium rung of the paper's quality ladder), taken from the canonical
+/// [`Ladder`] so the campus clamp and the session ABR price frames off the
+/// same constant.
+const FRAME_BYTES: f64 = Ladder::PLANNING_FRAME_BYTES;
 
 /// Fraction of a member's payload covered by the group's multicast burst
 /// (nominal §4.2 viewport overlap for co-located viewers).
@@ -708,11 +711,7 @@ impl Campus {
                     }
                 }
             }
-            let quality_scale = if demand_s > interval_s && demand_s.is_finite() {
-                interval_s / demand_s
-            } else {
-                1.0
-            };
+            let quality_scale = Ladder::sustainable_scale(interval_s, demand_s);
             stats.quality_scale_weighted += quality_scale * n_active as f64;
             stats.quality_scale_weight += n_active as u64;
 

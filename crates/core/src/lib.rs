@@ -65,6 +65,8 @@ pub use mitigation::{BlockageMitigator, MitigationAction, MitigationMode};
 pub use multi_ap::{ApAssignment, EpochCoordinator, MultiApCoordinator};
 pub use player::{max_sustainable_fps, PlayerKind};
 pub use qoe::{QoeReport, UserQoe};
-pub use rate_adapt::{AbrPolicy, RateAction, RateAdapter};
+pub use rate_adapt::{
+    AbrPolicy, DeliveryDecision, Distress, FecRung, GroupState, RateAction, RateAdapter,
+};
 pub use server::{ClientOutcome, ServerOutcome, ServerParams, SessionServer};
-pub use session::{RadioKind, SessionOutcome, SessionParams, StreamingSession};
+pub use session::{DeliveryMode, RadioKind, SessionOutcome, SessionParams, StreamingSession};

@@ -90,22 +90,35 @@ impl BlockageMitigator {
     /// with `onset_frames == 0` (already happening) produce actions — a
     /// reactive system cannot act on the future.
     pub fn plan(&self, events: &[BlockageEvent]) -> Vec<MitigationAction> {
-        events
-            .iter()
-            .filter(|e| match self.mode {
-                MitigationMode::Reactive => e.onset_frames == 0,
-                MitigationMode::Proactive => true,
-            })
-            .map(|e| MitigationAction {
-                user: e.victim,
-                onset_frames: e.onset_frames,
-                prefetch_frames: match self.mode {
-                    MitigationMode::Reactive => 0,
-                    MitigationMode::Proactive => self.prefetch_frames,
-                },
-                beam_outage_s: self.beam_outage_s(),
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.plan_into(events, &mut out);
+        out
+    }
+
+    /// [`BlockageMitigator::plan`], writing into a caller-owned vector.
+    ///
+    /// The vector is cleared and refilled; per-frame callers (the session
+    /// hot path) reuse one buffer across frames so steady-state planning
+    /// does not touch the allocator.
+    pub fn plan_into(&self, events: &[BlockageEvent], out: &mut Vec<MitigationAction>) {
+        out.clear();
+        out.extend(
+            events
+                .iter()
+                .filter(|e| match self.mode {
+                    MitigationMode::Reactive => e.onset_frames == 0,
+                    MitigationMode::Proactive => true,
+                })
+                .map(|e| MitigationAction {
+                    user: e.victim,
+                    onset_frames: e.onset_frames,
+                    prefetch_frames: match self.mode {
+                        MitigationMode::Reactive => 0,
+                        MitigationMode::Proactive => self.prefetch_frames,
+                    },
+                    beam_outage_s: self.beam_outage_s(),
+                }),
+        );
     }
 }
 
@@ -187,5 +200,23 @@ mod tests {
     fn no_events_no_actions() {
         let m = BlockageMitigator::new(MitigationMode::Proactive);
         assert!(m.plan(&[]).is_empty());
+    }
+
+    #[test]
+    fn plan_into_matches_plan_and_clears_stale_entries() {
+        let events = [event(0, 5), event(1, 0), event(2, 3)];
+        let mut out = Vec::new();
+        for mode in [MitigationMode::Reactive, MitigationMode::Proactive] {
+            let m = BlockageMitigator::new(mode);
+            // Pre-poison the buffer: plan_into must clear leftovers.
+            out.push(MitigationAction {
+                user: 99,
+                onset_frames: 99,
+                prefetch_frames: 99,
+                beam_outage_s: 9.9,
+            });
+            m.plan_into(&events, &mut out);
+            assert_eq!(out, m.plan(&events));
+        }
     }
 }

@@ -1,6 +1,7 @@
-//! Multi-user video rate adaptation (§4.3).
+//! Multi-user video rate adaptation (§4.3) and the unified delivery
+//! policy.
 //!
-//! Three policies are implemented; the cross-layer one is the paper's:
+//! Three ABR policies are implemented; the cross-layer one is the paper's:
 //!
 //! - [`AbrPolicy::BufferOnly`]: BBA-style — quality from buffer occupancy
 //!   alone (the classic client-side baseline),
@@ -9,9 +10,17 @@
 //!   prediction, plus *reactions* — prefetch for users with predicted
 //!   bandwidth dips, regrouping when viewports drifted, proactive beam
 //!   switching ahead of forecast blockages.
+//!
+//! Callers do not sequence ABR choice, distress clamping, and FEC rungs by
+//! hand: [`RateAdapter::plan_delivery`] folds all three into one
+//! [`DeliveryDecision`] carrying per-layer targets — the base quality, the
+//! enhancement-layer count a layered session unicasts on top of the
+//! multicast base, and the proactive XOR-parity [`FecRung`] the
+//! degradation ladder selects from the user's distress level *before*
+//! falling back to budgeted retransmits.
 
 use crate::bandwidth::{BandwidthPredictor, CrossLayerInputs};
-use volcast_pointcloud::{QualityLadder, QualityLevel};
+use volcast_pointcloud::{Ladder, QualityLevel};
 
 /// Which adaptation policy a session runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,13 +52,115 @@ pub enum RateAction {
     },
 }
 
-/// Per-frame adaptation decision for one user.
+/// One user's standing in the delivery group when a frame is planned — the
+/// inputs [`RateAdapter::plan_delivery`] folds into a decision.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupState<'a> {
+    /// The user being planned for.
+    pub user: usize,
+    /// Cross-layer observations for this user.
+    pub inputs: &'a CrossLayerInputs,
+    /// Fraction of network time this user's content can use (e.g. `1/n`
+    /// under fair unicast, more under multicast savings).
+    pub share: f64,
+    /// Fraction of the full frame the user actually fetches after
+    /// visibility culling.
+    pub needed_fraction: f64,
+    /// Whether the session delivers layered (progressive) frames: base
+    /// layer multicast to the whole group, enhancements unicast per user.
+    pub layered: bool,
+    /// Pinned quality (sessions running with `fixed_quality`): skips the
+    /// ABR policy but still passes through distress clamping.
+    pub fixed: Option<QualityLevel>,
+}
+
+/// A user's accumulated fault pressure (consecutive faulted frames tracked
+/// by the session — outages, losses, stalls), driving the degradation
+/// ladder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Distress {
+    /// The distress level; 0 = fault-free.
+    pub level: u32,
+}
+
+impl Distress {
+    /// A fault-free user.
+    pub fn calm() -> Distress {
+        Distress { level: 0 }
+    }
+
+    /// Wraps a session-tracked distress level.
+    pub fn new(level: u32) -> Distress {
+        Distress { level }
+    }
+}
+
+/// Proactive XOR-parity FEC overhead rung (see `volcast_net::fec`): how
+/// much parity rides with a distressed user's payload so single chunk
+/// erasures repair locally instead of consuming retransmit airtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FecRung {
+    /// No parity: the link is clean.
+    Off,
+    /// One parity chunk per 4 payload chunks (25% overhead).
+    Quarter,
+    /// One parity chunk per 2 payload chunks (50% overhead).
+    Half,
+}
+
+impl FecRung {
+    /// Parity bytes as a fraction of payload bytes.
+    pub fn overhead(&self) -> f64 {
+        match self {
+            FecRung::Off => 0.0,
+            FecRung::Quarter => 0.25,
+            FecRung::Half => 0.5,
+        }
+    }
+
+    /// Payload chunks per parity group (0 = FEC disabled).
+    pub fn group_chunks(&self) -> usize {
+        match self {
+            FecRung::Off => 0,
+            FecRung::Quarter => 4,
+            FecRung::Half => 2,
+        }
+    }
+}
+
+/// The unified per-user delivery decision: what quality to build, how many
+/// layers to send, and how much proactive parity to spend.
 #[derive(Debug, Clone, PartialEq)]
-pub struct RateDecision {
-    /// Chosen quality level.
-    pub quality: QualityLevel,
-    /// Requested reactions.
+pub struct DeliveryDecision {
+    /// Quality of the base payload. Legacy (single-stream) delivery puts
+    /// the whole clamped frame here; layered delivery pins the multicast
+    /// base at the ladder's lowest level.
+    pub base_quality: QualityLevel,
+    /// Enhancement layers unicast on top of the base (0 for legacy
+    /// delivery; layered delivery reaches `base + enhancements` =
+    /// the clamped target level).
+    pub enhancements: u8,
+    /// Proactive-FEC rung for this user's bursts.
+    pub fec: FecRung,
+    /// The ABR target *before* distress clamping — callers compare against
+    /// [`DeliveryDecision::quality`] to count degradation clamps.
+    pub target_quality: QualityLevel,
+    /// Requested reactions (prefetch, regroup, beam switch).
     pub actions: Vec<RateAction>,
+}
+
+impl DeliveryDecision {
+    /// The quality level the user receives when every planned layer
+    /// arrives: the base stepped up by `enhancements` (saturating at the
+    /// top of the ladder).
+    pub fn quality(&self) -> QualityLevel {
+        let all = QualityLevel::ALL;
+        let base = all
+            .iter()
+            .position(|&q| q == self.base_quality)
+            .unwrap_or(0);
+        all[(base + self.enhancements as usize).min(all.len() - 1)]
+    }
 }
 
 /// The rate adapter: one instance per session, holding per-user predictors.
@@ -57,8 +168,8 @@ pub struct RateDecision {
 pub struct RateAdapter {
     /// Active policy.
     pub policy: AbrPolicy,
-    /// The quality ladder to pick from.
-    pub ladder: QualityLadder,
+    /// The canonical quality ladder decisions are made against.
+    pub ladder: Ladder,
     /// Per-user cross-layer predictors.
     pub predictors: Vec<BandwidthPredictor>,
     /// Safety margin: use only this fraction of predicted bandwidth.
@@ -76,7 +187,7 @@ impl RateAdapter {
     pub fn new(policy: AbrPolicy, users: usize) -> Self {
         RateAdapter {
             policy,
-            ladder: QualityLadder::default(),
+            ladder: Ladder::paper(),
             predictors: (0..users).map(|_| BandwidthPredictor::new()).collect(),
             safety: 0.85,
             buffer_low: 3.0,
@@ -90,21 +201,56 @@ impl RateAdapter {
         self.predictors[user].observe(throughput_mbps, rss_dbm);
     }
 
-    /// Decides quality + actions for one user.
+    /// Plans one user's delivery for the next frame: folds the ABR policy
+    /// (or the session's pinned quality), the distress-driven degradation
+    /// clamp, and the proactive-FEC rung into one [`DeliveryDecision`].
     ///
-    /// `share` is the fraction of network time this user's content can use
-    /// (e.g. `1/n` under fair unicast, more under multicast savings) —
-    /// quality is chosen so the user's *full-frame* bitrate at that quality
-    /// fits the predicted bandwidth times `share`... scaled by
-    /// `needed_fraction`, the fraction of the full frame the user actually
-    /// fetches after visibility culling.
-    pub fn decide(
-        &self,
-        user: usize,
-        inputs: &CrossLayerInputs,
-        share: f64,
-        needed_fraction: f64,
-    ) -> RateDecision {
+    /// Legacy (`layered: false`) decisions put the clamped target in
+    /// `base_quality` with zero enhancements and FEC off — byte-identical
+    /// behaviour to the old `decide` + `degrade` call pattern. Layered
+    /// decisions pin the base at the ladder's lowest level (that is what
+    /// the whole group multicasts), carry the remaining levels as
+    /// enhancement unicasts, and engage parity as soon as the user shows
+    /// distress — one rung *before* the ladder's budgeted-retransmit step,
+    /// so single erasures stop costing retransmit airtime.
+    pub fn plan_delivery(&self, group: &GroupState<'_>, distress: &Distress) -> DeliveryDecision {
+        let (target, actions) = match group.fixed {
+            Some(q) => (q, Vec::new()),
+            None => self.target_quality(group),
+        };
+        let clamped = self.degrade(target, distress.level);
+        if !group.layered {
+            return DeliveryDecision {
+                base_quality: clamped,
+                enhancements: 0,
+                fec: FecRung::Off,
+                target_quality: target,
+                actions,
+            };
+        }
+        let fec = match distress.level {
+            0 => FecRung::Off,
+            1..=3 => FecRung::Quarter,
+            _ => FecRung::Half,
+        };
+        DeliveryDecision {
+            base_quality: QualityLevel::Low,
+            enhancements: self.ladder.enhancement_layers(clamped) as u8,
+            fec,
+            target_quality: target,
+            actions,
+        }
+    }
+
+    /// The ABR rung: picks the target quality + reactions for one user.
+    fn target_quality(&self, group: &GroupState<'_>) -> (QualityLevel, Vec<RateAction>) {
+        let GroupState {
+            user,
+            inputs,
+            share,
+            needed_fraction,
+            ..
+        } = *group;
         let predictor = &self.predictors[user];
         let mut actions = Vec::new();
 
@@ -147,19 +293,18 @@ impl RateAdapter {
                 q
             }
         };
-        RateDecision { quality, actions }
+        (quality, actions)
     }
 
     /// The graceful-degradation rung of the ladder: clamps a decided
-    /// quality by the user's *distress* level (consecutive faulted frames
-    /// tracked by the session — outages, losses, stalls). Light distress
-    /// steps one level down; sustained distress pins the bottom of the
-    /// ladder until the link proves itself again. Zero distress is the
-    /// identity, so fault-free sessions are untouched.
-    pub fn degrade(&self, quality: QualityLevel, distress: u32) -> QualityLevel {
+    /// quality by the user's *distress* level. Light distress steps one
+    /// level down; sustained distress pins the bottom of the ladder until
+    /// the link proves itself again. Zero distress is the identity, so
+    /// fault-free sessions are untouched.
+    fn degrade(&self, quality: QualityLevel, distress: u32) -> QualityLevel {
         match distress {
             0..=1 => quality,
-            2..=3 => quality.lower().unwrap_or(quality),
+            2..=3 => self.ladder.step_down(quality, 1),
             _ => QualityLevel::Low,
         }
     }
@@ -172,7 +317,14 @@ volcast_util::impl_json_enum!(AbrPolicy {
     CrossLayer
 });
 volcast_util::impl_json_enum!(RateAction { Prefetch { user, frames }, Regroup, BeamSwitch { user } });
-volcast_util::impl_json_struct!(RateDecision { quality, actions });
+volcast_util::impl_json_enum!(FecRung { Off, Quarter, Half });
+volcast_util::impl_json_struct!(DeliveryDecision {
+    base_quality,
+    enhancements,
+    fec,
+    target_quality,
+    actions
+});
 
 #[cfg(test)]
 mod tests {
@@ -197,68 +349,72 @@ mod tests {
         a
     }
 
+    /// Legacy plan for `user` with unit share and no culling.
+    fn plan(
+        a: &RateAdapter,
+        user: usize,
+        i: &CrossLayerInputs,
+        share: f64,
+        needed: f64,
+    ) -> DeliveryDecision {
+        a.plan_delivery(
+            &GroupState {
+                user,
+                inputs: i,
+                share,
+                needed_fraction: needed,
+                layered: false,
+                fixed: None,
+            },
+            &Distress::calm(),
+        )
+    }
+
     #[test]
     fn buffer_only_thresholds() {
         let a = warmed(AbrPolicy::BufferOnly, 1000.0);
         let i = |b| inputs(b, 2000.0, 2000.0, false);
-        assert_eq!(a.decide(0, &i(1.0), 1.0, 1.0).quality, QualityLevel::Low);
-        assert_eq!(a.decide(0, &i(5.0), 1.0, 1.0).quality, QualityLevel::Medium);
-        assert_eq!(a.decide(0, &i(9.0), 1.0, 1.0).quality, QualityLevel::High);
+        assert_eq!(plan(&a, 0, &i(1.0), 1.0, 1.0).quality(), QualityLevel::Low);
+        assert_eq!(
+            plan(&a, 0, &i(5.0), 1.0, 1.0).quality(),
+            QualityLevel::Medium
+        );
+        assert_eq!(plan(&a, 0, &i(9.0), 1.0, 1.0).quality(), QualityLevel::High);
     }
 
     #[test]
     fn throughput_only_scales_with_bandwidth() {
         // 1000 Mbps x 0.85 = 850 budget -> High (364) easily at share 1.
         let a = warmed(AbrPolicy::ThroughputOnly, 1000.0);
-        assert_eq!(
-            a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 1.0, 1.0)
-                .quality,
-            QualityLevel::High
-        );
+        let i = inputs(5.0, 1000.0, 1000.0, false);
+        assert_eq!(plan(&a, 0, &i, 1.0, 1.0).quality(), QualityLevel::High);
         // share 1/4 -> 212 budget -> even Low (235) fails -> clamps Low.
-        assert_eq!(
-            a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 0.25, 1.0)
-                .quality,
-            QualityLevel::Low
-        );
+        assert_eq!(plan(&a, 0, &i, 0.25, 1.0).quality(), QualityLevel::Low);
         // Visibility culling (needed_fraction 0.7) stretches the budget to
         // ~304 Mbps -> Medium (294) fits, High (364) does not.
-        assert_eq!(
-            a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 0.25, 0.7)
-                .quality,
-            QualityLevel::Medium
-        );
+        assert_eq!(plan(&a, 0, &i, 0.25, 0.7).quality(), QualityLevel::Medium);
         // Aggressive culling (0.5) fits even High: budget 425 > 364.
-        assert_eq!(
-            a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 0.25, 0.5)
-                .quality,
-            QualityLevel::High
-        );
+        assert_eq!(plan(&a, 0, &i, 0.25, 0.5).quality(), QualityLevel::High);
     }
 
     #[test]
     fn cross_layer_downgrades_on_predicted_dip() {
         let a = warmed(AbrPolicy::CrossLayer, 1000.0);
-        let stable = a.decide(0, &inputs(5.0, 2502.5, 2502.5, false), 1.0, 1.0);
-        assert_eq!(stable.quality, QualityLevel::High);
-        // PHY forecast halves -> budget 425 -> still High? 425 > 364 yes.
+        let stable = plan(&a, 0, &inputs(5.0, 2502.5, 2502.5, false), 1.0, 1.0);
+        assert_eq!(stable.quality(), QualityLevel::High);
         // Forecast collapse to 1/5 -> budget 170 -> Low.
-        let dip = a.decide(0, &inputs(5.0, 2502.5, 500.5, false), 1.0, 1.0);
-        assert_eq!(dip.quality, QualityLevel::Low);
+        let dip = plan(&a, 0, &inputs(5.0, 2502.5, 500.5, false), 1.0, 1.0);
+        assert_eq!(dip.quality(), QualityLevel::Low);
         // Throughput-only would have stayed High.
-        let naive = warmed(AbrPolicy::ThroughputOnly, 1000.0).decide(
-            0,
-            &inputs(5.0, 2502.5, 500.5, false),
-            1.0,
-            1.0,
-        );
-        assert_eq!(naive.quality, QualityLevel::High);
+        let naive = warmed(AbrPolicy::ThroughputOnly, 1000.0);
+        let naive = plan(&naive, 0, &inputs(5.0, 2502.5, 500.5, false), 1.0, 1.0);
+        assert_eq!(naive.quality(), QualityLevel::High);
     }
 
     #[test]
     fn blockage_forecast_triggers_reactions() {
         let a = warmed(AbrPolicy::CrossLayer, 1000.0);
-        let d = a.decide(1, &inputs(5.0, 2502.5, 2502.5, true), 1.0, 1.0);
+        let d = plan(&a, 1, &inputs(5.0, 2502.5, 2502.5, true), 1.0, 1.0);
         assert!(d
             .actions
             .iter()
@@ -269,33 +425,119 @@ mod tests {
     #[test]
     fn geometry_shift_triggers_regroup() {
         let a = warmed(AbrPolicy::CrossLayer, 1000.0);
-        let d = a.decide(0, &inputs(5.0, 1000.0, 2000.0, false), 1.0, 1.0);
+        let d = plan(&a, 0, &inputs(5.0, 1000.0, 2000.0, false), 1.0, 1.0);
         assert!(d.actions.contains(&RateAction::Regroup));
-        let stable = a.decide(0, &inputs(5.0, 1000.0, 1000.0, false), 1.0, 1.0);
+        let stable = plan(&a, 0, &inputs(5.0, 1000.0, 1000.0, false), 1.0, 1.0);
         assert!(!stable.actions.contains(&RateAction::Regroup));
     }
 
     #[test]
-    fn degrade_clamps_by_distress() {
+    fn distress_clamps_fixed_and_adaptive_targets() {
         let a = warmed(AbrPolicy::CrossLayer, 1000.0);
+        let i = inputs(5.0, 2502.5, 2502.5, false);
+        let at = |fixed: Option<QualityLevel>, level: u32| {
+            a.plan_delivery(
+                &GroupState {
+                    user: 0,
+                    inputs: &i,
+                    share: 1.0,
+                    needed_fraction: 1.0,
+                    layered: false,
+                    fixed,
+                },
+                &Distress::new(level),
+            )
+        };
         // Zero / light distress: identity.
-        assert_eq!(a.degrade(QualityLevel::High, 0), QualityLevel::High);
-        assert_eq!(a.degrade(QualityLevel::Low, 1), QualityLevel::Low);
+        assert_eq!(
+            at(Some(QualityLevel::High), 0).quality(),
+            QualityLevel::High
+        );
+        assert_eq!(at(Some(QualityLevel::Low), 1).quality(), QualityLevel::Low);
         // Moderate distress: one step down (saturating at the bottom).
-        assert_eq!(a.degrade(QualityLevel::High, 2), QualityLevel::Medium);
-        assert_eq!(a.degrade(QualityLevel::Medium, 3), QualityLevel::Low);
-        assert_eq!(a.degrade(QualityLevel::Low, 2), QualityLevel::Low);
+        assert_eq!(
+            at(Some(QualityLevel::High), 2).quality(),
+            QualityLevel::Medium
+        );
+        assert_eq!(
+            at(Some(QualityLevel::Medium), 3).quality(),
+            QualityLevel::Low
+        );
+        assert_eq!(at(Some(QualityLevel::Low), 2).quality(), QualityLevel::Low);
         // Sustained distress: the bottom of the ladder.
-        assert_eq!(a.degrade(QualityLevel::High, 4), QualityLevel::Low);
-        assert_eq!(a.degrade(QualityLevel::High, 100), QualityLevel::Low);
+        assert_eq!(at(Some(QualityLevel::High), 4).quality(), QualityLevel::Low);
+        assert_eq!(
+            at(Some(QualityLevel::High), 100).quality(),
+            QualityLevel::Low
+        );
+        // The pre-clamp target is preserved for clamp accounting, and the
+        // adaptive path clamps identically.
+        assert_eq!(
+            at(Some(QualityLevel::High), 4).target_quality,
+            QualityLevel::High
+        );
+        let adaptive = at(None, 2);
+        assert_eq!(adaptive.target_quality, QualityLevel::High);
+        assert_eq!(adaptive.quality(), QualityLevel::Medium);
     }
 
     #[test]
     fn non_cross_layer_policies_emit_no_actions() {
         for policy in [AbrPolicy::BufferOnly, AbrPolicy::ThroughputOnly] {
             let a = warmed(policy, 1000.0);
-            let d = a.decide(0, &inputs(1.0, 100.0, 50.0, true), 1.0, 1.0);
+            let d = plan(&a, 0, &inputs(1.0, 100.0, 50.0, true), 1.0, 1.0);
             assert!(d.actions.is_empty());
         }
+    }
+
+    #[test]
+    fn layered_plans_split_base_and_enhancements() {
+        let a = warmed(AbrPolicy::CrossLayer, 1000.0);
+        let i = inputs(5.0, 2502.5, 2502.5, false);
+        let at = |level: u32| {
+            a.plan_delivery(
+                &GroupState {
+                    user: 0,
+                    inputs: &i,
+                    share: 1.0,
+                    needed_fraction: 1.0,
+                    layered: true,
+                    fixed: None,
+                },
+                &Distress::new(level),
+            )
+        };
+        // Clean link, High target: multicast base at Low + 2 enhancement
+        // unicasts, no parity.
+        let clean = at(0);
+        assert_eq!(clean.base_quality, QualityLevel::Low);
+        assert_eq!(clean.enhancements, 2);
+        assert_eq!(clean.quality(), QualityLevel::High);
+        assert_eq!(clean.fec, FecRung::Off);
+        // Light distress: parity engages BEFORE quality falls (level 1 is
+        // below the quality-clamp threshold).
+        let light = at(1);
+        assert_eq!(light.quality(), QualityLevel::High);
+        assert_eq!(light.fec, FecRung::Quarter);
+        // Moderate distress: one level down AND parity.
+        let moderate = at(2);
+        assert_eq!(moderate.quality(), QualityLevel::Medium);
+        assert_eq!(moderate.enhancements, 1);
+        assert_eq!(moderate.fec, FecRung::Quarter);
+        // Sustained distress: base only, heavy parity.
+        let heavy = at(5);
+        assert_eq!(heavy.quality(), QualityLevel::Low);
+        assert_eq!(heavy.enhancements, 0);
+        assert_eq!(heavy.fec, FecRung::Half);
+    }
+
+    #[test]
+    fn fec_rung_overheads() {
+        assert_eq!(FecRung::Off.overhead(), 0.0);
+        assert_eq!(FecRung::Quarter.overhead(), 0.25);
+        assert_eq!(FecRung::Half.overhead(), 0.5);
+        assert_eq!(FecRung::Off.group_chunks(), 0);
+        assert_eq!(FecRung::Quarter.group_chunks(), 4);
+        assert_eq!(FecRung::Half.group_chunks(), 2);
     }
 }

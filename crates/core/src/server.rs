@@ -9,6 +9,14 @@
 //! same deterministic [`FaultPlan`] machinery the batch session uses —
 //! reinterpreted here as *network* faults.
 //!
+//! Layered wire streams (`STREAM_FLAG_LAYERED`) are served progressively:
+//! each video frame's dequeue runs [`RateAdapter::plan_delivery`] to pick
+//! how many of the frame's layer chunks to send (queue headroom is the
+//! buffer signal) and how much XOR parity rides along (accumulated
+//! distress picks the FEC rung). Legacy single-layer streams bypass every
+//! layered branch and keep byte-identical outcomes, including the
+//! determinism hash.
+//!
 //! ## Time and transport model
 //!
 //! Time is discrete: 1 tick = 1 ms. The server publishes frame `f` of the
@@ -47,7 +55,9 @@
 
 use std::collections::VecDeque;
 
+use crate::bandwidth::CrossLayerInputs;
 use crate::error::VolcastError;
+use crate::rate_adapt::{AbrPolicy, Distress, FecRung, GroupState, RateAdapter};
 use volcast_net::wire::{StreamReader, CHUNK_HEADER_LEN, STREAM_HEADER_LEN};
 use volcast_net::{FaultConfig, FaultPlan, FrameFaults};
 use volcast_util::hash::fnv1a;
@@ -171,6 +181,14 @@ pub struct ClientOutcome {
     pub reconnects: u64,
     /// Transport bytes sent to this client (including burned re-sends).
     pub bytes_sent: u64,
+    /// Layered streams only: frames delivered with fewer than all layers
+    /// (the per-frame delivery decision shed enhancements to catch up).
+    pub partial_frames: u64,
+    /// Layered streams only: XOR-parity bytes sent alongside payloads.
+    pub fec_parity_bytes: u64,
+    /// Layered streams only: loss ticks absorbed by the parity shield
+    /// (progress credited instead of burned).
+    pub fec_absorbed_ticks: u64,
     /// Per-delivered-frame latency, ticks (= ms) from publish to
     /// completion, in delivery order.
     pub latencies_ms: Vec<u32>,
@@ -195,6 +213,12 @@ pub struct ServerOutcome {
     pub reconnects: u64,
     /// Total transport bytes sent.
     pub bytes_sent: u64,
+    /// Layered streams only: frames delivered without all enhancements.
+    pub partial_frames: u64,
+    /// Layered streams only: total XOR-parity bytes sent.
+    pub fec_parity_bytes: u64,
+    /// Layered streams only: loss ticks absorbed by the parity shield.
+    pub fec_absorbed_ticks: u64,
     /// Median frame-delivery latency, ms (0 when nothing was delivered).
     pub p50_latency_ms: u32,
     /// 99th-percentile frame-delivery latency, ms.
@@ -250,10 +274,13 @@ impl SessionServer {
         let p = &self.params;
         let reader = StreamReader::parse(&self.stream)?;
         let manifest = reader.manifest();
-        let frames = manifest.frame_count as usize;
+        let layers = (manifest.layers_per_frame.max(1)) as usize;
+        let video_frames = manifest.video_frame_count() as usize;
 
-        // Wire cost of each frame (chunk header + payload) and of the
-        // stream preamble the Manifest phase transfers.
+        // Wire cost of each chunk (chunk header + payload) and of the
+        // stream preamble the Manifest phase transfers. A layered stream
+        // holds `layers` consecutive chunks (base first) per video frame;
+        // publishing and fault scheduling run on *video* frames.
         let chunk_bytes: Vec<u64> = manifest
             .entries
             .iter()
@@ -261,7 +288,7 @@ impl SessionServer {
             .collect();
         let manifest_bytes = (STREAM_HEADER_LEN + manifest.encoded_len()) as u64;
 
-        let plan = FaultPlan::generate(p.faults, frames, p.clients)?;
+        let plan = FaultPlan::generate(p.faults, video_frames, p.clients)?;
 
         // Admission control: a serial arrival pass. Clients are admitted
         // in arrival order until the cap; the rest are rejected at
@@ -271,7 +298,7 @@ impl SessionServer {
         let ids: Vec<usize> = (0..admitted).collect();
 
         let outcomes: Vec<ClientOutcome> = par_map_indexed(&ids, |_, &id| {
-            self.simulate_client(id, &plan, &chunk_bytes, manifest_bytes)
+            self.simulate_client(id, &plan, &chunk_bytes, manifest_bytes, layers)
         });
 
         // Serial merge in client order: counters, the latency population,
@@ -281,6 +308,9 @@ impl SessionServer {
         let mut undelivered = 0u64;
         let mut reconnects = 0u64;
         let mut bytes_sent = 0u64;
+        let mut partial_frames = 0u64;
+        let mut fec_parity_bytes = 0u64;
+        let mut fec_absorbed_ticks = 0u64;
         let mut latencies: Vec<u32> = Vec::new();
         let mut digest: Vec<u8> = Vec::with_capacity(outcomes.len() * 56);
         for c in &outcomes {
@@ -289,6 +319,9 @@ impl SessionServer {
             undelivered += c.undelivered;
             reconnects += c.reconnects;
             bytes_sent += c.bytes_sent;
+            partial_frames += c.partial_frames;
+            fec_parity_bytes += c.fec_parity_bytes;
+            fec_absorbed_ticks += c.fec_absorbed_ticks;
             latencies.extend_from_slice(&c.latencies_ms);
             for v in [
                 c.id as u64,
@@ -299,6 +332,13 @@ impl SessionServer {
                 c.bytes_sent,
             ] {
                 digest.extend_from_slice(&v.to_le_bytes());
+            }
+            // Layered-only counters join the witness only for layered
+            // streams so legacy outcome hashes are unchanged.
+            if layers > 1 {
+                for v in [c.partial_frames, c.fec_parity_bytes, c.fec_absorbed_ticks] {
+                    digest.extend_from_slice(&v.to_le_bytes());
+                }
             }
             let mut lat_bytes = Vec::with_capacity(c.latencies_ms.len() * 4);
             for &l in &c.latencies_ms {
@@ -326,6 +366,11 @@ impl SessionServer {
             obs::add("server.frames_delivered", delivered);
             obs::add("server.frames_dropped", dropped);
             obs::add("server.reconnects", reconnects);
+            if layers > 1 {
+                obs::add("server.layered.partial_frames", partial_frames);
+                obs::add("server.layered.fec_parity_bytes", fec_parity_bytes);
+                obs::add("server.layered.fec_absorbed_ticks", fec_absorbed_ticks);
+            }
         }
 
         Ok(ServerOutcome {
@@ -337,6 +382,9 @@ impl SessionServer {
             undelivered_frames: undelivered,
             reconnects,
             bytes_sent,
+            partial_frames,
+            fec_parity_bytes,
+            fec_absorbed_ticks,
             p50_latency_ms: pct(50),
             p99_latency_ms: pct(99),
             mean_latency_ms: mean,
@@ -346,18 +394,28 @@ impl SessionServer {
 
     /// Simulates one client session tick by tick. Pure function of
     /// `(params, stream, traces, plan, id)` — the determinism contract.
+    ///
+    /// For layered streams (`layers > 1`) each dequeue runs the unified
+    /// delivery policy ([`RateAdapter::plan_delivery`]) with the client's
+    /// queue headroom as the buffer signal: a backlogged client sheds
+    /// enhancement layers to catch up, and a distressed client's payload
+    /// rides with XOR parity whose *shield* forgives one loss tick per
+    /// in-flight frame. Legacy streams take none of these branches, so
+    /// their byte budgets, rng draws, and outcome hashes are unchanged.
     fn simulate_client(
         &self,
         id: usize,
         plan: &FaultPlan,
         chunk_bytes: &[u64],
         manifest_bytes: u64,
+        layers: usize,
     ) -> ClientOutcome {
         let p = &self.params;
         let fi = p.frame_interval_ticks as u64;
-        let frames = chunk_bytes.len();
+        let frames = chunk_bytes.len() / layers.max(1);
         let sim_ticks = frames as u64 * fi + p.drain_ticks as u64;
         let trace = &self.traces[id % self.traces.len()];
+        let adapter = RateAdapter::new(AbrPolicy::BufferOnly, 1);
 
         let mut rng = Rng::for_stream(p.seed, id as u64);
         let arrival = if p.arrival_window_ticks > 1 {
@@ -380,6 +438,11 @@ impl SessionServer {
         let mut manifest_left = manifest_bytes;
         let mut queue: VecDeque<usize> = VecDeque::new();
         let mut in_flight: Option<(usize, u64)> = None; // (frame, bytes left)
+        let mut in_flight_total: u64 = 0; // wire size incl. parity (restart size)
+        let mut in_flight_layers: usize = 1;
+        let mut in_flight_parity: u64 = 0;
+        let mut fec_shield = false;
+        let mut distress: u32 = 0;
         let mut subscribed = false;
 
         for t in arrival..sim_ticks {
@@ -406,9 +469,15 @@ impl SessionServer {
             // (or manifest) restarts from byte zero after the reconnect.
             if faults.outage_for(id) && matches!(phase, Phase::Manifest | Phase::Streaming) {
                 if let Some((frame, left)) = in_flight {
-                    if left < chunk_bytes[frame] {
-                        in_flight = Some((frame, chunk_bytes[frame]));
+                    if left < in_flight_total {
+                        in_flight = Some((frame, in_flight_total));
+                        // The restart resends the parity too: the shield
+                        // comes back with it.
+                        fec_shield = in_flight_parity > 0;
                     }
+                }
+                if layers > 1 {
+                    distress = (distress + 2).min(6);
                 }
                 if phase == Phase::Manifest {
                     manifest_left = manifest_bytes;
@@ -450,7 +519,49 @@ impl SessionServer {
                 Phase::Streaming => {
                     if in_flight.is_none() {
                         if let Some(frame) = queue.pop_front() {
-                            in_flight = Some((frame, chunk_bytes[frame]));
+                            if layers > 1 {
+                                // Unified delivery policy: queue headroom
+                                // is the buffer signal (an empty queue =
+                                // comfortable client = all layers; a full
+                                // queue = backlogged = base only), and
+                                // accumulated distress picks the parity
+                                // rung.
+                                let headroom =
+                                    p.queue_cap_frames.saturating_sub(queue.len()) as f64;
+                                let inputs = CrossLayerInputs {
+                                    measured_throughput_mbps: 0.0,
+                                    buffer_frames: headroom,
+                                    blockage_forecast: false,
+                                    predicted_phy_rate_mbps: 0.0,
+                                    current_phy_rate_mbps: 0.0,
+                                };
+                                let d = adapter.plan_delivery(
+                                    &GroupState {
+                                        user: 0,
+                                        inputs: &inputs,
+                                        share: 1.0,
+                                        needed_fraction: 1.0,
+                                        layered: true,
+                                        fixed: None,
+                                    },
+                                    &Distress::new(distress),
+                                );
+                                let send = 1 + (d.enhancements as usize).min(layers - 1);
+                                let payload: u64 =
+                                    (0..send).map(|l| chunk_bytes[frame * layers + l]).sum();
+                                let parity = (payload as f64 * d.fec.overhead()) as u64;
+                                out.fec_parity_bytes += parity;
+                                in_flight_total = payload + parity;
+                                in_flight_layers = send;
+                                in_flight_parity = parity;
+                                fec_shield = d.fec != FecRung::Off;
+                            } else {
+                                in_flight_total = chunk_bytes[frame];
+                                in_flight_layers = 1;
+                                in_flight_parity = 0;
+                                fec_shield = false;
+                            }
+                            in_flight = Some((frame, in_flight_total));
                         }
                     }
                     if faults.ap_stall {
@@ -461,9 +572,22 @@ impl SessionServer {
                         out.bytes_sent += sent;
                         // Reorder-free loss: the bytes are transmitted
                         // (airtime burned) but not credited — re-sent on
-                        // a later tick.
+                        // a later tick. With a parity shield (layered
+                        // delivery under distress), the first loss tick of
+                        // the in-flight frame repairs locally: progress is
+                        // credited and the shield is consumed.
                         let left = if faults.loss_for(id) {
-                            left
+                            if fec_shield {
+                                fec_shield = false;
+                                out.fec_absorbed_ticks += 1;
+                                distress = (distress + 1).min(6);
+                                left - sent
+                            } else {
+                                if layers > 1 {
+                                    distress = (distress + 2).min(6);
+                                }
+                                left
+                            }
                         } else {
                             left - sent
                         };
@@ -479,6 +603,12 @@ impl SessionServer {
                             let published = frame as u64 * fi;
                             out.delivered += 1;
                             out.latencies_ms.push((done - published) as u32);
+                            if layers > 1 {
+                                if in_flight_layers < layers {
+                                    out.partial_frames += 1;
+                                }
+                                distress = distress.saturating_sub(1);
+                            }
                             in_flight = None;
                         } else {
                             in_flight = Some((frame, left));
@@ -523,6 +653,21 @@ mod tests {
         for f in 0..frames {
             let bytes: Vec<u8> = (0..payload).map(|i| (f * 31 + i) as u8).collect();
             w.push_frame(&bytes);
+        }
+        w.finish()
+    }
+
+    fn layered_stream(frames: usize, payload: usize, layers: u8) -> Vec<u8> {
+        let mut w = StreamWriter::new_layered(10, 6, 30, layers);
+        for f in 0..frames {
+            let chunks: Vec<Vec<u8>> = (0..layers as usize)
+                .map(|l| {
+                    (0..payload.max(1))
+                        .map(|i| (f * 31 + l * 7 + i) as u8)
+                        .collect()
+                })
+                .collect();
+            w.push_layered_frame(&chunks);
         }
         w.finish()
     }
@@ -611,6 +756,95 @@ mod tests {
         let out = srv.run().unwrap();
         assert!(out.reconnects > 0);
         assert!(out.delivered_frames > 0);
+    }
+
+    #[test]
+    fn layered_quiet_run_sends_all_layers_without_parity() {
+        // 3 layers x 1 KB fit comfortably: every frame should go out with
+        // all layers (no partials) and a calm client never buys parity.
+        let stream = layered_stream(20, 1_000, 3);
+        let traces = UserStudy::generate_with(3, 20, 2, 2).traces;
+        let srv = SessionServer::new(tiny_params(), stream, traces).unwrap();
+        let out = srv.run().unwrap();
+        assert!(out.delivered_frames > 0, "{out:?}");
+        assert_eq!(out.fec_parity_bytes, 0, "{out:?}");
+        assert_eq!(out.fec_absorbed_ticks, 0, "{out:?}");
+        assert_eq!(out.partial_frames, 0, "{out:?}");
+    }
+
+    #[test]
+    fn layered_backlog_sheds_enhancement_layers() {
+        // A crawling client with 3 fat layers per frame must fall back to
+        // base-only deliveries instead of only dropping frames.
+        let stream = layered_stream(40, 4_000, 3);
+        let traces = UserStudy::generate_with(1, 40, 1, 1).traces;
+        let params = ServerParams {
+            clients: 8,
+            admit_cap: 8,
+            slow_fraction: 1.0,
+            slow_multiplier: 0.1,
+            queue_cap_frames: 4,
+            ..ServerParams::default()
+        };
+        let srv = SessionServer::new(params, stream, traces).unwrap();
+        let out = srv.run().unwrap();
+        assert!(out.delivered_frames > 0, "{out:?}");
+        assert!(out.partial_frames > 0, "no layers shed: {out:?}");
+    }
+
+    #[test]
+    fn layered_fec_shield_absorbs_loss_ticks() {
+        let stream = layered_stream(24, 2_000, 3);
+        let traces = UserStudy::generate_with(2, 24, 2, 2).traces;
+        let params = ServerParams {
+            faults: FaultConfig::from_spec("seed=11,loss=0.3").unwrap(),
+            ..tiny_params()
+        };
+        let srv = SessionServer::new(params, stream, traces).unwrap();
+        let out = srv.run().unwrap();
+        // Losses raise distress, distress buys parity, parity absorbs
+        // later loss ticks.
+        assert!(out.fec_parity_bytes > 0, "{out:?}");
+        assert!(out.fec_absorbed_ticks > 0, "{out:?}");
+        assert!(out.delivered_frames > 0, "{out:?}");
+    }
+
+    #[test]
+    fn layered_outcome_is_thread_count_independent() {
+        let stream = layered_stream(16, 1_500, 2);
+        let traces = UserStudy::generate_with(5, 16, 2, 2).traces;
+        let params = ServerParams {
+            faults: FaultConfig::from_spec(
+                "seed=9,outage=0.05:3,loss=0.1,stall=0.02:2,decode=0.05",
+            )
+            .unwrap(),
+            ..tiny_params()
+        };
+        let srv = SessionServer::new(params, stream, traces).unwrap();
+        set_thread_count(1);
+        let serial = srv.run().unwrap();
+        set_thread_count(8);
+        let parallel = srv.run().unwrap();
+        set_thread_count(4);
+        assert_eq!(serial, parallel);
+        assert_ne!(serial.outcome_hash, 0);
+    }
+
+    #[test]
+    fn legacy_streams_never_take_layered_branches() {
+        // The layered counters must stay zero on a single-layer stream
+        // even under heavy loss — the legacy transport model is unchanged.
+        let stream = tiny_stream(16, 2_000);
+        let traces = UserStudy::generate_with(5, 16, 2, 2).traces;
+        let params = ServerParams {
+            faults: FaultConfig::from_spec("seed=11,loss=0.3").unwrap(),
+            ..tiny_params()
+        };
+        let srv = SessionServer::new(params, stream, traces).unwrap();
+        let out = srv.run().unwrap();
+        assert_eq!(out.partial_frames, 0);
+        assert_eq!(out.fec_parity_bytes, 0);
+        assert_eq!(out.fec_absorbed_ticks, 0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! input into a loud [`VolcastError`].
 
 use std::sync::Mutex;
-use volcast_core::session::{quick_session, quick_session_with_device};
+use volcast_core::session::{quick_session, quick_session_with_device, DeliveryMode};
 use volcast_core::{PlayerKind, SessionParams, StreamingSession, VolcastError};
 use volcast_net::FaultConfig;
 use volcast_util::json::ToJson;
@@ -37,6 +37,26 @@ fn faulted_session_is_thread_count_invariant() {
     assert_thread_invariant(|| {
         let mut s = quick_session_with_device(PlayerKind::Volcast, 4, 16, 42, DeviceClass::Phone);
         s.params.analysis_points = 4_000;
+        s.params.faults = Some(
+            FaultConfig::from_spec(
+                "seed=5,outage=0.05:3,blockage=0.1:2,stall=0.05:2,loss=0.1,decode=0.05,blackout=6:3",
+            )
+            .unwrap(),
+        );
+        s.run().unwrap().to_json().to_json_string()
+    });
+}
+
+/// The same all-faults gauntlet under layered delivery: the multicast
+/// base / unicast enhancement split, the FEC rung, and the partial-render
+/// fallback all run inside the parallel frame loop and must honor the
+/// same `VOLCAST_THREADS` contract as the single-stream path.
+#[test]
+fn layered_session_is_thread_count_invariant() {
+    assert_thread_invariant(|| {
+        let mut s = quick_session_with_device(PlayerKind::Volcast, 4, 16, 42, DeviceClass::Phone);
+        s.params.analysis_points = 4_000;
+        s.params.delivery = DeliveryMode::Layered;
         s.params.faults = Some(
             FaultConfig::from_spec(
                 "seed=5,outage=0.05:3,blockage=0.1:2,stall=0.05:2,loss=0.1,decode=0.05,blackout=6:3",

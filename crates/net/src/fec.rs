@@ -1,0 +1,189 @@
+//! Proactive XOR-parity forward error correction over payload chunks.
+//!
+//! The PR-5 degradation ladder reacts to loss with budgeted retransmits —
+//! airtime spent *after* the erasure. This module adds the proactive rung:
+//! the sender groups a frame's payload chunks into groups of `k` and
+//! appends one parity chunk per group, the byte-wise XOR of the group's
+//! (zero-padded) chunks. A receiver missing **any single chunk** of a
+//! group rebuilds it from the parity plus the `k-1` survivors — no
+//! retransmit round trip, at a fixed `1/k` airtime overhead chosen by the
+//! scheduler's distress level.
+//!
+//! XOR parity is deliberately minimal (single-erasure, like RAID-4 /
+//! WiFi's block-ack-era FEC hacks): volumetric frames ride many chunks,
+//! per-chunk loss is roughly independent, and the ladder only engages FEC
+//! at distress levels where one loss per group dominates. Double losses in
+//! one group still fall through to the retransmit rung.
+
+use volcast_util::obs;
+
+/// Computes the parity chunk of `group` (byte-wise XOR, chunks
+/// right-padded with zeros to the longest length) into `out`.
+///
+/// `out` is cleared first and sized to the longest chunk; an empty group
+/// yields an empty parity chunk.
+pub fn parity_into(group: &[impl AsRef<[u8]>], out: &mut Vec<u8>) {
+    out.clear();
+    let max_len = group.iter().map(|c| c.as_ref().len()).max().unwrap_or(0);
+    out.resize(max_len, 0);
+    for chunk in group {
+        for (o, &b) in out.iter_mut().zip(chunk.as_ref()) {
+            *o ^= b;
+        }
+    }
+    if obs::enabled() {
+        obs::inc("net.fec.parity_chunks_built");
+        obs::add("net.fec.parity_bytes", max_len as u64);
+    }
+}
+
+/// Recovers the single missing chunk of a group into `out`.
+///
+/// `survivors` holds the group's `k-1` received chunks (any order),
+/// `parity` the group's parity chunk, and `lost_len` the original length
+/// of the missing chunk (chunks are zero-padded to the parity length
+/// before XOR, so the recovered prefix of `lost_len` bytes is exact).
+///
+/// Returns `false` (leaving `out` empty) when the inputs cannot be
+/// consistent: a survivor longer than the parity, or `lost_len` longer
+/// than the parity. This recovers **one** erasure; with two or more chunks
+/// missing the caller must not call this (the XOR would silently blend
+/// them — the scheduler falls back to the retransmit rung instead).
+pub fn recover_into(
+    survivors: &[impl AsRef<[u8]>],
+    parity: &[u8],
+    lost_len: usize,
+    out: &mut Vec<u8>,
+) -> bool {
+    out.clear();
+    if lost_len > parity.len() || survivors.iter().any(|s| s.as_ref().len() > parity.len()) {
+        return false;
+    }
+    out.extend_from_slice(parity);
+    for chunk in survivors {
+        for (o, &b) in out.iter_mut().zip(chunk.as_ref()) {
+            *o ^= b;
+        }
+    }
+    out.truncate(lost_len);
+    obs::inc("net.fec.chunks_recovered");
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use volcast_util::rng::Rng;
+
+    fn random_chunks(rng: &mut Rng, k: usize, max_len: usize) -> Vec<Vec<u8>> {
+        (0..k)
+            .map(|_| {
+                let len = rng.gen_range(0..(max_len as u64 + 1)) as usize;
+                (0..len).map(|_| rng.gen_range(0..256u64) as u8).collect()
+            })
+            .collect()
+    }
+
+    /// Property: for random groups of random-length chunks, erasing any
+    /// single chunk and recovering it from the survivors + parity returns
+    /// the original bytes exactly.
+    #[test]
+    fn single_erasure_recovery_is_identity() {
+        let mut rng = Rng::seed_from_u64(0x000F_EC1D);
+        let mut parity = Vec::new();
+        let mut recovered = Vec::new();
+        for trial in 0..200 {
+            let k = rng.gen_range(1..9u64) as usize;
+            let chunks = random_chunks(&mut rng, k, 300);
+            parity_into(&chunks, &mut parity);
+            let lost = rng.gen_range(0..k as u64) as usize;
+            let survivors: Vec<&[u8]> = chunks
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != lost)
+                .map(|(_, c)| c.as_slice())
+                .collect();
+            assert!(
+                recover_into(&survivors, &parity, chunks[lost].len(), &mut recovered),
+                "trial {trial}"
+            );
+            assert_eq!(recovered, chunks[lost], "trial {trial} k {k} lost {lost}");
+        }
+    }
+
+    /// Parity of a group XORed with all its chunks is zero (the defining
+    /// invariant), including ragged lengths.
+    #[test]
+    fn parity_xors_group_to_zero() {
+        let mut rng = Rng::seed_from_u64(7);
+        let mut parity = Vec::new();
+        for _ in 0..50 {
+            let chunks = random_chunks(&mut rng, 5, 64);
+            parity_into(&chunks, &mut parity);
+            for c in &chunks {
+                for (o, &b) in parity.iter_mut().zip(c.iter()) {
+                    *o ^= b;
+                }
+            }
+            assert!(parity.iter().all(|&b| b == 0));
+        }
+    }
+
+    /// Corrupted inputs (truncated parity, oversized survivors, bad
+    /// lost_len, bit flips) never panic; recovery either fails cleanly or
+    /// returns plausible bytes for the wire layer's checksums to reject.
+    #[test]
+    fn truncation_and_bit_flips_never_panic() {
+        let mut rng = Rng::seed_from_u64(0xBAD);
+        let mut parity = Vec::new();
+        let mut out = Vec::new();
+        let chunks = random_chunks(&mut rng, 4, 128);
+        parity_into(&chunks, &mut parity);
+        let survivors: Vec<&[u8]> = chunks[1..].iter().map(|c| c.as_slice()).collect();
+
+        // Truncated parity: fails when inconsistent with survivor lengths.
+        for cut in 0..parity.len() {
+            let ok = recover_into(&survivors, &parity[..cut], chunks[0].len(), &mut out);
+            if ok {
+                assert!(out.len() == chunks[0].len());
+            } else {
+                assert!(out.is_empty());
+            }
+        }
+        // lost_len beyond parity is refused.
+        assert!(!recover_into(
+            &survivors,
+            &parity,
+            parity.len() + 1,
+            &mut out
+        ));
+        // Bit flips in parity or survivors: recovery "succeeds" with wrong
+        // bytes (integrity is the wire checksum's job), but never panics.
+        for _ in 0..100 {
+            let mut p = parity.clone();
+            if !p.is_empty() {
+                let i = rng.gen_range(0..p.len() as u64) as usize;
+                p[i] ^= 1 << rng.gen_range(0..8u32);
+            }
+            let _ = recover_into(&survivors, &p, chunks[0].len(), &mut out);
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_groups() {
+        let mut parity = Vec::new();
+        let mut out = Vec::new();
+        let empty: &[&[u8]] = &[];
+        parity_into(empty, &mut parity);
+        assert!(parity.is_empty());
+        // k = 1: parity IS the chunk; recovery from zero survivors.
+        let solo = [b"hello".as_slice()];
+        parity_into(&solo, &mut parity);
+        assert_eq!(parity, b"hello");
+        assert!(recover_into(empty, &parity, 5, &mut out));
+        assert_eq!(out, b"hello");
+        // Zero-length lost chunk.
+        assert!(recover_into(&solo, &parity, 0, &mut out));
+        assert!(out.is_empty());
+    }
+}

@@ -17,6 +17,9 @@
 //!   bursts, blockage episodes, AP stalls, transmission-item loss,
 //!   decode-deadline overruns) injected into the simulator and the
 //!   session layer, with invalid inputs surfaced as [`NetError`],
+//! - [`fec`]: proactive XOR-parity chunks over payload chunk groups — the
+//!   degradation ladder's forward-protection rung; any single erasure in
+//!   a group is rebuilt from the survivors without retransmit airtime,
 //! - [`wire`]: the versioned, length-prefixed stream container (a
 //!   manifest plus per-frame payload chunks) the session server speaks;
 //!   every read path is bounds-checked and returns [`wire::WireError`]
@@ -38,6 +41,7 @@
 
 pub mod error;
 pub mod faults;
+pub mod fec;
 pub mod link;
 pub mod mac;
 pub mod plan;

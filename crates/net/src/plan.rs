@@ -33,6 +33,11 @@ pub struct TxItem {
     pub kind: TxKind,
     /// Payload size in bytes.
     pub bytes: f64,
+    /// XOR-parity bytes riding with the payload (see [`crate::fec`]): the
+    /// proactive-FEC overhead the scheduler chose for this burst. Counted
+    /// in airtime; a receiver losing one payload chunk of the burst still
+    /// completes the frame from the parity.
+    pub parity_bytes: f64,
     /// PHY rate the burst runs at (multicast: the group's common MCS rate).
     pub phy_mbps: f64,
     /// Beam-switch overhead paid before this burst, seconds.
@@ -45,6 +50,7 @@ impl TxItem {
         TxItem {
             kind: TxKind::Unicast { user },
             bytes,
+            parity_bytes: 0.0,
             phy_mbps,
             beam_switch_s: 0.0,
         }
@@ -55,9 +61,22 @@ impl TxItem {
         TxItem {
             kind: TxKind::Multicast { members },
             bytes,
+            parity_bytes: 0.0,
             phy_mbps,
             beam_switch_s: 0.0,
         }
+    }
+
+    /// Builder: attaches proactive-FEC parity overhead to the burst.
+    pub fn with_parity(mut self, parity_bytes: f64) -> Self {
+        self.parity_bytes = parity_bytes;
+        self
+    }
+
+    /// Bytes that actually cross the medium: payload plus parity. Exactly
+    /// `bytes` when no FEC rides along (`parity_bytes == 0.0`).
+    pub fn wire_bytes(&self) -> f64 {
+        self.bytes + self.parity_bytes
     }
 
     /// The users that receive this item, borrowed (no allocation: the
@@ -122,7 +141,7 @@ impl TransmissionPlan {
         let mut item_completion_s = Vec::with_capacity(self.items.len());
         let mut user_completion_s = vec![None; n_users];
         for item in &self.items {
-            let air = mac.airtime_s(item.bytes, item.phy_mbps, n_active);
+            let air = mac.airtime_s(item.wire_bytes(), item.phy_mbps, n_active);
             if obs::enabled() {
                 match &item.kind {
                     TxKind::Multicast { .. } => {
@@ -130,6 +149,10 @@ impl TransmissionPlan {
                         obs::add("net.plan.multicast_bytes", item.bytes.max(0.0) as u64);
                     }
                     TxKind::Unicast { .. } => obs::inc("net.plan.unicast_items"),
+                }
+                if item.parity_bytes > 0.0 {
+                    obs::inc("net.plan.fec_items");
+                    obs::add("net.plan.fec_parity_bytes", item.parity_bytes as u64);
                 }
                 if air.is_finite() {
                     obs::record("net.plan.airtime_us", (air * 1e6).round() as u64);
@@ -162,6 +185,7 @@ volcast_util::impl_json_enum!(TxKind { Unicast { user }, Multicast { members } }
 volcast_util::impl_json_struct!(TxItem {
     kind,
     bytes,
+    parity_bytes,
     phy_mbps,
     beam_switch_s
 });
@@ -258,6 +282,24 @@ mod tests {
         plan.items.push(TxItem::unicast(0, 1e5, 0.0));
         let t = plan.execute(&mac(), 1, 1);
         assert!(t.total_s.is_infinite());
+    }
+
+    #[test]
+    fn parity_bytes_count_toward_airtime_only() {
+        let bytes = 1e6 / 8.0;
+        let mut plan = TransmissionPlan::new();
+        plan.items
+            .push(TxItem::unicast(0, bytes, 1000.0).with_parity(bytes / 4.0));
+        let t = plan.execute(&mac(), 1, 1);
+        // 1.25 Mb at 1000 Mbps = 1.25 ms on the air...
+        assert!((t.total_s - 1.25e-3).abs() < 1e-12);
+        // ...but goodput accounting still sees the payload only.
+        assert_eq!(plan.total_bytes(), bytes);
+        // Zero parity is exactly the legacy airtime.
+        assert_eq!(
+            TxItem::unicast(0, bytes, 1000.0).wire_bytes(),
+            TxItem::unicast(0, bytes, 1000.0).bytes
+        );
     }
 
     #[test]

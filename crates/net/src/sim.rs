@@ -227,7 +227,9 @@ impl<'a, M: MacModel> Simulator<'a, M> {
                 }
                 for (idx, item) in plans[f].items.iter().enumerate() {
                     let airtime_s = item.beam_switch_s
-                        + self.mac.airtime_s(item.bytes, item.phy_mbps, self.n_active);
+                        + self
+                            .mac
+                            .airtime_s(item.wire_bytes(), item.phy_mbps, self.n_active);
                     if !airtime_s.is_finite() {
                         outcomes[f].dropped_items += 1;
                         obs::inc("net.sim.dropped_items");
@@ -250,11 +252,23 @@ impl<'a, M: MacModel> Simulator<'a, M> {
                     if u >= self.n_users {
                         continue;
                     }
-                    if faults.loss_for(u) || faults.outage_for(u) {
+                    if faults.outage_for(u) {
                         // Airtime was burned, but this receiver got
                         // nothing usable.
                         obs::inc("net.sim.faults.lost_receptions");
                         continue;
+                    }
+                    if faults.loss_for(u) {
+                        // A chunk-loss fault: with XOR parity riding the
+                        // burst the receiver rebuilds the missing chunk in
+                        // place (see crate::fec); without it the reception
+                        // is lost exactly as before.
+                        if plans[frame].items[idx].parity_bytes > 0.0 {
+                            obs::inc("net.sim.fec_recovered_receptions");
+                        } else {
+                            obs::inc("net.sim.faults.lost_receptions");
+                            continue;
+                        }
                     }
                     outcomes[frame].user_completion[u] = Some(now);
                 }
@@ -440,6 +454,42 @@ mod tests {
         // Frame 0 is inside the schedule (loss), frame 1 beyond it (quiet).
         assert_eq!(outcomes[0].user_completion[0], None);
         assert!(outcomes[1].user_completion[0].is_some());
+    }
+
+    #[test]
+    fn fec_parity_survives_loss_but_not_outage() {
+        use crate::faults::{FaultConfig, FaultPlan};
+        let mac = ideal_mac();
+        let cfg = FaultConfig {
+            loss_rate: 1.0,
+            ..FaultConfig::default()
+        };
+        let faults = FaultPlan::generate(cfg, 1, 2).unwrap();
+        // Same loss schedule; the parity-carrying item recovers in place,
+        // paying its overhead in airtime.
+        let bytes = 1000.0e6 / 8.0 * 10.0 / 1e3; // 10 ms payload
+        let mut p = TransmissionPlan::new();
+        p.items
+            .push(TxItem::unicast(0, bytes, 1000.0).with_parity(bytes / 4.0));
+        let s = sim(&mac, BacklogPolicy::Queue).with_faults(&faults);
+        let outcomes = s.run(&[p]);
+        let t = outcomes[0].user_completion[0].expect("FEC must recover the loss");
+        // 12.5 ms: payload + 25% parity overhead on the air.
+        assert!(((t - outcomes[0].start).as_millis() - 12.5).abs() < 0.01);
+
+        // An outage is a dead link, not an erasure: parity cannot help.
+        let cfg = FaultConfig {
+            outage_rate: 1.0,
+            outage_frames: 1,
+            ..FaultConfig::default()
+        };
+        let faults = FaultPlan::generate(cfg, 1, 2).unwrap();
+        let mut p = TransmissionPlan::new();
+        p.items
+            .push(TxItem::unicast(0, bytes, 1000.0).with_parity(bytes / 4.0));
+        let s = sim(&mac, BacklogPolicy::Queue).with_faults(&faults);
+        let outcomes = s.run(&[p]);
+        assert_eq!(outcomes[0].user_completion[0], None);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! ```text
 //! stream   := "VWSM" version:u16 flags:u16 manifest_len:u32 manifest chunks
 //! manifest := depth:u8 color_bits:u8 gop_size:u32 frame_count:u32
+//!             [layers_per_frame:u8 if flags & LAYERED]
 //!             frame_count * entry
 //! entry    := offset:u64 len:u32 checksum:u64     # offset into chunk area
 //! chunk    := "VCHK" frame_idx:u32 payload_len:u32 checksum:u64 payload
@@ -19,7 +20,11 @@
 //! offsets are relative to the end of the manifest), so a client that has
 //! only the stream head can plan fetches; each chunk repeats its frame
 //! index, length, and FNV-1a checksum, so a client that has only a chunk
-//! can validate it. `flags` is reserved and must be zero.
+//! can validate it. The only defined `flags` bit is
+//! [`STREAM_FLAG_LAYERED`] (progressive layered frames: each video frame
+//! is `layers_per_frame` consecutive chunks, base layer first); all other
+//! bits must be zero, so pre-layering readers reject layered streams
+//! cleanly instead of misreading them.
 //!
 //! **Every read path is bounds-checked and returns
 //! `Result<_, WireError>`.** Truncated, oversized, version-mismatched, or
@@ -60,6 +65,12 @@ pub const STREAM_MAGIC: [u8; 4] = *b"VWSM";
 pub const CHUNK_MAGIC: [u8; 4] = *b"VCHK";
 /// The wire format version this build writes and accepts.
 pub const WIRE_VERSION: u16 = 1;
+/// Stream flag: the payload chunks are **layered** — each video frame is
+/// `layers_per_frame` consecutive chunks (base layer first, then
+/// enhancements), and the manifest carries the extra `layers_per_frame`
+/// byte. Readers that predate this flag reject such streams at the flags
+/// check rather than misreading chunk indices as frame numbers.
+pub const STREAM_FLAG_LAYERED: u16 = 0x1;
 
 /// Fixed stream header size: magic + version + flags + manifest_len.
 pub const STREAM_HEADER_LEN: usize = 4 + 2 + 2 + 4;
@@ -196,24 +207,52 @@ pub struct StreamManifest {
     pub color_bits: u8,
     /// Frames per group-of-pictures (scheduling granularity).
     pub gop_size: u32,
-    /// Number of frames (and chunks) in the stream.
+    /// Number of chunks in the stream. For a legacy stream this is the
+    /// frame count; for a layered stream each video frame occupies
+    /// `layers_per_frame` consecutive chunks.
     pub frame_count: u32,
+    /// Layer bitstreams per video frame: 1 for a legacy single-stream
+    /// container, 2+ when [`STREAM_FLAG_LAYERED`] is set (base layer, then
+    /// enhancements, stored as consecutive chunks).
+    pub layers_per_frame: u8,
     /// Per-frame chunk locations, `frame_count` entries in frame order.
     pub entries: Vec<ChunkEntry>,
 }
 
 impl StreamManifest {
+    /// `true` when the stream carries layered frames (and its header has
+    /// [`STREAM_FLAG_LAYERED`] set).
+    pub fn is_layered(&self) -> bool {
+        self.layers_per_frame > 1
+    }
+
+    /// Number of *video* frames: chunk slots divided by layers per frame.
+    pub fn video_frame_count(&self) -> u32 {
+        self.frame_count / self.layers_per_frame.max(1) as u32
+    }
+
+    /// Chunk slot holding layer `layer` of video frame `frame`.
+    pub fn chunk_index(&self, frame: u32, layer: u8) -> u32 {
+        frame * self.layers_per_frame.max(1) as u32 + layer as u32
+    }
+
     /// Serialized size of this manifest in bytes.
     pub fn encoded_len(&self) -> usize {
-        MANIFEST_FIXED_LEN + self.entries.len() * ENTRY_LEN
+        MANIFEST_FIXED_LEN + if self.is_layered() { 1 } else { 0 } + self.entries.len() * ENTRY_LEN
     }
 
     /// Serializes the manifest body (the bytes `manifest_len` brackets).
+    /// The `layers_per_frame` byte is present exactly when the stream
+    /// header carries [`STREAM_FLAG_LAYERED`] (i.e. [`Self::is_layered`]);
+    /// legacy manifests are byte-identical to before the flag existed.
     pub fn encode_into(&self, out: &mut Vec<u8>) {
         out.push(self.depth);
         out.push(self.color_bits);
         out.extend_from_slice(&self.gop_size.to_le_bytes());
         out.extend_from_slice(&self.frame_count.to_le_bytes());
+        if self.is_layered() {
+            out.push(self.layers_per_frame);
+        }
         for e in &self.entries {
             out.extend_from_slice(&e.offset.to_le_bytes());
             out.extend_from_slice(&e.len.to_le_bytes());
@@ -221,9 +260,16 @@ impl StreamManifest {
         }
     }
 
-    /// Parses a manifest body. `bytes` must be exactly the manifest slice
-    /// (as delimited by the stream header's `manifest_len`).
+    /// Parses a legacy (flagless) manifest body — see
+    /// [`Self::decode_with_flags`].
     pub fn decode(bytes: &[u8]) -> Result<StreamManifest, WireError> {
+        Self::decode_with_flags(bytes, 0)
+    }
+
+    /// Parses a manifest body under the stream header's `flags`. `bytes`
+    /// must be exactly the manifest slice (as delimited by the stream
+    /// header's `manifest_len`).
+    pub fn decode_with_flags(bytes: &[u8], flags: u16) -> Result<StreamManifest, WireError> {
         let mut r = Reader::new(bytes);
         let depth = r.u8("manifest depth")?;
         let color_bits = r.u8("manifest color_bits")?;
@@ -236,6 +282,22 @@ impl StreamManifest {
                 max: MAX_FRAMES as u64,
             });
         }
+        let layers_per_frame = if flags & STREAM_FLAG_LAYERED != 0 {
+            let l = r.u8("manifest layers_per_frame")?;
+            if l < 2 {
+                return Err(WireError::Inconsistent(
+                    "layered stream must carry at least 2 layers per frame",
+                ));
+            }
+            if frame_count % l as u32 != 0 {
+                return Err(WireError::Inconsistent(
+                    "chunk count not a multiple of layers_per_frame",
+                ));
+            }
+            l
+        } else {
+            1
+        };
         let table = frame_count as usize * ENTRY_LEN;
         if r.remaining() != table {
             // The entry table must account for every remaining byte: a
@@ -277,6 +339,7 @@ impl StreamManifest {
             color_bits,
             gop_size,
             frame_count,
+            layers_per_frame,
             entries,
         })
     }
@@ -347,6 +410,7 @@ pub struct StreamWriter {
     depth: u8,
     color_bits: u8,
     gop_size: u32,
+    layers_per_frame: u8,
     frames: Vec<Vec<u8>>,
 }
 
@@ -357,7 +421,50 @@ impl StreamWriter {
             depth,
             color_bits,
             gop_size,
+            layers_per_frame: 1,
             frames: Vec::new(),
+        }
+    }
+
+    /// Starts a **layered** stream: every video frame is
+    /// `layers_per_frame` consecutive chunks (base first). The finished
+    /// stream carries [`STREAM_FLAG_LAYERED`].
+    ///
+    /// # Panics
+    /// If `layers_per_frame < 2` (a 1-layer stream is just a legacy
+    /// stream — use [`StreamWriter::new`]).
+    pub fn new_layered(
+        depth: u8,
+        color_bits: u8,
+        gop_size: u32,
+        layers_per_frame: u8,
+    ) -> StreamWriter {
+        assert!(
+            layers_per_frame >= 2,
+            "a layered stream needs at least 2 layers per frame"
+        );
+        StreamWriter {
+            depth,
+            color_bits,
+            gop_size,
+            layers_per_frame,
+            frames: Vec::new(),
+        }
+    }
+
+    /// Appends one video frame's layer payloads (base first). The chunk
+    /// count must match the writer's `layers_per_frame`.
+    ///
+    /// # Panics
+    /// If `layers.len() != layers_per_frame` (writer-side misuse).
+    pub fn push_layered_frame(&mut self, layers: &[impl AsRef<[u8]>]) {
+        assert_eq!(
+            layers.len(),
+            self.layers_per_frame as usize,
+            "layer count must match layers_per_frame"
+        );
+        for l in layers {
+            self.push_frame(l.as_ref());
         }
     }
 
@@ -400,19 +507,34 @@ impl StreamWriter {
             color_bits: self.color_bits,
             gop_size: self.gop_size,
             frame_count: self.frames.len() as u32,
+            layers_per_frame: self.layers_per_frame,
             entries,
         }
     }
 
     /// Assembles the complete stream bytes.
+    ///
+    /// # Panics
+    /// For a layered writer, if the pushed chunk count is not a whole
+    /// number of video frames.
     pub fn finish(self) -> Vec<u8> {
+        assert_eq!(
+            self.frames.len() % self.layers_per_frame as usize,
+            0,
+            "layered stream ended mid-frame"
+        );
         let manifest = self.manifest();
+        let flags = if manifest.is_layered() {
+            STREAM_FLAG_LAYERED
+        } else {
+            0
+        };
         let manifest_len = manifest.encoded_len();
         let total = STREAM_HEADER_LEN as u64 + manifest_len as u64 + manifest.chunk_area_len();
         let mut out = Vec::with_capacity(total as usize);
         out.extend_from_slice(&STREAM_MAGIC);
         out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
-        out.extend_from_slice(&0u16.to_le_bytes()); // reserved flags
+        out.extend_from_slice(&flags.to_le_bytes());
         out.extend_from_slice(&(manifest_len as u32).to_le_bytes());
         manifest.encode_into(&mut out);
         for (i, payload) in self.frames.iter().enumerate() {
@@ -455,12 +577,13 @@ impl<'a> StreamReader<'a> {
                 expected: WIRE_VERSION,
             });
         }
-        if r.u16("stream flags")? != 0 {
-            return Err(WireError::Inconsistent("reserved flags must be zero"));
+        let flags = r.u16("stream flags")?;
+        if flags & !STREAM_FLAG_LAYERED != 0 {
+            return Err(WireError::Inconsistent("unknown stream flags"));
         }
         let manifest_len = r.u32("manifest_len")? as usize;
         let manifest_bytes = r.take(manifest_len, "manifest")?;
-        let manifest = StreamManifest::decode(manifest_bytes)?;
+        let manifest = StreamManifest::decode_with_flags(manifest_bytes, flags)?;
         let chunks = &bytes[STREAM_HEADER_LEN + manifest_len..];
         if (chunks.len() as u64) < manifest.chunk_area_len() {
             return Err(WireError::Truncated {
@@ -650,19 +773,20 @@ impl WireCursor {
                     expected: WIRE_VERSION,
                 });
             }
-            if r.u16("stream flags")? != 0 {
-                return Err(WireError::Inconsistent("reserved flags must be zero"));
+            let flags = r.u16("stream flags")?;
+            if flags & !STREAM_FLAG_LAYERED != 0 {
+                return Err(WireError::Inconsistent("unknown stream flags"));
             }
             let manifest_len = r.u32("manifest_len")? as usize;
-            if manifest_len > MANIFEST_FIXED_LEN + MAX_FRAMES as usize * ENTRY_LEN {
+            if manifest_len > MANIFEST_FIXED_LEN + 1 + MAX_FRAMES as usize * ENTRY_LEN {
                 return Err(WireError::Oversized {
                     what: "manifest_len",
                     got: manifest_len as u64,
-                    max: (MANIFEST_FIXED_LEN + MAX_FRAMES as usize * ENTRY_LEN) as u64,
+                    max: (MANIFEST_FIXED_LEN + 1 + MAX_FRAMES as usize * ENTRY_LEN) as u64,
                 });
             }
             let manifest_bytes = r.take(manifest_len, "manifest")?;
-            let manifest = StreamManifest::decode(manifest_bytes)?;
+            let manifest = StreamManifest::decode_with_flags(manifest_bytes, flags)?;
             self.consumed += STREAM_HEADER_LEN + manifest_len;
             self.manifest = Some(manifest.clone());
             return Ok(Some(WireEvent::Manifest(manifest)));
@@ -794,6 +918,83 @@ mod tests {
             StreamReader::parse(&bad).unwrap_err(),
             WireError::Inconsistent(_)
         ));
+    }
+
+    #[test]
+    fn layered_stream_round_trips_with_flagged_manifest() {
+        let mut w = StreamWriter::new_layered(10, 6, 30, 3);
+        for f in 0..4usize {
+            let layers: Vec<Vec<u8>> = (0..3)
+                .map(|l| (0..(20 + 5 * l + f)).map(|b| (b * 3 + l) as u8).collect())
+                .collect();
+            w.push_layered_frame(&layers);
+        }
+        let bytes = w.finish();
+        // The header carries the layered flag.
+        assert_eq!(
+            u16::from_le_bytes(bytes[6..8].try_into().unwrap()),
+            STREAM_FLAG_LAYERED
+        );
+        let r = StreamReader::parse(&bytes).unwrap();
+        let m = r.manifest();
+        assert!(m.is_layered());
+        assert_eq!(m.layers_per_frame, 3);
+        assert_eq!(m.frame_count, 12);
+        assert_eq!(m.video_frame_count(), 4);
+        r.validate_all().unwrap();
+        // Chunk addressing: frame 2, layer 1 lives at slot 7.
+        assert_eq!(m.chunk_index(2, 1), 7);
+        assert_eq!(r.chunk_payload(m.chunk_index(2, 1)).unwrap().len(), 27);
+        // The incremental cursor accepts it too.
+        let mut c = WireCursor::new();
+        c.feed(&bytes);
+        let mut chunks = 0;
+        while let Some(ev) = c.poll().unwrap() {
+            if matches!(ev, WireEvent::Chunk { .. }) {
+                chunks += 1;
+            }
+        }
+        assert_eq!(chunks, 12);
+        assert!(c.is_complete());
+    }
+
+    #[test]
+    fn legacy_streams_are_byte_identical_and_flagless() {
+        let bytes = sample_stream(3);
+        assert_eq!(u16::from_le_bytes(bytes[6..8].try_into().unwrap()), 0);
+        let r = StreamReader::parse(&bytes).unwrap();
+        assert!(!r.manifest().is_layered());
+        assert_eq!(r.manifest().layers_per_frame, 1);
+        assert_eq!(r.manifest().video_frame_count(), 3);
+        // Unknown flag bits (beyond LAYERED) still rejected.
+        let mut bad = bytes.clone();
+        bad[6] = 0x2;
+        assert!(matches!(
+            StreamReader::parse(&bad).unwrap_err(),
+            WireError::Inconsistent(_)
+        ));
+    }
+
+    #[test]
+    fn layered_manifest_inconsistencies_are_rejected() {
+        let mut w = StreamWriter::new_layered(10, 6, 30, 2);
+        w.push_layered_frame(&[b"base".as_slice(), b"enh".as_slice()]);
+        let good = w.finish();
+        // Flip the layered flag off: the reader now sees a manifest one
+        // byte too long for its frame_count — inconsistent, not a panic.
+        let mut bad = good.clone();
+        bad[6] = 0;
+        assert!(StreamReader::parse(&bad).is_err());
+        // Corrupt layers_per_frame to 0/1: rejected outright.
+        for l in [0u8, 1] {
+            let mut bad = good.clone();
+            // layers byte sits right after the fixed manifest prefix.
+            bad[STREAM_HEADER_LEN + MANIFEST_FIXED_LEN] = l;
+            assert!(matches!(
+                StreamReader::parse(&bad).unwrap_err(),
+                WireError::Inconsistent(_)
+            ));
+        }
     }
 
     #[test]

@@ -32,6 +32,12 @@
 //! encoder arena per frame across the `volcast_util::par` workers — same
 //! bitstreams as the serial loop at any thread count.
 //!
+//! For progressive delivery, [`LayeredEncoder`]/[`LayeredDecoder`] split
+//! the same voxelization into a shallow base layer plus enhancement layers
+//! of deeper refinement bits and residual colors; any prefix of layers
+//! decodes to the single-stream result at that prefix's depth (see
+//! [`layered`](self::LayeredEncoder)).
+//!
 //! ```
 //! use volcast_pointcloud::codec::{encode, decode, CodecConfig};
 //! use volcast_pointcloud::SyntheticBody;
@@ -45,6 +51,7 @@
 
 mod cells;
 mod gop;
+mod layered;
 mod octree;
 mod range;
 pub mod simd;
@@ -53,6 +60,9 @@ pub use cells::{
     decode_cells, decode_cells_into, encode_cells, encode_cells_into, total_bytes, EncodedCell,
 };
 pub use gop::GopEncoder;
+pub use layered::{
+    LayeredConfig, LayeredDecoder, LayeredEncoder, LayeredFrame, LayeredStats, MAX_LAYERS,
+};
 pub use octree::{
     decode, encode, CodecConfig, CodecError, CodecStats, Decoder, EncodedCloud, Encoder,
 };

@@ -119,7 +119,7 @@ pub struct CodecStats {
 
 const MAGIC: [u8; 4] = *b"VOCT";
 const HEADER_LEN: usize = 4 + 1 + 1 + 4 + 24;
-const MAX_DEPTH: u32 = 16;
+pub(super) const MAX_DEPTH: u32 = 16;
 
 /// A quantized point on the deep (`depth > PACKED_MAX_DEPTH`) path:
 /// (morton code, packed RGB color). The shallow path packs both into one
@@ -197,15 +197,15 @@ fn radix_sort<T, K>(
     }
 }
 
-struct Contexts {
+pub(super) struct Contexts {
     /// Occupancy bit contexts: [level][child_index].
-    occupancy: Vec<[BitModel; 8]>,
+    pub(super) occupancy: Vec<[BitModel; 8]>,
     /// Color bit contexts: [channel][bit position].
-    color: [[BitModel; 8]; 3],
+    pub(super) color: [[BitModel; 8]; 3],
 }
 
 impl Contexts {
-    fn new(depth: u32) -> Self {
+    pub(super) fn new(depth: u32) -> Self {
         Contexts {
             occupancy: vec![[BitModel::new(); 8]; depth as usize],
             color: [[BitModel::new(); 8]; 3],
@@ -214,7 +214,7 @@ impl Contexts {
 
     /// Returns every model to the unbiased state, reusing the occupancy
     /// allocation (it only grows when a deeper tree is requested).
-    fn reset(&mut self, depth: u32) {
+    pub(super) fn reset(&mut self, depth: u32) {
         self.occupancy.clear();
         self.occupancy.resize(depth as usize, [BitModel::new(); 8]);
         self.color = [[BitModel::new(); 8]; 3];
@@ -226,8 +226,22 @@ impl Contexts {
 /// (= first appearance in the sorted codes) order, appended level-major to
 /// `masks`. `level_off[L]..level_off[L+1]` brackets level `L`'s masks.
 fn build_masks(codes: &[u64], depth: u32, masks: &mut Vec<u8>, level_off: &mut [usize]) {
+    build_masks_from(codes, depth, 0, masks, level_off)
+}
+
+/// [`build_masks`] restricted to absolute levels `from_level..depth` (the
+/// layered encoder emits only the levels an enhancement layer spans).
+/// `level_off` entries below `from_level` are left untouched; `codes` must
+/// be non-empty sorted depth-`depth` Morton codes.
+pub(super) fn build_masks_from(
+    codes: &[u64],
+    depth: u32,
+    from_level: u32,
+    masks: &mut Vec<u8>,
+    level_off: &mut [usize],
+) {
     masks.reserve(2 * codes.len());
-    for level in 0..depth {
+    for level in from_level..depth {
         level_off[level as usize] = masks.len();
         let pshift = 3 * (depth - level); // bits below this level's prefix
         let cshift = pshift - 3;
@@ -299,7 +313,7 @@ fn emit_flat(
 
 /// Encoder input: AoS or SoA, identical bitstreams (SoA conversion is
 /// value-exact and `SoAPoints::bounds` mirrors `PointCloud::bounds`).
-enum Input<'a> {
+pub(super) enum Input<'a> {
     Aos(&'a [Point]),
     Soa(&'a SoAPoints),
 }
@@ -415,13 +429,14 @@ impl Encoder {
         self.encode_common(Input::Soa(soa), bounds, cfg, out)
     }
 
-    fn encode_common(
-        &mut self,
-        input: Input<'_>,
-        bounds: Aabb,
-        cfg: &CodecConfig,
-        out: &mut Vec<u8>,
-    ) -> CodecStats {
+    /// Quantizes, deduplicates, and color-merges `input` at `cfg.depth`,
+    /// leaving the sorted unique Morton codes and per-voxel color sums
+    /// readable via [`Encoder::voxelized`]. Shared by the single-stream
+    /// emit path and the layered encoder; identical voxel sets either way.
+    ///
+    /// # Panics
+    /// If `cfg.depth` is outside `1..=16` or `cfg.color_bits` outside `1..=8`.
+    pub(super) fn voxelize(&mut self, input: Input<'_>, bounds: Aabb, cfg: &CodecConfig) {
         assert!(
             cfg.depth >= 1 && cfg.depth <= MAX_DEPTH,
             "depth must be in 1..=16"
@@ -430,7 +445,6 @@ impl Encoder {
             cfg.color_bits >= 1 && cfg.color_bits <= 8,
             "color_bits must be in 1..=8"
         );
-        out.clear();
 
         let extent = bounds.extent().max_component().max(1e-6);
         let levels = 1u32 << cfg.depth;
@@ -441,7 +455,6 @@ impl Encoder {
             max_q: levels - 1,
             depth: cfg.depth,
         };
-        let input_points = input.len();
 
         // Voxelize + sort + merge duplicate voxels (sorted => runs),
         // summing colors and counts so each voxel's color decodes to the
@@ -580,6 +593,35 @@ impl Encoder {
                 csums.push((sums, count));
             }
         }
+    }
+
+    /// The last [`Encoder::voxelize`] results: `(codes, color_sums)` —
+    /// sorted unique Morton codes and per-voxel `([r, g, b] sums, count)`.
+    pub(super) fn voxelized(&self) -> (&[u64], &[([u32; 3], u32)]) {
+        (self.codes.get(), self.csums.get())
+    }
+
+    fn encode_common(
+        &mut self,
+        input: Input<'_>,
+        bounds: Aabb,
+        cfg: &CodecConfig,
+        out: &mut Vec<u8>,
+    ) -> CodecStats {
+        out.clear();
+        let input_points = input.len();
+        self.voxelize(input, bounds, cfg);
+        let extent = bounds.extent().max_component().max(1e-6);
+        let Encoder {
+            codes,
+            csums,
+            masks,
+            ctx,
+            rc,
+            ..
+        } = self;
+        let codes = codes.get();
+        let csums = csums.get();
 
         // Header.
         out.reserve(HEADER_LEN + codes.len());
@@ -596,23 +638,22 @@ impl Encoder {
         debug_assert_eq!(out.len(), HEADER_LEN);
 
         // Payload.
-        self.ctx.reset(cfg.depth);
+        ctx.reset(cfg.depth);
         if !codes.is_empty() {
-            let masks = self.masks.begin();
+            let masks = masks.begin();
             let mut level_off = [0usize; MAX_DEPTH as usize + 1];
             build_masks(codes, cfg.depth, masks, &mut level_off);
-            emit_flat(&mut self.rc, &mut self.ctx, masks, &level_off, cfg.depth);
+            emit_flat(rc, ctx, masks, &level_off, cfg.depth);
             // Colors in Morton (leaf) order.
             let shift = 8 - cfg.color_bits;
             for &(sums, count) in csums.iter() {
                 for ch in 0..3 {
                     let avg = sums[ch] / count;
-                    self.rc
-                        .encode_bits(&mut self.ctx.color[ch], avg >> shift, cfg.color_bits);
+                    rc.encode_bits(&mut ctx.color[ch], avg >> shift, cfg.color_bits);
                 }
             }
         }
-        self.rc.finish_into(out);
+        rc.finish_into(out);
 
         let stats = CodecStats {
             input_points,

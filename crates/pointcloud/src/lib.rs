@@ -14,7 +14,10 @@
 //!   Draco, with matching rate behaviour,
 //! - [`DecodeModel`]: the client-side decode-throughput ceiling (the paper's
 //!   "550K points is the highest density decodable at 30 FPS"),
-//! - [`QualityLadder`]: the three-version quality ladder with bitrates.
+//! - [`QualityLadder`]: the three-version quality ladder with bitrates,
+//! - [`Ladder`]: the canonical quality-level ↔ octree-depth/bytes mapping
+//!   shared by the codec's layered mode, rate adaptation, and campus
+//!   capacity planning.
 //!
 //! ```
 //! use volcast_pointcloud::{CellGrid, SyntheticBody};
@@ -44,6 +47,6 @@ pub mod video;
 pub use cells::{CellGrid, CellId, CellInfo};
 pub use decode_model::DecodeModel;
 pub use point::{Point, PointCloud, SoAPoints};
-pub use quality::{Quality, QualityLadder, QualityLevel};
+pub use quality::{Ladder, Quality, QualityLadder, QualityLevel};
 pub use synthetic::SyntheticBody;
 pub use video::VideoSequence;

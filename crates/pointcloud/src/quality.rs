@@ -5,6 +5,13 @@
 //! 364 Mbps. [`Quality`] captures those calibration anchors so the network
 //! experiments can compute frame sizes without generating geometry, while
 //! [`QualityLadder`] ties the levels to an actual synthetic video.
+//!
+//! [`Ladder`] is the canonical QualityLevel → octree-depth / bytes mapping
+//! shared by the codec's layered configuration, the rate adapter, and the
+//! campus simulation's sustainable-load clamp. Before it existed the
+//! mapping logic was duplicated across those layers; the older loose
+//! accessors ([`Quality::of`], [`QualityLadder::best_within`]) are
+//! deprecated in its favor.
 
 /// One of the paper's three quality versions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -63,29 +70,45 @@ pub struct Quality {
     pub full_frame_mbps: f64,
 }
 
+/// Paper-calibrated anchors for a level (internal: the un-deprecated
+/// source of truth behind [`Quality::of`] and [`Ladder`]).
+fn anchor(level: QualityLevel) -> Quality {
+    match level {
+        QualityLevel::Low => Quality {
+            level,
+            points_per_frame: 330_000,
+            full_frame_mbps: 235.0,
+        },
+        QualityLevel::Medium => Quality {
+            level,
+            points_per_frame: 430_000,
+            full_frame_mbps: 294.0,
+        },
+        QualityLevel::High => Quality {
+            level,
+            points_per_frame: 550_000,
+            full_frame_mbps: 364.0,
+        },
+    }
+}
+
+/// Index of a level in low-to-high ladder order.
+fn idx(level: QualityLevel) -> usize {
+    match level {
+        QualityLevel::Low => 0,
+        QualityLevel::Medium => 1,
+        QualityLevel::High => 2,
+    }
+}
+
 impl Quality {
     /// Paper-calibrated parameters for a level.
     ///
     /// Bitrates interpolate the paper's 235-364 Mbps range across the
     /// ladder proportionally to point count.
+    #[deprecated(note = "use `quality::Ladder::quality` (the canonical mapping)")]
     pub fn of(level: QualityLevel) -> Quality {
-        match level {
-            QualityLevel::Low => Quality {
-                level,
-                points_per_frame: 330_000,
-                full_frame_mbps: 235.0,
-            },
-            QualityLevel::Medium => Quality {
-                level,
-                points_per_frame: 430_000,
-                full_frame_mbps: 294.0,
-            },
-            QualityLevel::High => Quality {
-                level,
-                points_per_frame: 550_000,
-                full_frame_mbps: 364.0,
-            },
-        }
+        anchor(level)
     }
 
     /// Compressed size of one full frame in bytes at 30 FPS.
@@ -110,9 +133,9 @@ impl Default for QualityLadder {
     fn default() -> Self {
         QualityLadder {
             levels: [
-                Quality::of(QualityLevel::Low),
-                Quality::of(QualityLevel::Medium),
-                Quality::of(QualityLevel::High),
+                anchor(QualityLevel::Low),
+                anchor(QualityLevel::Medium),
+                anchor(QualityLevel::High),
             ],
         }
     }
@@ -121,21 +144,156 @@ impl Default for QualityLadder {
 impl QualityLadder {
     /// Looks up a level's parameters.
     pub fn get(&self, level: QualityLevel) -> Quality {
-        self.levels[match level {
-            QualityLevel::Low => 0,
-            QualityLevel::Medium => 1,
-            QualityLevel::High => 2,
-        }]
+        self.levels[idx(level)]
     }
 
     /// The highest level whose full-frame bitrate fits within `budget_mbps`,
     /// or `None` when even Low does not fit.
+    #[deprecated(note = "use `quality::Ladder::best_within` (the canonical mapping)")]
     pub fn best_within(&self, budget_mbps: f64) -> Option<QualityLevel> {
         self.levels
             .iter()
             .rev()
             .find(|q| q.full_frame_mbps <= budget_mbps)
             .map(|q| q.level)
+    }
+}
+
+/// The canonical QualityLevel → octree-depth / bytes mapping.
+///
+/// One shared type answers every "what does quality level X mean" question
+/// in the workspace:
+///
+/// - **codec**: the octree depth each level quantizes to (the layered
+///   encoder's cumulative layer depths are exactly [`Ladder::depths`]),
+/// - **rate adaptation**: calibrated bitrates ([`Ladder::best_within`]),
+///   distress clamping ([`Ladder::step_down`]) and the level ↔
+///   enhancement-layer-count correspondence of layered delivery,
+/// - **campus planning**: the sustainable-load clamp
+///   ([`Ladder::sustainable_scale`]) and the nominal planning frame size
+///   ([`Ladder::PLANNING_FRAME_BYTES`]).
+///
+/// | Level  | Points | Mbps | Octree depth | Enhancement layers held |
+/// |--------|--------|------|--------------|-------------------------|
+/// | Low    | 330K   | 235  | 8            | 0 (base only)           |
+/// | Medium | 430K   | 294  | 9            | 1                       |
+/// | High   | 550K   | 364  | 10           | 2                       |
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ladder {
+    /// The three calibrated levels, lowest first.
+    levels: [Quality; 3],
+    /// Cumulative octree depth per level (strictly increasing): the depth
+    /// the layered codec refines to once a receiver holds the base layer
+    /// plus that level's enhancement layers.
+    depths: [u32; 3],
+}
+
+impl Default for Ladder {
+    fn default() -> Self {
+        Ladder::paper()
+    }
+}
+
+impl Ladder {
+    /// The nominal full-quality planning frame size used by capacity
+    /// planning (campus admission): 300 Mbps at 30 FPS. Deliberately a
+    /// round planning number, not a ladder anchor — admission headroom is
+    /// computed against it, then the clamp scales real traffic.
+    pub const PLANNING_FRAME_BYTES: f64 = 300.0e6 / 8.0 / 30.0;
+
+    /// The paper-calibrated ladder: 330K/430K/550K points at octree depths
+    /// 8/9/10 (the paper's depth-10 soldier at ~2 mm voxels, with each
+    /// coarser level halving the spatial resolution).
+    pub fn paper() -> Ladder {
+        Ladder {
+            levels: [
+                anchor(QualityLevel::Low),
+                anchor(QualityLevel::Medium),
+                anchor(QualityLevel::High),
+            ],
+            depths: [8, 9, 10],
+        }
+    }
+
+    /// A level's calibrated streaming parameters.
+    pub fn quality(&self, level: QualityLevel) -> Quality {
+        self.levels[idx(level)]
+    }
+
+    /// A level's octree quantization depth.
+    pub fn depth(&self, level: QualityLevel) -> u32 {
+        self.depths[idx(level)]
+    }
+
+    /// Cumulative octree depths, lowest level first (the layered codec's
+    /// layer boundaries: base at `depths()[0]`, each enhancement refining
+    /// to the next entry).
+    pub fn depths(&self) -> [u32; 3] {
+        self.depths
+    }
+
+    /// Number of enhancement layers a receiver must hold on top of the
+    /// base layer to render this level (0 for Low).
+    pub fn enhancement_layers(&self, level: QualityLevel) -> usize {
+        idx(level)
+    }
+
+    /// The level a receiver renders when holding the base layer plus
+    /// `layers` enhancement layers (saturating at High).
+    pub fn level_for_layers(&self, layers: usize) -> QualityLevel {
+        QualityLevel::ALL[layers.min(QualityLevel::ALL.len() - 1)]
+    }
+
+    /// The highest level whose full-frame bitrate fits within
+    /// `budget_mbps`, or `None` when even Low does not fit.
+    pub fn best_within(&self, budget_mbps: f64) -> Option<QualityLevel> {
+        self.levels
+            .iter()
+            .rev()
+            .find(|q| q.full_frame_mbps <= budget_mbps)
+            .map(|q| q.level)
+    }
+
+    /// Compressed size of one full frame at `level`, in bytes.
+    pub fn frame_bytes(&self, level: QualityLevel) -> f64 {
+        self.quality(level).full_frame_bytes()
+    }
+
+    /// Marginal compressed bytes of layer `layer` (0 = base): the cost of
+    /// that layer alone, so base plus the first `k` enhancements sums to
+    /// the level-`k` frame size.
+    pub fn layer_frame_bytes(&self, layer: usize) -> f64 {
+        let layer = layer.min(self.levels.len() - 1);
+        if layer == 0 {
+            self.levels[0].full_frame_bytes()
+        } else {
+            self.levels[layer].full_frame_bytes() - self.levels[layer - 1].full_frame_bytes()
+        }
+    }
+
+    /// Steps `level` down the ladder `steps` times, saturating at Low.
+    pub fn step_down(&self, level: QualityLevel, steps: u32) -> QualityLevel {
+        let mut level = level;
+        for _ in 0..steps {
+            match level.lower() {
+                Some(l) => level = l,
+                None => break,
+            }
+        }
+        level
+    }
+
+    /// The campus sustainable-load clamp: given one station's per-frame
+    /// airtime demand `demand_s` against a frame interval `interval_s`,
+    /// the quality scale (1.0 = full quality) that makes the demand fit.
+    /// Infinite demand (unreachable station) clamps to full quality — the
+    /// caller gates on reachability separately.
+    pub fn sustainable_scale(interval_s: f64, demand_s: f64) -> f64 {
+        if demand_s > interval_s && demand_s.is_finite() {
+            interval_s / demand_s
+        } else {
+            1.0
+        }
     }
 }
 
@@ -170,14 +328,20 @@ mod tests {
 
     #[test]
     fn paper_anchor_bitrates() {
-        assert_eq!(Quality::of(QualityLevel::Low).full_frame_mbps, 235.0);
-        assert_eq!(Quality::of(QualityLevel::High).full_frame_mbps, 364.0);
-        assert_eq!(Quality::of(QualityLevel::High).points_per_frame, 550_000);
+        let l = Ladder::paper();
+        assert_eq!(l.quality(QualityLevel::Low).full_frame_mbps, 235.0);
+        assert_eq!(l.quality(QualityLevel::High).full_frame_mbps, 364.0);
+        assert_eq!(l.quality(QualityLevel::High).points_per_frame, 550_000);
+        // The deprecated accessor must keep answering identically.
+        #[allow(deprecated)]
+        for level in QualityLevel::ALL {
+            assert_eq!(Quality::of(level), l.quality(level));
+        }
     }
 
     #[test]
     fn frame_bytes_match_bitrate() {
-        let q = Quality::of(QualityLevel::High);
+        let q = Ladder::paper().quality(QualityLevel::High);
         // 364 Mbps at 30 FPS ~ 1.52 MB/frame.
         let mb = q.full_frame_bytes() / 1e6;
         assert!((mb - 1.516).abs() < 0.01, "{mb}");
@@ -196,11 +360,68 @@ mod tests {
 
     #[test]
     fn best_within_budget() {
-        let l = QualityLadder::default();
+        let l = Ladder::paper();
         assert_eq!(l.best_within(400.0), Some(QualityLevel::High));
         assert_eq!(l.best_within(300.0), Some(QualityLevel::Medium));
         assert_eq!(l.best_within(240.0), Some(QualityLevel::Low));
         assert_eq!(l.best_within(100.0), None);
+        // The deprecated QualityLadder accessor answers identically.
+        #[allow(deprecated)]
+        for budget in [400.0, 300.0, 240.0, 100.0] {
+            assert_eq!(
+                QualityLadder::default().best_within(budget),
+                l.best_within(budget)
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_depths_and_layers_correspond() {
+        let l = Ladder::paper();
+        assert_eq!(l.depths(), [8, 9, 10]);
+        assert_eq!(l.depth(QualityLevel::Low), 8);
+        assert_eq!(l.depth(QualityLevel::High), 10);
+        assert_eq!(l.enhancement_layers(QualityLevel::Low), 0);
+        assert_eq!(l.enhancement_layers(QualityLevel::High), 2);
+        for level in QualityLevel::ALL {
+            assert_eq!(l.level_for_layers(l.enhancement_layers(level)), level);
+        }
+        assert_eq!(l.level_for_layers(99), QualityLevel::High);
+    }
+
+    #[test]
+    fn layer_bytes_telescope_to_frame_bytes() {
+        let l = Ladder::paper();
+        for level in QualityLevel::ALL {
+            let layers = l.enhancement_layers(level);
+            let sum: f64 = (0..=layers).map(|k| l.layer_frame_bytes(k)).sum();
+            assert!((sum - l.frame_bytes(level)).abs() < 1e-9, "{level:?}");
+        }
+        // Enhancement layers are strictly positive marginal cost.
+        assert!(l.layer_frame_bytes(1) > 0.0);
+        assert!(l.layer_frame_bytes(2) > 0.0);
+    }
+
+    #[test]
+    fn step_down_saturates() {
+        let l = Ladder::paper();
+        assert_eq!(l.step_down(QualityLevel::High, 0), QualityLevel::High);
+        assert_eq!(l.step_down(QualityLevel::High, 1), QualityLevel::Medium);
+        assert_eq!(l.step_down(QualityLevel::High, 2), QualityLevel::Low);
+        assert_eq!(l.step_down(QualityLevel::High, 99), QualityLevel::Low);
+        assert_eq!(l.step_down(QualityLevel::Low, 1), QualityLevel::Low);
+    }
+
+    #[test]
+    fn sustainable_scale_clamps_only_overload() {
+        // Fits: identity.
+        assert_eq!(Ladder::sustainable_scale(1.0 / 30.0, 0.01), 1.0);
+        // Overload: scale = interval / demand.
+        let s = Ladder::sustainable_scale(1.0 / 30.0, 1.0 / 15.0);
+        assert!((s - 0.5).abs() < 1e-12);
+        // Unreachable (infinite demand): the caller's reachability gate
+        // owns that case; the clamp stays at full quality.
+        assert_eq!(Ladder::sustainable_scale(1.0 / 30.0, f64::INFINITY), 1.0);
     }
 
     #[test]

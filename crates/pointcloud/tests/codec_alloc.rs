@@ -4,7 +4,9 @@
 //! process-global: any sibling test allocating concurrently would make the
 //! counters move. Keep exactly one `#[test]` in this file.
 
-use volcast_pointcloud::codec::{CodecConfig, Encoder, GopEncoder};
+use volcast_pointcloud::codec::{
+    CodecConfig, Encoder, GopEncoder, LayeredConfig, LayeredDecoder, LayeredEncoder, LayeredFrame,
+};
 use volcast_pointcloud::{
     codec::Decoder, codec::EncodedCloud, PointCloud, SyntheticBody, VideoSequence,
 };
@@ -77,6 +79,50 @@ fn steady_state_frame_path_does_not_allocate() {
         deallocs_after - deallocs_before,
         0,
         "steady-state frame path deallocated"
+    );
+
+    // --- Layered path ----------------------------------------------------
+    // Same contract for the progressive codec: after warm-up, layered
+    // encode (base + enhancements) and full-prefix decode reuse every
+    // buffer (layer bitstreams, boundary-aggregation scratch, expansion
+    // ping-pong arenas).
+    let lcfg = LayeredConfig::default();
+    let mut lenc = LayeredEncoder::new();
+    let mut ldec = LayeredDecoder::new();
+    let mut frame = LayeredFrame::new();
+    let layered_pass = |lenc: &mut LayeredEncoder,
+                        ldec: &mut LayeredDecoder,
+                        cloud: &mut PointCloud,
+                        frame: &mut LayeredFrame,
+                        decoded: &mut PointCloud| {
+        let mut voxels = 0usize;
+        for f in 0..FRAMES {
+            body.frame_into(f, POINTS, cloud);
+            let stats = lenc.encode_into(cloud, &lcfg, frame);
+            voxels += ldec.decode_frame_into(frame.layers(), decoded).unwrap();
+            assert_eq!(decoded.len(), stats.voxels);
+        }
+        voxels
+    };
+    for _ in 0..2 {
+        layered_pass(&mut lenc, &mut ldec, &mut cloud, &mut frame, &mut decoded);
+    }
+    let l_allocs_before = counting::allocations();
+    let l_deallocs_before = counting::deallocations();
+    let mut l_voxels = 0usize;
+    for _ in 0..5 {
+        l_voxels += layered_pass(&mut lenc, &mut ldec, &mut cloud, &mut frame, &mut decoded);
+    }
+    assert!(l_voxels > 0, "layered decode produced no voxels");
+    assert_eq!(
+        counting::allocations() - l_allocs_before,
+        0,
+        "steady-state layered path allocated"
+    );
+    assert_eq!(
+        counting::deallocations() - l_deallocs_before,
+        0,
+        "steady-state layered path deallocated"
     );
 
     // --- GOP-batched path ------------------------------------------------

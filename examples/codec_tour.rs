@@ -8,7 +8,7 @@
 //! Run: `cargo run --release --example codec_tour`
 
 use volcast::pointcloud::codec::{decode, encode, CodecConfig};
-use volcast::pointcloud::{DecodeModel, Quality, QualityLevel, SyntheticBody};
+use volcast::pointcloud::{DecodeModel, Ladder, QualityLevel, SyntheticBody};
 
 fn main() {
     let body = SyntheticBody::default();
@@ -46,7 +46,7 @@ fn main() {
     );
     let decode_model = DecodeModel::default();
     for level in QualityLevel::ALL {
-        let q = Quality::of(level);
+        let q = Ladder::paper().quality(level);
         println!(
             "{:>8} {:>14} {:>12.0} {:>14.2} {:>12.1}",
             format!("{level:?}"),

@@ -3,9 +3,13 @@
 # at VOLCAST_THREADS=1 and =4 and asserts the outputs — the FNV-1a hashes
 # of every scenario's SessionOutcome plus the headline stats — are byte
 # for byte identical to each other AND to the committed reference in
-# results/faults.txt. With tracing on, the per-scenario deterministic obs
-# snapshots (fault activations, ladder reactions, retransmits) must also
-# match results/obs_faults_<scenario>.json at both thread counts.
+# results/faults.txt. The matrix covers both delivery modes: the
+# single-stream ladder AND the layered (base + enhancements + XOR-parity
+# FEC) rerun of every scenario, so layered scheduling divergence across
+# worker counts fails this gate too. With tracing on, the per-scenario
+# deterministic obs snapshots (fault activations, ladder reactions,
+# retransmits, FEC recoveries) must also match
+# results/obs_faults_<scenario>.json at both thread counts.
 #
 # Usage: scripts/fault_matrix.sh  (from the repository root)
 
@@ -22,6 +26,15 @@ VOLCAST_THREADS=1 cargo run -q --release -p volcast-bench --bin faults > "$tmp_o
 diff results/faults.txt "$tmp_out"
 VOLCAST_THREADS=4 cargo run -q --release -p volcast-bench --bin faults > "$tmp_out"
 diff results/faults.txt "$tmp_out"
+
+echo "==> layered-delivery fault scenarios present with pinned outcomes"
+# Two sentinel layered scenarios (a loss burst absorbed by the FEC rung
+# and the all-faults-combined run) must appear with their pinned hashes:
+# catches a regeneration of results/faults.txt that silently dropped or
+# drifted the layered half of the matrix.
+grep -q "Layered delivery + proactive FEC" results/faults.txt
+grep -q "^loss             0xb3deb110b88c71fa" "$tmp_out"
+grep -q "^combined         0x31d6fe1ceada53dd" "$tmp_out"
 
 echo "==> per-scenario obs snapshots match the committed copies"
 VOLCAST_TRACE=1 VOLCAST_OBS_DIR="$tmp_obs" VOLCAST_THREADS=1 \

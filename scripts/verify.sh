@@ -69,7 +69,9 @@ diff results/obs_fig2a.json "$tmp_obs/obs_fig2a.json"
 
 echo "==> fault-scenario matrix is deterministic across thread counts"
 # The fault-injection gate: every scenario's SessionOutcome FNV and obs
-# snapshot must match the committed references at 1 and 4 workers.
+# snapshot must match the committed references at 1 and 4 workers — in
+# both delivery modes (single-stream ladder and layered base +
+# enhancements + XOR-parity FEC; the layered rows carry pinned hashes).
 sh scripts/fault_matrix.sh
 
 echo "==> wire-format fuzz smoke (1000 seeded mutations, no panics)"

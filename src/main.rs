@@ -11,6 +11,7 @@
 
 use std::collections::HashMap;
 use std::process::ExitCode;
+use volcast::core::session::DeliveryMode;
 use volcast::core::{quick_session_with_device, AbrPolicy, MitigationMode, PlayerKind};
 use volcast::net::FaultConfig;
 use volcast::pointcloud::QualityLevel;
@@ -23,6 +24,7 @@ USAGE:
   volcast session [--player vanilla|vivo|volcast] [--users N] [--frames N]
                   [--device phone|headset] [--quality low|medium|high|auto]
                   [--abr buffer|throughput|crosslayer]
+                  [--delivery single|layered]
                   [--mitigation reactive|proactive] [--seed N]
                   [--faults SPEC]
   volcast study   [--seed N] [--frames N] [--phones N] [--headsets N]
@@ -93,6 +95,17 @@ fn cmd_session(flags: HashMap<String, String>) -> Result<(), String> {
         "crosslayer" => AbrPolicy::CrossLayer,
         other => return Err(format!("unknown abr '{other}'")),
     };
+    // Layered delivery: multicast base layer + per-user unicast
+    // enhancements + the proactive XOR-parity FEC rung (DESIGN.md §16).
+    let delivery = match flags
+        .get("delivery")
+        .map(String::as_str)
+        .unwrap_or("single")
+    {
+        "single" => DeliveryMode::Single,
+        "layered" => DeliveryMode::Layered,
+        other => return Err(format!("unknown delivery '{other}'")),
+    };
     let mitigation = match flags
         .get("mitigation")
         .map(String::as_str)
@@ -120,6 +133,7 @@ fn cmd_session(flags: HashMap<String, String>) -> Result<(), String> {
     let mut session = quick_session_with_device(player, users, frames, seed, device);
     session.params.fixed_quality = quality;
     session.params.abr = abr;
+    session.params.delivery = delivery;
     session.params.mitigation = mitigation;
     session.params.faults = faults;
     let out = session.run().map_err(|e| e.to_string())?;

@@ -7,7 +7,7 @@ use volcast::core::{
 use volcast::geom::Vec3;
 use volcast::mmwave::{Channel, Codebook, McsTable, MultiLobeDesigner};
 use volcast::net::{AdMac, MacModel};
-use volcast::pointcloud::{codec, CellGrid, DecodeModel, Quality, QualityLevel, SyntheticBody};
+use volcast::pointcloud::{codec, CellGrid, DecodeModel, Ladder, QualityLevel, SyntheticBody};
 use volcast::viewport::{iou, DeviceClass, UserStudy, VisibilityComputer, VisibilityOptions};
 
 /// The full data path: generate geometry -> encode -> decode -> partition
@@ -64,7 +64,7 @@ fn table1_model_reproduces_anchor_rows() {
     // ad, 1 user, all qualities: 30 FPS.
     let rate1 = ad.per_user_rate_mbps(2502.5, 1);
     for level in QualityLevel::ALL {
-        let q = Quality::of(level);
+        let q = Ladder::paper().quality(level);
         let fps = max_sustainable_fps(
             rate1,
             q.full_frame_bytes(),
@@ -76,7 +76,7 @@ fn table1_model_reproduces_anchor_rows() {
     }
     // ad, 7 users, high quality vanilla: ~11-12 FPS in the paper.
     let rate7 = ad.per_user_rate_mbps(2502.5, 7);
-    let q = Quality::of(QualityLevel::High);
+    let q = Ladder::paper().quality(QualityLevel::High);
     let fps7 = max_sustainable_fps(
         rate7,
         q.full_frame_bytes(),
